@@ -1,0 +1,160 @@
+package bloomrf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickstart(t *testing.T) {
+	f := New(1000, 16)
+	f.Insert(42)
+	if !f.MayContain(42) {
+		t.Fatal("lost key 42")
+	}
+	if !f.MayContainRange(40, 100) {
+		t.Fatal("range [40,100] should contain 42")
+	}
+	if f.MayContainRange(100_000, 200_000) {
+		t.Log("distant range answered maybe (allowed, improbable)")
+	}
+}
+
+func TestTunedAPI(t *testing.T) {
+	f, tun, err := NewTuned(Options{ExpectedKeys: 10_000, BitsPerKey: 16, MaxRange: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.ExactLevel == 0 || len(tun.LevelDistance) == 0 {
+		t.Errorf("tuning report incomplete: %+v", tun)
+	}
+	if tun.PointFPR > tun.RangeFPR+1e-12 {
+		t.Errorf("point FPR above range FPR: %+v", tun)
+	}
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 10_000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	for _, k := range keys[:1000] {
+		if !f.MayContain(k) {
+			t.Fatal("tuned filter lost a key")
+		}
+	}
+}
+
+func TestFloatAPI(t *testing.T) {
+	f := New(1000, 18)
+	vals := []float64{-273.15, -1.5, 0, 3.14159, 6.02e23}
+	for _, v := range vals {
+		f.InsertFloat64(v)
+	}
+	for _, v := range vals {
+		if !f.MayContainFloat64(v) {
+			t.Fatalf("lost float %v", v)
+		}
+		if !f.MayContainFloat64Range(v-0.001, v+0.001) {
+			t.Fatalf("range around %v missed", v)
+		}
+	}
+	prop := func(v float64) bool {
+		if v != v {
+			return true // NaN
+		}
+		return DecodeFloat64(EncodeFloat64(v)) == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntAPI(t *testing.T) {
+	f := New(100, 18)
+	f.InsertInt64(-5)
+	f.InsertInt64(7)
+	if !f.MayContainInt64Range(-10, -1) {
+		t.Fatal("negative range missed")
+	}
+	if !f.MayContainInt64Range(-10, 10) {
+		t.Fatal("sign-crossing range missed")
+	}
+}
+
+func TestStringAPI(t *testing.T) {
+	f := New(100, 18)
+	words := []string{"anchovy", "barnacle", "cuttlefish"}
+	for _, w := range words {
+		f.InsertString(w)
+	}
+	for _, w := range words {
+		if !f.MayContainString(w) {
+			t.Fatalf("lost %q", w)
+		}
+	}
+	if !f.MayContainStringRange("a", "b") {
+		t.Fatal("string range [a,b] should cover anchovy")
+	}
+}
+
+func TestSerializationAPI(t *testing.T) {
+	f := New(500, 14)
+	for i := uint64(0); i < 500; i++ {
+		f.Insert(i * 1000)
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !g.MayContain(i * 1000) {
+			t.Fatal("round trip lost a key")
+		}
+	}
+	if _, err := Unmarshal(blob[:10]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestMultiAttrAPI(t *testing.T) {
+	m, err := NewMultiAttr(MultiAttrOptions{ExpectedKeys: 1000, BitsPerKey: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Insert(42, 4711)
+	if !m.MayContain(42, 4711) {
+		t.Fatal("lost tuple")
+	}
+	if !m.MayContainARange(0, 100, 4711) {
+		t.Fatal("A<=100 AND B=4711 should hit")
+	}
+	if !m.MayContainBRange(42, 4000, 5000) {
+		t.Fatal("A=42 AND B in [4000,5000] should hit")
+	}
+	if m.SizeBits() == 0 {
+		t.Fatal("zero size")
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := New(2000, 14)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	prop := func(i uint16, span uint32) bool {
+		k := keys[int(i)%len(keys)]
+		lo := k - min(k, uint64(span))
+		hi := k + min(^uint64(0)-k, uint64(span))
+		return f.MayContain(k) && f.MayContainRange(lo, hi)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

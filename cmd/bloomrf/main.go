@@ -1,0 +1,191 @@
+// Command bloomrf is a small CLI around the bloomRF filter: build a filter
+// from a file of keys, save it, and run point/range queries against it.
+//
+// Usage:
+//
+//	bloomrf build -keys keys.txt -out filter.brf -bits 16 -maxrange 1e9
+//	bloomrf query -filter filter.brf -point 42
+//	bloomrf query -filter filter.brf -lo 42 -hi 4711
+//	bloomrf info  -filter filter.brf
+//
+// The key file holds one unsigned 64-bit integer per line (decimal or
+// 0x-hex); blank lines and #-comments are skipped.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bloomrf build|query|info [flags]  (run a subcommand with -h for details)")
+	os.Exit(2)
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	keysPath := fs.String("keys", "", "input file: one uint64 key per line")
+	out := fs.String("out", "filter.brf", "output filter file")
+	bits := fs.Float64("bits", 16, "bits per key")
+	maxRange := fs.Float64("maxrange", 0, "largest query range to tune for (0 = basic filter)")
+	fs.Parse(args)
+	if *keysPath == "" {
+		fatal(fmt.Errorf("build: -keys required"))
+	}
+	keys, err := readKeys(*keysPath)
+	if err != nil {
+		fatal(err)
+	}
+	var f *bloomrf.Filter
+	if *maxRange > 0 {
+		var tun bloomrf.Tuning
+		f, tun, err = bloomrf.NewTuned(bloomrf.Options{
+			ExpectedKeys: uint64(len(keys)), BitsPerKey: *bits, MaxRange: *maxRange,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("advisor: exact level %d, Δ=%v, predicted point FPR %.4f, range FPR %.4f\n",
+			tun.ExactLevel, tun.LevelDistance, tun.PointFPR, tun.RangeFPR)
+	} else {
+		f = bloomrf.New(uint64(len(keys)), *bits)
+	}
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built %s: %d keys, %d bits (%.2f bits/key), k=%d\n",
+		*out, len(keys), f.SizeBits(), float64(f.SizeBits())/float64(len(keys)), f.K())
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	filterPath := fs.String("filter", "filter.brf", "filter file")
+	point := fs.String("point", "", "point query key")
+	lo := fs.String("lo", "", "range lower bound")
+	hi := fs.String("hi", "", "range upper bound")
+	fs.Parse(args)
+	f := loadFilter(*filterPath)
+	switch {
+	case *point != "":
+		k, err := parseKey(*point)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(verdict(f.MayContain(k)))
+	case *lo != "" && *hi != "":
+		l, err := parseKey(*lo)
+		if err != nil {
+			fatal(err)
+		}
+		h, err := parseKey(*hi)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(verdict(f.MayContainRange(l, h)))
+	default:
+		fatal(fmt.Errorf("query: need -point or both -lo and -hi"))
+	}
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	filterPath := fs.String("filter", "filter.brf", "filter file")
+	fs.Parse(args)
+	f := loadFilter(*filterPath)
+	fmt.Printf("bloomRF filter: %d bits (%d KiB), %d probabilistic layers\n",
+		f.SizeBits(), f.SizeBits()/8/1024, f.K())
+}
+
+func verdict(maybe bool) string {
+	if maybe {
+		return "maybe (present unless a false positive)"
+	}
+	return "no (definitely absent)"
+}
+
+func loadFilter(path string) *bloomrf.Filter {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := bloomrf.Unmarshal(blob)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func readKeys(path string) ([]uint64, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	var keys []uint64
+	sc := bufio.NewScanner(fh)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		k, err := parseKey(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		keys = append(keys, k)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("%s: no keys", path)
+	}
+	return keys, nil
+}
+
+func parseKey(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "0x"), base(s), 64)
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bloomrf:", err)
+	os.Exit(1)
+}

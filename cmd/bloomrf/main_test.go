@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command once per test binary.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bloomrf")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	keysPath := filepath.Join(dir, "keys.txt")
+	filterPath := filepath.Join(dir, "f.brf")
+	keyFile := "# comment line\n42\n4711\n0xдеад\n"
+	// First with a bad hex line to check the error path.
+	if err := os.WriteFile(keysPath, []byte(keyFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, bin, "build", "-keys", keysPath, "-out", filterPath); err == nil {
+		t.Fatal("bad key line accepted")
+	}
+	if err := os.WriteFile(keysPath, []byte("# keys\n42\n4711\n0xff\n1000000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, bin, "build", "-keys", keysPath, "-out", filterPath, "-bits", "16", "-maxrange", "1e6")
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "advisor") || !strings.Contains(out, "4 keys") {
+		t.Fatalf("unexpected build output: %s", out)
+	}
+
+	// Point queries.
+	out, err = run(t, bin, "query", "-filter", filterPath, "-point", "42")
+	if err != nil || !strings.Contains(out, "maybe") {
+		t.Fatalf("stored key query: %v %q", err, out)
+	}
+	out, err = run(t, bin, "query", "-filter", filterPath, "-point", "123456789")
+	if err != nil || !strings.Contains(out, "definitely absent") {
+		t.Fatalf("absent key query: %v %q", err, out)
+	}
+
+	// Range queries.
+	out, err = run(t, bin, "query", "-filter", filterPath, "-lo", "4000", "-hi", "5000")
+	if err != nil || !strings.Contains(out, "maybe") {
+		t.Fatalf("range around 4711: %v %q", err, out)
+	}
+	out, err = run(t, bin, "query", "-filter", filterPath, "-lo", "2000", "-hi", "3000")
+	if err != nil || !strings.Contains(out, "definitely absent") {
+		t.Fatalf("empty range: %v %q", err, out)
+	}
+
+	// Info.
+	out, err = run(t, bin, "info", "-filter", filterPath)
+	if err != nil || !strings.Contains(out, "bloomRF filter") {
+		t.Fatalf("info: %v %q", err, out)
+	}
+
+	// Error paths.
+	if _, err := run(t, bin, "query", "-filter", filterPath); err == nil {
+		t.Fatal("query without predicate accepted")
+	}
+	if _, err := run(t, bin, "query", "-filter", filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing filter file accepted")
+	}
+	if _, err := run(t, bin, "nonsense"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	cases := map[string]uint64{
+		"0":      0,
+		"42":     42,
+		"0xff":   255,
+		"0xDEAD": 0xDEAD,
+	}
+	for in, want := range cases {
+		got, err := parseKey(in)
+		if err != nil || got != want {
+			t.Errorf("parseKey(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-1", "0x", "99999999999999999999999"} {
+		if _, err := parseKey(bad); err == nil {
+			t.Errorf("parseKey(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package bloomrf_test
+
+import (
+	"fmt"
+
+	bloomrf "repro"
+)
+
+// The basic filter needs no tuning: size it for the expected keys and
+// budget, insert online, and query points or ranges.
+func Example() {
+	f := bloomrf.New(100_000, 16)
+	for _, k := range []uint64{42, 4711, 1_000_000} {
+		f.Insert(k)
+	}
+	fmt.Println(f.MayContain(42))
+	fmt.Println(f.MayContainRange(4000, 5000))     // contains 4711
+	fmt.Println(f.MayContainRange(10_000, 20_000)) // empty
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// NewTuned runs the paper's §7 advisor for workloads with large range
+// queries; the report shows the chosen layout.
+func ExampleNewTuned() {
+	f, tuning, err := bloomrf.NewTuned(bloomrf.Options{
+		ExpectedKeys: 1_000_000,
+		BitsPerKey:   16,
+		MaxRange:     1e9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	f.Insert(123_456_789)
+	fmt.Println(f.MayContainRange(100_000_000, 200_000_000))
+	fmt.Println(tuning.ExactLevel > 0, len(tuning.LevelDistance) > 0)
+	// Output:
+	// true
+	// true true
+}
+
+// Floats are filtered through the order-preserving coding φ of §8.
+func ExampleFilter_MayContainFloat64Range() {
+	f := bloomrf.New(10_000, 18)
+	f.InsertFloat64(-273.15)
+	f.InsertFloat64(36.6)
+	fmt.Println(f.MayContainFloat64Range(-300, -200))
+	fmt.Println(f.MayContainFloat64Range(36.0, 37.0))
+	// A float interval may span an enormous integer-code range (§1: a
+	// width-1 double range can cover 2^61 codes); the basic filter answers
+	// such probes conservatively — use NewTuned for wide-range workloads.
+	fmt.Println(f.MayContainFloat64Range(0.5, 0.6))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// Two-attribute conjunctive predicates use one MultiAttr filter.
+func ExampleMultiAttr() {
+	m, err := bloomrf.NewMultiAttr(bloomrf.MultiAttrOptions{
+		ExpectedKeys: 10_000,
+		BitsPerKey:   20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	m.Insert(42, 4711)                            // (Run, ObjectID)
+	fmt.Println(m.MayContainARange(0, 100, 4711)) // Run ≤ 100 AND ObjectID = 4711
+	// Output:
+	// true
+}
+
+// Filters serialize to compact blocks for use as SSTable filter blocks.
+func ExampleUnmarshal() {
+	f := bloomrf.New(1_000, 14)
+	f.Insert(7)
+	blob, _ := f.MarshalBinary()
+	g, err := bloomrf.Unmarshal(blob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.MayContain(7))
+	// Output:
+	// true
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a bloomRF filter, insert keys while querying (online),
+// and contrast point and range probes with a plain Bloom filter's
+// capabilities.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const n = 1_000_000
+	f := bloomrf.New(n, 16)
+
+	// bloomRF is online: keys stream in, queries run concurrently.
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	fmt.Printf("inserted %d keys into %.1f MiB (%d layers)\n",
+		n, float64(f.SizeBits())/8/1024/1024, f.K())
+
+	// Point membership, like a Bloom filter.
+	fmt.Printf("MayContain(keys[0])      = %v\n", f.MayContain(keys[0]))
+	fmt.Printf("MayContain(random)       = %v\n", f.MayContain(rng.Uint64()))
+
+	// Range membership — the part Bloom filters cannot do.
+	k := keys[42]
+	fmt.Printf("MayContainRange(k±2^20)  = %v\n", f.MayContainRange(k-1<<20, k+1<<20))
+
+	// Measure the range FPR on provably empty intervals.
+	fp, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		lo := rng.Uint64()
+		if f.MayContainRange(lo, lo+1023) {
+			fp++ // almost surely empty: 10^6 keys in a 2^64 domain
+		}
+	}
+	fmt.Printf("empty-range (R=1024) FPR ≈ %.4f\n", float64(fp)/float64(trials))
+}

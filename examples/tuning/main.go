@@ -1,0 +1,57 @@
+// Tuning example: what the §7 advisor does with a space budget as the
+// target query range grows — level distances shrink toward the exact
+// layer, hash functions get replicated, and memory is split into segments.
+// Compares predicted FPR against measured FPR on empty queries.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const (
+		n   = 500_000
+		bpk = 16
+	)
+	fmt.Printf("advisor decisions for n=%d at %d bits/key:\n\n", n, bpk)
+	fmt.Printf("%-12s %-11s %-22s %-12s %-12s %-12s\n",
+		"max range", "exact lvl", "Δ vector (bottom-up)", "pred point", "pred range", "meas range")
+
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+
+	for _, maxRange := range []float64{1 << 10, 1 << 20, 1 << 30, 1e12} {
+		f, tun, err := bloomrf.NewTuned(bloomrf.Options{
+			ExpectedKeys: n, BitsPerKey: bpk, MaxRange: maxRange,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		// Measure on empty ranges of the tuned width.
+		width := uint64(maxRange)
+		fp, probes := 0, 5000
+		for i := 0; i < probes; i++ {
+			lo := rng.Uint64()
+			if lo > ^uint64(0)-width {
+				lo -= width
+			}
+			if f.MayContainRange(lo, lo+width-1) {
+				fp++ // ~always empty: n keys in 2^64
+			}
+		}
+		fmt.Printf("%-12.0f %-11d %-22s %-12.4f %-12.4f %-12.4f\n",
+			maxRange, tun.ExactLevel, fmt.Sprint(tun.LevelDistance),
+			tun.PointFPR, tun.RangeFPR, float64(fp)/float64(probes))
+	}
+	fmt.Println("\nthe exact layer sits where the 0.6m heuristic puts it; growing target ranges shift")
+	fmt.Println("memory toward the mid segment and raise the predicted range FPR (paper §7).")
+}

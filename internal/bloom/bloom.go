@@ -1,0 +1,156 @@
+// Package bloom implements standard Bloom filters in the styles the paper
+// benchmarks against: the RocksDB full filter (k = ⌊bits/key · ln 2⌋,
+// double hashing) and the LevelDB filter (same k rule with a lower cap).
+// They are point-only filters — the baseline bloomRF replaces.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/hashutil"
+)
+
+// Filter is a classic Bloom filter over 64-bit keys. Insert and MayContain
+// are safe for concurrent use.
+type Filter struct {
+	words []uint64
+	mBits uint64
+	k     int
+}
+
+// New returns a RocksDB-style Bloom filter sized for n keys at bitsPerKey:
+// k = ⌊bitsPerKey · ln 2⌋ hash functions, clamped to [1, 30].
+func New(n uint64, bitsPerKey float64) *Filter {
+	k := int(bitsPerKey * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	m := uint64(float64(n) * bitsPerKey)
+	return NewBits(m, k)
+}
+
+// NewLevelDB returns a LevelDB-style filter: same k rule but k is computed
+// as in LevelDB's bloom.cc (k = bitsPerKey · 0.69, clamped to [1, 30]) and
+// small filters get a 64-bit floor.
+func NewLevelDB(n uint64, bitsPerKey float64) *Filter {
+	k := int(bitsPerKey * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	m := uint64(float64(n) * bitsPerKey)
+	return NewBits(m, k)
+}
+
+// NewBits returns a filter with an explicit bit count and hash count;
+// Rosetta uses this to size its per-level filters.
+func NewBits(mBits uint64, k int) *Filter {
+	if mBits < 64 {
+		mBits = 64
+	}
+	mBits = (mBits + 63) &^ 63
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{words: make([]uint64, mBits/64), mBits: mBits, k: k}
+}
+
+// Insert adds a key.
+func (f *Filter) Insert(x uint64) {
+	d := hashutil.NewDoubleHasher(x)
+	for i := 0; i < f.k; i++ {
+		pos := d.At(uint64(i)) % f.mBits
+		atomic.OrUint64(&f.words[pos>>6], 1<<(pos&63))
+	}
+}
+
+// MayContain reports whether x may have been inserted.
+func (f *Filter) MayContain(x uint64) bool {
+	d := hashutil.NewDoubleHasher(x)
+	for i := 0; i < f.k; i++ {
+		pos := d.At(uint64(i)) % f.mBits
+		if atomic.LoadUint64(&f.words[pos>>6])&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// SizeBits returns the filter size in bits.
+func (f *Filter) SizeBits() uint64 { return f.mBits }
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for i := range f.words {
+		ones += popcount(atomic.LoadUint64(&f.words[i]))
+	}
+	return float64(ones) / float64(f.mBits)
+}
+
+// Snapshot copies the raw bit words (Fig. 5 scatter analysis).
+func (f *Filter) Snapshot() []uint64 {
+	out := make([]uint64, len(f.words))
+	for i := range f.words {
+		out[i] = atomic.LoadUint64(&f.words[i])
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+const serMagic = "blm1"
+
+// ErrCorrupt reports a malformed filter block.
+var ErrCorrupt = errors.New("bloom: corrupt filter block")
+
+// MarshalBinary serializes the filter (SSTable filter-block payload).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+2+8+8*len(f.words)+8)
+	buf = append(buf, serMagic...)
+	buf = append(buf, byte(f.k), 0)
+	buf = binary.LittleEndian.AppendUint64(buf, f.mBits)
+	for _, w := range f.Snapshot() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, hashutil.HashBytes(buf, 0))
+	return buf, nil
+}
+
+// Unmarshal reconstructs a filter from MarshalBinary output.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 4+2+8+8 || string(data[:4]) != serMagic {
+		return nil, ErrCorrupt
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if hashutil.HashBytes(body, 0) != sum {
+		return nil, ErrCorrupt
+	}
+	k := int(body[4])
+	mBits := binary.LittleEndian.Uint64(body[6:14])
+	if k < 1 || mBits == 0 || mBits%64 != 0 || uint64(len(body)-14) != mBits/8 {
+		return nil, ErrCorrupt
+	}
+	f := NewBits(mBits, k)
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(body[14+8*i:])
+	}
+	return f, nil
+}

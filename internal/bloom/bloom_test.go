@@ -1,0 +1,149 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestKRule(t *testing.T) {
+	// 10 bits/key ⇒ k = ⌊10·ln2⌋ = 6, the RocksDB value the paper quotes.
+	if got := New(100, 10).K(); got != 6 {
+		t.Errorf("k = %d for 10 b/k, want 6", got)
+	}
+	if got := New(100, 2).K(); got != 1 {
+		t.Errorf("k = %d for 2 b/k, want 1 (clamped)", got)
+	}
+	if got := New(100, 64).K(); got != 30 {
+		t.Errorf("k = %d for 64 b/k, want 30 (capped)", got)
+	}
+}
+
+func TestFPRMatchesTheory(t *testing.T) {
+	const n = 50000
+	f := New(n, 10)
+	rng := rand.New(rand.NewSource(2))
+	present := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		present[k] = true
+		f.Insert(k)
+	}
+	fp, probes := 0, 0
+	for probes < 100000 {
+		y := rng.Uint64()
+		if present[y] {
+			continue
+		}
+		probes++
+		if f.MayContain(y) {
+			fp++
+		}
+	}
+	fpr := float64(fp) / float64(probes)
+	// Theory: ~0.8% for 10 bits/key, k=6. Allow generous slack.
+	if fpr > 0.025 {
+		t.Errorf("FPR %.4f, expected ≈0.008 for 10 bits/key", fpr)
+	}
+	if fill := f.FillRatio(); fill < 0.3 || fill > 0.7 {
+		t.Errorf("fill ratio %.3f, expected ≈0.5", fill)
+	}
+}
+
+func TestLevelDBVariant(t *testing.T) {
+	f := NewLevelDB(1000, 10)
+	if f.K() != 6 {
+		t.Errorf("LevelDB k = %d for 10 b/k, want 6", f.K())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f.Insert(i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.MayContain(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestNewBits(t *testing.T) {
+	f := NewBits(100, 3) // rounds up to 128
+	if f.SizeBits() != 128 {
+		t.Errorf("size = %d, want 128", f.SizeBits())
+	}
+	f2 := NewBits(0, 0)
+	if f2.SizeBits() != 64 || f2.K() != 1 {
+		t.Errorf("floor sizing broken: %d bits, k=%d", f2.SizeBits(), f2.K())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f := New(500, 12)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !g.MayContain(k) {
+			t.Fatalf("deserialized filter lost %d", k)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		y := rng.Uint64()
+		if f.MayContain(y) != g.MayContain(y) {
+			t.Fatalf("probe diverges for %d", y)
+		}
+	}
+	// Corruption must be detected.
+	data[len(data)/2] ^= 1
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("bit flip not detected")
+	}
+	if _, err := Unmarshal(data[:8]); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := New(uint64(b.N)+1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(1_000_000, 10)
+	for i := uint64(0); i < 1_000_000; i++ {
+		f.Insert(i * 0x9e3779b97f4a7c15)
+	}
+	b.ResetTimer()
+	acc := false
+	for i := 0; i < b.N; i++ {
+		acc = acc != f.MayContain(uint64(i))
+	}
+	_ = acc
+}

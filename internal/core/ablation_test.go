@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablations for the §7 design choices: each test checks the *directional*
+// effect of a mechanism by building two filters that differ in exactly one
+// knob and measuring FPR on the workload the mechanism targets.
+
+// measureRangeFPR builds a filter from cfg, inserts n random keys and
+// probes empty ranges of the given width.
+func measureRangeFPR(t *testing.T, cfg Config, n int, width uint64, probes int, seed int64) float64 {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	sortU64(keys)
+	fp, done := 0, 0
+	for done < probes {
+		lo := rng.Uint64()
+		if lo > ^uint64(0)-width {
+			continue
+		}
+		hi := lo + width - 1
+		if hasKeyInRange(keys, lo, hi) {
+			continue
+		}
+		done++
+		if f.MayContainRange(lo, hi) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(probes)
+}
+
+// TestAblationExactLayer: for very large ranges, adding the exact top
+// bitmap (same total memory) must cut the FPR drastically — the §7
+// "Memory Management" motivation.
+func TestAblationExactLayer(t *testing.T) {
+	const n = 30000
+	const width = uint64(1) << 36
+	// Without exact layer: basic filter, all memory in one segment.
+	basic := BasicConfig(n, 18)
+	fprBasic := measureRangeFPR(t, basic, n, width, 1500, 42)
+
+	// With exact layer at level 36 (bitmap 2^28 bits is too big for this
+	// n; use domain knowledge: pick exact level so the bitmap is ~40% of
+	// memory): total = 18n = 540k bits; exact 2^18 = 262k bits at level 46.
+	withExact := Config{
+		Domain:    64,
+		Deltas:    deltaVector(46),
+		SegBits:   []uint64{540000 - (1 << 18)},
+		Exact:     true,
+		SegmentOf: nil,
+	}
+	withExact.SegBits[0] = (withExact.SegBits[0] + 63) &^ 63
+	fprExact := measureRangeFPR(t, withExact, n, width, 1500, 42)
+
+	if fprExact >= fprBasic {
+		t.Errorf("exact layer did not help huge ranges: with=%.3f without=%.3f", fprExact, fprBasic)
+	}
+	if fprExact > 0.2 {
+		t.Errorf("exact-layer FPR %.3f still high for width 2^36", fprExact)
+	}
+}
+
+// TestAblationReplicatedHashFunctions: replicating the top layer's hash
+// function reduces the FPR of queries that are decided on the upper layers
+// (large dyadic ranges), at unchanged memory.
+func TestAblationReplicatedHashFunctions(t *testing.T) {
+	const n = 30000
+	base := Config{
+		Domain:  64,
+		Deltas:  []int{7, 7, 7, 7, 7},
+		SegBits: []uint64{uint64(n) * 18 &^ 63},
+	}
+	withReplicas := base
+	withReplicas.Replicas = []int{1, 1, 1, 1, 2}
+
+	// Ranges of 2^28 are covered by layer-4 dyadic intervals (level 28):
+	// exactly where the replica adds error correction.
+	const width = uint64(1) << 28
+	fprBase := measureRangeFPR(t, base, n, width, 2000, 43)
+	fprRep := measureRangeFPR(t, withReplicas, n, width, 2000, 43)
+	if fprRep >= fprBase {
+		t.Errorf("top-layer replica did not reduce large-range FPR: with=%.4f without=%.4f", fprRep, fprBase)
+	}
+}
+
+// TestAblationDeltaGranularity: smaller Δ on the upper layers (the
+// advisor's variable-distance vector) beats uniform Δ = 7 for large
+// ranges, because DIs grow less abruptly between levels.
+func TestAblationDeltaGranularity(t *testing.T) {
+	const n = 30000
+	m := uint64(n) * 18 &^ 63
+	uniform := Config{Domain: 64, Deltas: []int{7, 7, 7, 7, 7}, SegBits: []uint64{m}}        // levels to 35
+	variable := Config{Domain: 64, Deltas: []int{7, 7, 7, 7, 4, 2, 2}, SegBits: []uint64{m}} // levels to 36, finer top
+	const width = uint64(1) << 33
+	fprU := measureRangeFPR(t, uniform, n, width, 1500, 44)
+	fprV := measureRangeFPR(t, variable, n, width, 1500, 44)
+	if fprV >= fprU {
+		t.Errorf("variable Δ did not help: variable=%.3f uniform=%.3f", fprV, fprU)
+	}
+}
+
+// TestAblationPermuteWordsOnDegenerateData: on the §3.2 degenerate
+// distribution the plain PMHF collapses every layer onto one in-word
+// offset, inflating the point FPR; PermuteWords restores it.
+func TestAblationPermuteWordsOnDegenerateData(t *testing.T) {
+	// The fully degenerate §3.2 universe for Δ = 7: every layer's offset
+	// bits hold λ = 5 and only the inter-word bits (positions iΔ+6) vary —
+	// 2^10 possible keys including bit 63. Insert half the universe, probe
+	// the other half: without permutation every layer writes offset 5 of
+	// its word, so occupied words answer any degenerate probe positively.
+	universe := make([]uint64, 0, 1024)
+	for bits := 0; bits < 1024; bits++ {
+		var x uint64
+		for layer := 0; layer < 9; layer++ {
+			x |= 5 << (layer * 7)
+			if bits&(1<<layer) != 0 {
+				x |= 1 << (layer*7 + 6)
+			}
+		}
+		if bits&(1<<9) != 0 {
+			x |= 1 << 63
+		}
+		universe = append(universe, x)
+	}
+	rand.New(rand.NewSource(45)).Shuffle(len(universe), func(i, j int) {
+		universe[i], universe[j] = universe[j], universe[i]
+	})
+	insert, probe := universe[:512], universe[512:]
+	measure := func(permute bool) float64 {
+		// Generous memory keeps the filter below the degenerate
+		// saturation point so the ×2 capacity of the orientation split is
+		// visible; at 12 bits/key both variants saturate to FPR 1.
+		cfg := BasicConfig(512, 64)
+		cfg.PermuteWords = permute
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range insert {
+			f.Insert(k)
+		}
+		fp := 0
+		for _, y := range probe {
+			if f.MayContain(y) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(probe))
+	}
+	plain := measure(false)
+	permuted := measure(true)
+	if permuted >= plain {
+		t.Errorf("PermuteWords did not reduce degenerate FPR: with=%.3f without=%.3f", permuted, plain)
+	}
+	if plain < 0.2 {
+		t.Errorf("degenerate universe FPR %.3f unexpectedly low without permutation", plain)
+	}
+}
+
+// Benchmarks for the same knobs: what each mechanism costs per probe.
+
+func benchRange(b *testing.B, cfg Config, width uint64) {
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<18; i++ {
+		f.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	acc := false
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9e3779b97f4a7c15
+		hi := lo + width - 1
+		if hi < lo {
+			hi = ^uint64(0)
+		}
+		acc = acc != f.MayContainRange(lo, hi)
+	}
+	_ = acc
+}
+
+// BenchmarkAblationPMHFWordSize contrasts Δ = 7 (64-bit PMHF words, one
+// masked access per run) against Δ = 1 (single-bit words — prefix hashing
+// without the piecewise-monotone trick, every dyadic interval probed
+// individually). The gap is the PMHF contribution.
+func BenchmarkAblationPMHFWordSize(b *testing.B) {
+	m := uint64(1<<18) * 16
+	b.Run("delta7-pmhf", func(b *testing.B) {
+		benchRange(b, Config{Domain: 64, Deltas: []int{7, 7, 7, 7, 7, 7}, SegBits: []uint64{m}}, 1<<16)
+	})
+	b.Run("delta1-bitwise", func(b *testing.B) {
+		deltas := make([]int, 42)
+		for i := range deltas {
+			deltas[i] = 1
+		}
+		benchRange(b, Config{Domain: 64, Deltas: deltas, SegBits: []uint64{m}}, 1<<16)
+	})
+}
+
+// BenchmarkAblationReplicas measures the probe cost of the second hash
+// function on the top layer.
+func BenchmarkAblationReplicas(b *testing.B) {
+	m := uint64(1<<18) * 16
+	base := Config{Domain: 64, Deltas: []int{7, 7, 7, 7, 7}, SegBits: []uint64{m}}
+	b.Run("r=1", func(b *testing.B) { benchRange(b, base, 1<<20) })
+	rep := base
+	rep.Replicas = []int{1, 1, 1, 1, 2}
+	b.Run("r=2-top", func(b *testing.B) { benchRange(b, rep, 1<<20) })
+}
+
+// BenchmarkAblationPermute measures the bit-reversal overhead.
+func BenchmarkAblationPermute(b *testing.B) {
+	cfg := BasicConfig(1<<18, 16)
+	b.Run("plain", func(b *testing.B) { benchRange(b, cfg, 1<<14) })
+	perm := cfg
+	perm.PermuteWords = true
+	b.Run("permuted", func(b *testing.B) { benchRange(b, perm, 1<<14) })
+}
+
+// BenchmarkAblationExact measures the exact-bitmap path for huge ranges.
+func BenchmarkAblationExact(b *testing.B) {
+	m := uint64(1<<18) * 18
+	b.Run("basic", func(b *testing.B) {
+		benchRange(b, Config{Domain: 64, Deltas: []int{7, 7, 7, 7, 7}, SegBits: []uint64{m}}, 1<<34)
+	})
+	b.Run("exact-top", func(b *testing.B) {
+		benchRange(b, Config{Domain: 64, Deltas: deltaVector(44), Exact: true,
+			SegBits: []uint64{m - 1<<20}}, 1<<34)
+	})
+}

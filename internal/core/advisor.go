@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// TuneOptions parameterizes the §7 tuning advisor.
+type TuneOptions struct {
+	// N is the expected number of keys.
+	N uint64
+	// BitsPerKey is the space budget; total memory is N·BitsPerKey bits.
+	BitsPerKey float64
+	// MaxRange is the (approximate) maximum query range size R the filter
+	// should be tuned for. 0 means point-query-only tuning (R = 1).
+	MaxRange float64
+	// PointWeight is the constant C of the weighted norm
+	// fpr_w² = fpr_m² + C²·fpr_p²; larger values privilege point queries.
+	// 0 means 1.
+	PointWeight float64
+	// Domain is d; 0 means 64.
+	Domain int
+}
+
+// TuningReport records what the advisor decided, for diagnostics and the
+// ablation benchmarks.
+type TuningReport struct {
+	Config        Config
+	ExactLevel    int
+	PredictedFPR  float64 // weighted norm fpr_w of the chosen configuration
+	PredictedFPRm float64 // max FPR over the dyadic levels used by ranges ≤ R
+	PredictedFPRp float64 // point-query FPR
+}
+
+// Tune computes a bloomRF configuration per the §7 advisor: it places an
+// exact top layer by the 2^(d−ℓ) < 0.6·m heuristic, derives the Δ vector
+// (Δ = 7 word-64 bottom layers, halving distances toward the exact layer),
+// replicates the topmost probabilistic layer's hash function, splits memory
+// into three segments (exact / mid / bottom) and picks the mid-segment size
+// minimizing the weighted norm fpr_w² = fpr_m² + C²·fpr_p² under the
+// extended FPR model. Both exact-level candidates {ℓe, ℓe+1} are examined.
+func Tune(opt TuneOptions) (TuningReport, error) {
+	if opt.N == 0 {
+		return TuningReport{}, fmt.Errorf("core: Tune needs N > 0")
+	}
+	d := opt.Domain
+	if d == 0 {
+		d = 64
+	}
+	if opt.BitsPerKey <= 0 {
+		return TuningReport{}, fmt.Errorf("core: Tune needs BitsPerKey > 0")
+	}
+	r := opt.MaxRange
+	if r < 1 {
+		r = 1
+	}
+	c := opt.PointWeight
+	if c == 0 {
+		c = 1
+	}
+	m := float64(opt.N) * opt.BitsPerKey
+
+	// Exact-level heuristic: smallest ℓ with 2^(d−ℓ) < 0.6·m.
+	le := d
+	for l := 0; l <= d; l++ {
+		if math.Pow(2, float64(d-l)) < 0.6*m {
+			le = l
+			break
+		}
+	}
+	best := TuningReport{PredictedFPR: math.Inf(1)}
+	for _, cand := range []int{le, le + 1} {
+		if cand > d {
+			continue
+		}
+		rep, err := tuneForExactLevel(opt.N, d, m, cand, r, c)
+		if err != nil {
+			continue
+		}
+		if rep.PredictedFPR < best.PredictedFPR {
+			best = rep
+		}
+	}
+	if math.IsInf(best.PredictedFPR, 1) {
+		// Budgets too small to carve three segments (tiny n·bitsPerKey)
+		// fall back to the tuning-free basic layout, evaluated under the
+		// same model so the report stays meaningful.
+		cfg := BasicConfig(opt.N, opt.BitsPerKey)
+		levels := cfg.Levels()
+		specs := make([]model.LayerSpec, cfg.K())
+		for i := range specs {
+			specs[i] = model.LayerSpec{Level: levels[i], Replicas: 1, Segment: 0}
+		}
+		fprs := model.ExtendedFPR(model.ExtendedParams{
+			Domain: d, N: opt.N, Layers: specs,
+			SegBits:    []float64{float64(cfg.SegBits[0])},
+			ExactLevel: levels[len(levels)-1], C: 1,
+		})
+		top := int(math.Floor(math.Log2(r)))
+		if top > d {
+			top = d
+		}
+		fm := 0.0
+		for l := 0; l <= top; l++ {
+			fm = math.Max(fm, fprs[l])
+		}
+		fp := fprs[0]
+		return TuningReport{
+			Config:        cfg,
+			ExactLevel:    levels[len(levels)-1],
+			PredictedFPR:  math.Sqrt(fm*fm + c*c*fp*fp),
+			PredictedFPRm: fm,
+			PredictedFPRp: fp,
+		}, nil
+	}
+	return best, nil
+}
+
+// deltaVector fills the distance from level 0 up to the exact level:
+// Δ = 7 while ≥ 9 remain (so at least 2 are left for the next layer), then
+// halving power-of-two distances capped at 4, reproducing the paper's
+// (2,2,4,7,7,7,7) example for an exact level at 36.
+func deltaVector(exactLevel int) []int {
+	var deltas []int
+	rem := exactLevel
+	for rem >= 9 {
+		deltas = append(deltas, MaxDelta)
+		rem -= MaxDelta
+	}
+	for rem > 0 {
+		if rem <= 2 {
+			deltas = append(deltas, rem)
+			break
+		}
+		dl := pow2Floor((rem + 1) / 2)
+		if dl > 4 {
+			dl = 4
+		}
+		deltas = append(deltas, dl)
+		rem -= dl
+	}
+	return deltas
+}
+
+func pow2Floor(x int) int {
+	p := 1
+	for p*2 <= x {
+		p *= 2
+	}
+	return p
+}
+
+func tuneForExactLevel(n uint64, d int, m float64, exactLevel int, r, c float64) (TuningReport, error) {
+	exactBits := math.Pow(2, float64(d-exactLevel))
+	if exactBits >= m {
+		return TuningReport{}, fmt.Errorf("core: exact level %d does not fit", exactLevel)
+	}
+	deltas := deltaVector(exactLevel)
+	k := len(deltas)
+	if k == 0 {
+		return TuningReport{}, fmt.Errorf("core: exact level 0 leaves no probabilistic layers")
+	}
+
+	// Replicas: one per layer, two on the topmost probabilistic layer.
+	replicas := make([]int, k)
+	for i := range replicas {
+		replicas[i] = 1
+	}
+	if k > 1 {
+		replicas[k-1] = 2
+	}
+
+	// Segments: bottom layers (Δ = 7) → segment 1 ("m3"), the reduced-Δ mid
+	// layers → segment 0 ("m2"). With no mid layers everything shares one
+	// probabilistic segment.
+	segmentOf := make([]int, k)
+	hasMid := false
+	for i, dl := range deltas {
+		if dl < MaxDelta {
+			segmentOf[i] = 0
+			hasMid = true
+		} else {
+			segmentOf[i] = 1
+		}
+	}
+	probBits := m - exactBits
+
+	mkConfig := func(midBits float64) (Config, []model.LayerSpec, []float64) {
+		var segBits []uint64
+		segOf := segmentOf
+		if hasMid {
+			mid := roundBits(midBits)
+			bot := roundBits(probBits - midBits)
+			segBits = []uint64{mid, bot}
+		} else {
+			segBits = []uint64{roundBits(probBits)}
+			segOf = make([]int, k) // all zero
+		}
+		cfg := Config{
+			Domain:    d,
+			Deltas:    deltas,
+			Replicas:  replicas,
+			SegmentOf: segOf,
+			SegBits:   segBits,
+			Exact:     true,
+		}
+		specs := make([]model.LayerSpec, k)
+		lvl := 0
+		for i := 0; i < k; i++ {
+			specs[i] = model.LayerSpec{Level: lvl, Replicas: replicas[i], Segment: segOf[i]}
+			lvl += deltas[i]
+		}
+		segF := make([]float64, len(segBits))
+		for i, b := range segBits {
+			segF[i] = float64(b)
+		}
+		return cfg, specs, segF
+	}
+
+	evaluate := func(cfg Config, specs []model.LayerSpec, segF []float64) (fw, fm, fp float64) {
+		par := model.ExtendedParams{
+			Domain: d, N: n, Layers: specs, SegBits: segF,
+			ExactLevel: exactLevel, C: 1,
+		}
+		fprs := model.ExtendedFPR(par)
+		top := int(math.Floor(math.Log2(r)))
+		if top > d {
+			top = d
+		}
+		for l := 0; l <= top; l++ {
+			if fprs[l] > fm {
+				fm = fprs[l]
+			}
+		}
+		fp = fprs[0]
+		fw = math.Sqrt(fm*fm + c*c*fp*fp)
+		return fw, fm, fp
+	}
+
+	best := TuningReport{PredictedFPR: math.Inf(1)}
+	if !hasMid {
+		cfg, specs, segF := mkConfig(0)
+		if err := cfg.Validate(); err != nil {
+			return TuningReport{}, err
+		}
+		fw, fm, fp := evaluate(cfg, specs, segF)
+		return TuningReport{Config: cfg, ExactLevel: exactLevel,
+			PredictedFPR: fw, PredictedFPRm: fm, PredictedFPRp: fp}, nil
+	}
+	for frac := 0.05; frac <= 0.90; frac += 0.05 {
+		midBits := probBits * frac
+		if midBits < 64 || probBits-midBits < 64 {
+			continue
+		}
+		cfg, specs, segF := mkConfig(midBits)
+		if err := cfg.Validate(); err != nil {
+			continue
+		}
+		fw, fm, fp := evaluate(cfg, specs, segF)
+		if fw < best.PredictedFPR {
+			best = TuningReport{Config: cfg, ExactLevel: exactLevel,
+				PredictedFPR: fw, PredictedFPRm: fm, PredictedFPRp: fp}
+		}
+	}
+	if math.IsInf(best.PredictedFPR, 1) {
+		return TuningReport{}, fmt.Errorf("core: no feasible mid-segment split")
+	}
+	return best, nil
+}
+
+// roundBits rounds up to a positive multiple of 64.
+func roundBits(b float64) uint64 {
+	if b < 64 {
+		return 64
+	}
+	return (uint64(b) + 63) &^ 63
+}
+
+// NewTuned runs the advisor and constructs the filter it recommends.
+func NewTuned(opt TuneOptions) (*Filter, TuningReport, error) {
+	rep, err := Tune(opt)
+	if err != nil {
+		return nil, rep, err
+	}
+	f, err := New(rep.Config)
+	if err != nil {
+		return nil, rep, err
+	}
+	return f, rep, nil
+}

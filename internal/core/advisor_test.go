@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaVectorPaperExample pins the §7 advisor example: n = 50M keys,
+// 14 bits/key, d = 64 place the exact level at 36 and yield
+// Δ = (2,2,4,7,7,7,7) (printed top-down in the paper; we store bottom-up).
+func TestDeltaVectorPaperExample(t *testing.T) {
+	got := deltaVector(36)
+	want := []int{7, 7, 7, 7, 4, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("deltaVector(36) = %v, want %v", got, want)
+	}
+	sum := 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deltaVector(36) = %v, want %v", got, want)
+		}
+		sum += got[i]
+	}
+	if sum != 36 {
+		t.Fatalf("ΣΔ = %d, want 36", sum)
+	}
+}
+
+func TestDeltaVectorSumsAndBounds(t *testing.T) {
+	for le := 1; le <= 64; le++ {
+		ds := deltaVector(le)
+		sum := 0
+		for _, d := range ds {
+			if d < 1 || d > MaxDelta {
+				t.Fatalf("deltaVector(%d) = %v has out-of-range Δ", le, ds)
+			}
+			sum += d
+		}
+		if sum != le {
+			t.Fatalf("deltaVector(%d) sums to %d", le, sum)
+		}
+	}
+}
+
+// TestTunePaperExactLevel checks the §7 heuristic: for n = 50M keys at 14
+// bits/key the lowest level with 2^(d−ℓ) < 0.6m is 36.
+func TestTunePaperExactLevel(t *testing.T) {
+	rep, err := Tune(TuneOptions{N: 50_000_000, BitsPerKey: 14, MaxRange: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactLevel != 36 && rep.ExactLevel != 37 {
+		t.Errorf("exact level = %d, want 36 (or candidate 37)", rep.ExactLevel)
+	}
+	// Replicas: 1 everywhere except the top probabilistic layer.
+	k := rep.Config.K()
+	for i, r := range rep.Config.Replicas {
+		want := 1
+		if i == k-1 {
+			want = 2
+		}
+		if r != want {
+			t.Errorf("Replicas[%d] = %d, want %d", i, r, want)
+		}
+	}
+	// The advisor must keep the whole filter within budget (±rounding).
+	total := rep.Config.TotalBits()
+	budget := uint64(50_000_000 * 14)
+	if total > budget+budget/10 {
+		t.Errorf("total bits %d exceeds budget %d", total, budget)
+	}
+}
+
+// TestTuneAdvisorExample50M16 mirrors the §7 "Figure ??.C" example: 50M
+// keys, 16 bits/key, range 10^10: expected point FPR ≈0.5% and dyadic-range
+// FPR ≈3%. The paper quotes the candidates as ℓe = 27/28 counted as bitmap
+// log-size (d − ℓ), i.e. exact levels 37/36 — the same pair the 0.6m
+// heuristic produces.
+func TestTuneAdvisorExample50M16(t *testing.T) {
+	rep, err := Tune(TuneOptions{N: 50_000_000, BitsPerKey: 16, MaxRange: 1e10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactLevel != 36 && rep.ExactLevel != 37 {
+		t.Errorf("exact level = %d, want 36 or 37 (bitmap size 2^28/2^27)", rep.ExactLevel)
+	}
+	if rep.PredictedFPRp > 0.03 {
+		t.Errorf("predicted point FPR %.4f, paper expects ≈0.005", rep.PredictedFPRp)
+	}
+	if rep.PredictedFPRm > 0.15 {
+		t.Errorf("predicted range FPR %.4f, paper expects ≈0.03", rep.PredictedFPRm)
+	}
+}
+
+// TestTunedFilterLargeRanges: a tuned filter must handle very large ranges
+// with a sane FPR — the scenario basic bloomRF cannot cover (§7).
+func TestTunedFilterLargeRanges(t *testing.T) {
+	const n = 50_000
+	f, rep, err := NewTuned(TuneOptions{N: n, BitsPerKey: 18, MaxRange: 1 << 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasExact() {
+		t.Fatal("tuned filter must have an exact layer")
+	}
+	rng := rand.New(rand.NewSource(20))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	sortU64(keys)
+	// No false negatives on large ranges around keys.
+	for i := 0; i < 3000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		span := uint64(1) << uint(10+rng.Intn(24))
+		lo := k - min(k, span)
+		hi := k + min(^uint64(0)-k, span)
+		if !f.MayContainRange(lo, hi) {
+			t.Fatalf("false negative on tuned filter: key %d in [%d,%d]", k, lo, hi)
+		}
+	}
+	// Empty large ranges should mostly be rejected.
+	const span = uint64(1) << 32
+	fp, probes := 0, 0
+	for probes < 2000 {
+		lo := rng.Uint64()
+		if lo > ^uint64(0)-span {
+			continue
+		}
+		hi := lo + span - 1
+		if hasKeyInRange(keys, lo, hi) {
+			continue
+		}
+		probes++
+		if f.MayContainRange(lo, hi) {
+			fp++
+		}
+	}
+	fpr := float64(fp) / float64(probes)
+	if fpr > 0.35 {
+		t.Errorf("tuned large-range FPR %.3f too high (report predicted %.3f)", fpr, rep.PredictedFPRm)
+	}
+}
+
+func TestTuneRejectsBadInput(t *testing.T) {
+	if _, err := Tune(TuneOptions{N: 0, BitsPerKey: 10}); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := Tune(TuneOptions{N: 100, BitsPerKey: 0}); err == nil {
+		t.Error("BitsPerKey=0 should error")
+	}
+}
+
+// TestTunePointOnly: with MaxRange ≤ 1 the advisor still produces a valid
+// filter and weights the point FPR.
+func TestTunePointOnly(t *testing.T) {
+	f, rep, err := NewTuned(TuneOptions{N: 10_000, BitsPerKey: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PredictedFPRp > rep.PredictedFPRm+1e-12 {
+		t.Errorf("point FPR %.4f exceeds max-range FPR %.4f", rep.PredictedFPRp, rep.PredictedFPRm)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 10_000; i++ {
+		f.Insert(rng.Uint64())
+	}
+	// Sanity probe.
+	if got := f.Stats(); got.SetBits == 0 {
+		t.Error("no bits set")
+	}
+}
+
+// TestTuneFallsBackToBasic: budgets too small for three memory segments
+// (tiny n·bitsPerKey) must yield the basic layout rather than an error.
+func TestTuneFallsBackToBasic(t *testing.T) {
+	rep, err := Tune(TuneOptions{N: 4, BitsPerKey: 16, MaxRange: 1 << 20})
+	if err != nil {
+		t.Fatalf("tiny-budget tune failed: %v", err)
+	}
+	if rep.Config.Exact {
+		t.Error("fallback should be the basic (no exact layer) layout")
+	}
+	f, err := New(rep.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(42)
+	if !f.MayContain(42) || !f.MayContainRange(0, 100) {
+		t.Error("fallback filter lost its key")
+	}
+	if rep.PredictedFPRp <= 0 || rep.PredictedFPRm < rep.PredictedFPRp {
+		t.Errorf("fallback report incoherent: %+v", rep)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// bitArray is a fixed-size bit array backed by uint64 storage. Writers use
+// atomic OR and readers atomic loads, so concurrent inserts and probes are
+// race-free without locking — bloomRF is an online, parallel structure
+// (paper §1 contribution (a), evaluated in Experiment 4).
+type bitArray struct {
+	words []uint64
+}
+
+func newBitArray(nbits uint64) bitArray {
+	return bitArray{words: make([]uint64, (nbits+63)/64)}
+}
+
+// setBit atomically sets the bit at pos.
+func (b *bitArray) setBit(pos uint64) {
+	atomic.OrUint64(&b.words[pos>>6], 1<<(pos&63))
+}
+
+// getBit reports whether the bit at pos is set.
+func (b *bitArray) getBit(pos uint64) bool {
+	return atomic.LoadUint64(&b.words[pos>>6])&(1<<(pos&63)) != 0
+}
+
+// loadSub extracts a wbits-wide sub-word starting at the aligned bit
+// position pos (pos must be a multiple of wbits, wbits a power of two ≤ 64),
+// so a filter word never straddles two storage words.
+func (b *bitArray) loadSub(pos uint64, wbits uint) uint64 {
+	w := atomic.LoadUint64(&b.words[pos>>6])
+	if wbits == 64 {
+		return w
+	}
+	return (w >> (pos & 63)) & ((1 << wbits) - 1)
+}
+
+// anySet reports whether any bit in the inclusive bit range [lo, hi] is set.
+// It scans whole storage words between the masked boundary words.
+func (b *bitArray) anySet(lo, hi uint64) bool {
+	wl, wh := lo>>6, hi>>6
+	maskLo := ^uint64(0) << (lo & 63)
+	maskHi := ^uint64(0) >> (63 - hi&63)
+	if wl == wh {
+		return atomic.LoadUint64(&b.words[wl])&maskLo&maskHi != 0
+	}
+	if atomic.LoadUint64(&b.words[wl])&maskLo != 0 {
+		return true
+	}
+	for w := wl + 1; w < wh; w++ {
+		if atomic.LoadUint64(&b.words[w]) != 0 {
+			return true
+		}
+	}
+	return atomic.LoadUint64(&b.words[wh])&maskHi != 0
+}
+
+// onesCount returns the number of set bits.
+func (b *bitArray) onesCount() uint64 {
+	var c uint64
+	for i := range b.words {
+		c += uint64(bits.OnesCount64(b.words[i]))
+	}
+	return c
+}
+
+// size returns the capacity in bits.
+func (b *bitArray) size() uint64 { return uint64(len(b.words)) * 64 }
+
+// snapshot returns a copy of the raw storage words (for scatter analysis
+// and serialization).
+func (b *bitArray) snapshot() []uint64 {
+	out := make([]uint64, len(b.words))
+	for i := range b.words {
+		out[i] = atomic.LoadUint64(&b.words[i])
+	}
+	return out
+}
+
+// lowMask returns a mask of the low n bits, handling n ≥ 64.
+func lowMask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}
+
+// rsh is x >> n with n possibly ≥ 64 (Go already defines this as 0 for
+// uint64, the helper exists to make call sites self-documenting).
+func rsh(x uint64, n uint) uint64 {
+	if n >= 64 {
+		return 0
+	}
+	return x >> n
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInsertProbe exercises the online claim (Experiment 4):
+// inserts and probes run concurrently without locks; keys inserted before a
+// probe starts must never be missed. Run with -race.
+func TestConcurrentInsertProbe(t *testing.T) {
+	f := NewBasic(100_000, 14)
+	const (
+		writers = 4
+		readers = 4
+		perG    = 5000
+	)
+	// Pre-insert a base set readers will verify while writers add more.
+	base := make([]uint64, 10_000)
+	rng := rand.New(rand.NewSource(60))
+	for i := range base {
+		base[i] = rng.Uint64()
+		f.Insert(base[i])
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				f.Insert(r.Uint64())
+			}
+		}(int64(100 + w))
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				k := base[r.Intn(len(base))]
+				if !f.MayContain(k) {
+					errCh <- &probeError{k}
+					return
+				}
+				lo := k - min(k, 100)
+				hi := k + min(^uint64(0)-k, 100)
+				if !f.MayContainRange(lo, hi) {
+					errCh <- &probeError{k}
+					return
+				}
+			}
+		}(int64(200 + g))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+type probeError struct{ key uint64 }
+
+func (e *probeError) Error() string { return "concurrent probe missed pre-inserted key" }
+
+// TestConcurrentTunedFilter runs the same check against a tuned layout with
+// an exact segment and replicated hash functions.
+func TestConcurrentTunedFilter(t *testing.T) {
+	f, _, err := NewTuned(TuneOptions{N: 50_000, BitsPerKey: 16, MaxRange: 1 << 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]uint64, 5000)
+	rng := rand.New(rand.NewSource(61))
+	for i := range base {
+		base[i] = rng.Uint64()
+		f.Insert(base[i])
+	}
+	var wg sync.WaitGroup
+	fail := make(chan uint64, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				if i%2 == 0 {
+					f.Insert(r.Uint64())
+				} else {
+					k := base[r.Intn(len(base))]
+					if !f.MayContain(k) {
+						select {
+						case fail <- k:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(int64(300 + g))
+	}
+	wg.Wait()
+	close(fail)
+	if k, ok := <-fail; ok {
+		t.Fatalf("tuned filter missed pre-inserted key %d under concurrency", k)
+	}
+}

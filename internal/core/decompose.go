@@ -1,0 +1,138 @@
+package core
+
+// Check describes one test the two-path range-lookup performs: either a
+// covering (single dyadic interval containing a query bound, tested with
+// one bit) or a run of decomposition intervals fully contained in the query
+// (tested with masked word accesses). DecomposeChecks exposes the traversal
+// structurally — assuming every covering test passes — for documentation,
+// golden tests against the paper's Fig. 7, and cost analysis.
+type Check struct {
+	// Level is the dyadic level ℓ of the tested interval(s).
+	Level int
+	// Lo and Hi are the inclusive prefix bounds at Level. For a covering
+	// Lo == Hi.
+	Lo, Hi uint64
+	// Covering distinguishes covering tests from decomposition tests.
+	Covering bool
+}
+
+// KeyRange returns the key interval [lo, hi] covered by the check.
+func (c Check) KeyRange() (lo, hi uint64) {
+	return c.Lo << uint(c.Level), c.Hi<<uint(c.Level) | lowMask(uint(c.Level))
+}
+
+// DecomposeChecks returns, in top-down order, every check the two-path
+// range lookup would perform for the query [lo, hi] over the given
+// ascending dyadic levels (ℓ_0 .. ℓ_top), assuming all covering tests
+// pass. levels[len(levels)-1] is the top tested level; levels above it are
+// treated as saturated.
+func DecomposeChecks(lo, hi uint64, levels []int) []Check {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var out []Check
+	top := len(levels) - 1
+	L := uint(levels[top])
+	pl, pr := rsh(lo, L), rsh(hi, L)
+
+	var covs [2]int
+	ncov := 0
+	switch {
+	case pl == pr && alignedLeft(lo, L) && alignedRight(hi, L):
+		return append(out, Check{Level: int(L), Lo: pl, Hi: pl})
+	case pl == pr:
+		out = append(out, Check{Level: int(L), Lo: pl, Hi: pl, Covering: true})
+		covs[0] = covSingle
+		ncov = 1
+	default:
+		la, lb := pl, pr
+		if !alignedLeft(lo, L) {
+			la = pl + 1
+			out = append(out, Check{Level: int(L), Lo: pl, Hi: pl, Covering: true})
+			covs[ncov] = covLeft
+			ncov++
+		}
+		if !alignedRight(hi, L) {
+			lb = pr - 1
+			out = append(out, Check{Level: int(L), Lo: pr, Hi: pr, Covering: true})
+			covs[ncov] = covRight
+			ncov++
+		}
+		if la <= lb {
+			out = append(out, Check{Level: int(L), Lo: la, Hi: lb})
+		}
+		if ncov == 0 {
+			return out
+		}
+	}
+
+	for i := top; i >= 1; i-- {
+		childLevel := uint(levels[i-1])
+		parentLevel := uint(levels[i])
+		delta := parentLevel - childLevel
+		var next [2]int
+		n2 := 0
+		for j := 0; j < ncov; j++ {
+			switch covs[j] {
+			case covSingle:
+				cpl, cpr := rsh(lo, childLevel), rsh(hi, childLevel)
+				if cpl == cpr {
+					if alignedLeft(lo, childLevel) && alignedRight(hi, childLevel) {
+						return append(out, Check{Level: int(childLevel), Lo: cpl, Hi: cpl})
+					}
+					out = append(out, Check{Level: int(childLevel), Lo: cpl, Hi: cpl, Covering: true})
+					next[n2] = covSingle
+					n2++
+					continue
+				}
+				la, lb := cpl, cpr
+				if !alignedLeft(lo, childLevel) {
+					la = cpl + 1
+					out = append(out, Check{Level: int(childLevel), Lo: cpl, Hi: cpl, Covering: true})
+					next[n2] = covLeft
+					n2++
+				}
+				if !alignedRight(hi, childLevel) {
+					lb = cpr - 1
+					out = append(out, Check{Level: int(childLevel), Lo: cpr, Hi: cpr, Covering: true})
+					next[n2] = covRight
+					n2++
+				}
+				if la <= lb {
+					out = append(out, Check{Level: int(childLevel), Lo: la, Hi: lb})
+				}
+			case covLeft:
+				cpl := rsh(lo, childLevel)
+				parentEnd := rsh(lo, parentLevel)<<delta | (uint64(1)<<delta - 1)
+				la := cpl
+				if !alignedLeft(lo, childLevel) {
+					la = cpl + 1
+					out = append(out, Check{Level: int(childLevel), Lo: cpl, Hi: cpl, Covering: true})
+					next[n2] = covLeft
+					n2++
+				}
+				if la <= parentEnd {
+					out = append(out, Check{Level: int(childLevel), Lo: la, Hi: parentEnd})
+				}
+			case covRight:
+				cpr := rsh(hi, childLevel)
+				parentStart := rsh(hi, parentLevel) << delta
+				lb := cpr
+				if !alignedRight(hi, childLevel) {
+					lb = cpr - 1
+					out = append(out, Check{Level: int(childLevel), Lo: cpr, Hi: cpr, Covering: true})
+					next[n2] = covRight
+					n2++
+				}
+				if parentStart <= lb {
+					out = append(out, Check{Level: int(childLevel), Lo: parentStart, Hi: lb})
+				}
+			}
+		}
+		if n2 == 0 {
+			return out
+		}
+		covs, ncov = next, n2
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/hashutil"
+)
+
+// EncodeFloat64 maps a float64 to a uint64 with the order-preserving coding
+// φ of §8: φ(x) = x + 2^(q+r) when the sign bit is clear, and the bitwise
+// inverse otherwise, so φ(x) < φ(y) ⇔ x < y for all ordered (non-NaN)
+// floats. Insert and query through this coding: a float range query [x, y]
+// becomes the integer range query [φ(x), φ(y)].
+//
+// NaN has no place in a total order; it encodes above +Inf and should be
+// filtered out by callers that care. −0 encodes just below +0.
+func EncodeFloat64(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 == 0 {
+		return b + (1 << 63)
+	}
+	return ^b
+}
+
+// DecodeFloat64 inverts EncodeFloat64.
+func DecodeFloat64(u uint64) float64 {
+	if u>>63 == 1 {
+		return math.Float64frombits(u - (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// EncodeFloat32 is the 32-bit analogue of EncodeFloat64, placed in the high
+// half of the uint64 so dyadic prefixes stay meaningful.
+func EncodeFloat32(f float32) uint64 {
+	b := uint64(math.Float32bits(f))
+	if b>>31 == 0 {
+		b += 1 << 31
+	} else {
+		b = ^b & 0xFFFFFFFF
+	}
+	return b << 32
+}
+
+// stringPrefixBytes is the number of leading string bytes preserved
+// order-exactly in the encoding (§8: "the first seven characters in the
+// seven most-significant bytes").
+const stringPrefixBytes = 7
+
+// EncodeStringPoint maps a string to the uint64 bloomRF representation for
+// insertion and point queries: the first seven bytes big-endian in the top
+// seven bytes, plus a one-byte hash of the remainder (including the length)
+// in the least significant byte, mirroring SuRF-Hash (§8).
+func EncodeStringPoint(s string) uint64 {
+	v := encodeStringPrefix(s)
+	rest := ""
+	if len(s) > stringPrefixBytes {
+		rest = s[stringPrefixBytes:]
+	}
+	h := hashutil.HashString(rest, uint64(len(s)))
+	return v | (h & 0xFF)
+}
+
+// EncodeStringRange maps the bounds of a string range query to a uint64
+// interval. The hash byte carries no order, so the low byte is saturated
+// outward: [lo·00, hi·FF]. Range answers therefore have prefix granularity
+// (strings sharing the first seven bytes collide), matching the paper's
+// SuRF-Hash-style string support.
+func EncodeStringRange(lo, hi string) (uint64, uint64) {
+	return encodeStringPrefix(lo), encodeStringPrefix(hi) | 0xFF
+}
+
+func encodeStringPrefix(s string) uint64 {
+	var v uint64
+	for i := 0; i < stringPrefixBytes; i++ {
+		v <<= 8
+		if i < len(s) {
+			v |= uint64(s[i])
+		}
+	}
+	return v << 8
+}
+
+// EncodeInt64 maps a signed integer to a uint64 preserving order (flip the
+// sign bit), so signed domains can use bloomRF range queries directly.
+func EncodeInt64(x int64) uint64 {
+	return uint64(x) ^ (1 << 63)
+}
+
+// DecodeInt64 inverts EncodeInt64.
+func DecodeInt64(u uint64) int64 {
+	return int64(u ^ (1 << 63))
+}

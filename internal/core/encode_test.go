@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFloatCodingMonotone: φ(x) < φ(y) ⇔ x < y for ordered floats (§8).
+func TestFloatCodingMonotone(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := EncodeFloat64(a), EncodeFloat64(b)
+		switch {
+		case a < b:
+			return ea < eb
+		case a > b:
+			return ea > eb
+		default:
+			// −0 and +0 compare equal but encode adjacently.
+			return ea == eb || math.Signbit(a) != math.Signbit(b)
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatCodingRoundTrip(t *testing.T) {
+	prop := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		return DecodeFloat64(EncodeFloat64(a)) == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge values.
+	for _, v := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64} {
+		if DecodeFloat64(EncodeFloat64(v)) != v {
+			t.Errorf("round trip failed for %v", v)
+		}
+	}
+}
+
+func TestFloatCodingOrderEdges(t *testing.T) {
+	ordered := []float64{math.Inf(-1), -math.MaxFloat64, -1.5, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1.5, math.MaxFloat64, math.Inf(1)}
+	for i := 1; i < len(ordered); i++ {
+		if EncodeFloat64(ordered[i-1]) >= EncodeFloat64(ordered[i]) &&
+			!(ordered[i-1] == 0 && ordered[i] == 0) {
+			t.Errorf("coding order broken between %v and %v", ordered[i-1], ordered[i])
+		}
+	}
+	// The paper's observation: a float range of width 1 can span ~2^61
+	// integer codes — the motivation for range support independent of R.
+	span := EncodeFloat64(1) - EncodeFloat64(0)
+	if span < 1<<60 {
+		t.Errorf("code span of [0,1] = %d, expected huge (≥2^60)", span)
+	}
+}
+
+func TestFloat32Coding(t *testing.T) {
+	prop := func(a, b float32) bool {
+		if a != a || b != b { // NaN
+			return true
+		}
+		if a < b {
+			return EncodeFloat32(a) < EncodeFloat32(b)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilterWithFloats: insert floats, range-query through the coding with
+// no false negatives (the Fig. 12.D code path).
+func TestFilterWithFloats(t *testing.T) {
+	f := NewBasic(5000, 16)
+	rng := rand.New(rand.NewSource(30))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+		f.Insert(EncodeFloat64(vals[i]))
+	}
+	for _, v := range vals {
+		lo, hi := v-0.001, v+0.001
+		if !f.MayContainRange(EncodeFloat64(lo), EncodeFloat64(hi)) {
+			t.Fatalf("false negative for float range around %v", v)
+		}
+	}
+}
+
+func TestStringEncoding(t *testing.T) {
+	// Order preserved on the 7-byte prefix for range encodings.
+	lo, hi := EncodeStringRange("apple", "banana")
+	if lo >= hi {
+		t.Error("apple..banana range inverted")
+	}
+	lo2, _ := EncodeStringRange("applf", "x")
+	if lo2 <= lo {
+		t.Error("prefix order broken")
+	}
+	// Point encodings differentiate strings sharing the 7-byte prefix via
+	// the hash byte (with high probability).
+	a := EncodeStringPoint("prefix-aaaaaaaa")
+	b := EncodeStringPoint("prefix-bbbbbbbb")
+	if a>>8 != b>>8 {
+		t.Error("7-byte prefixes should match")
+	}
+	if a == b {
+		t.Error("hash byte failed to differentiate suffixes")
+	}
+	// Length is part of the hash: "abc" vs "abc\x00" style collisions.
+	if EncodeStringPoint("prefix-") == EncodeStringPoint("prefix-\x00") {
+		t.Error("length not hashed")
+	}
+}
+
+func TestStringFilterNoFalseNegatives(t *testing.T) {
+	f := NewBasic(1000, 16)
+	words := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+		"golf", "hotel", "india", "juliet", "kilo", "lima", "longsharedprefix-1",
+		"longsharedprefix-2", "z"}
+	for _, w := range words {
+		f.Insert(EncodeStringPoint(w))
+	}
+	for _, w := range words {
+		if !f.MayContain(EncodeStringPoint(w)) {
+			t.Errorf("point false negative for %q", w)
+		}
+		lo, hi := EncodeStringRange(w, w)
+		if !f.MayContainRange(lo, hi) {
+			t.Errorf("range false negative for %q", w)
+		}
+	}
+	// A range that brackets a stored word must hit.
+	lo, hi := EncodeStringRange("a", "b")
+	if !f.MayContainRange(lo, hi) {
+		t.Error("range [a,b] should cover alpha")
+	}
+}
+
+func TestInt64Coding(t *testing.T) {
+	prop := func(a, b int64) bool {
+		if a < b {
+			return EncodeInt64(a) < EncodeInt64(b)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+		if DecodeInt64(EncodeInt64(v)) != v {
+			t.Errorf("int64 round trip failed for %d", v)
+		}
+	}
+}

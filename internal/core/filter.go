@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hashutil"
+)
+
+// hashFunc maps a layer's hash input (the key prefix above the word offset
+// bits) to a raw 64-bit hash; the filter reduces it modulo the layer's word
+// count. It is overridable so tests can pin the paper's worked examples
+// (Fig. 3/4 use h_i(x) = a_i + b_i·x).
+type hashFunc func(layer, replica int, g uint64) uint64
+
+// Filter is a bloomRF point-range filter. It supports concurrent Insert and
+// MayContain* calls without external locking. Create one with New and keep
+// using it while data streams in — unlike trie-based point-range filters,
+// bloomRF does not need the key set in advance (paper Problem 2).
+type Filter struct {
+	cfg    Config
+	k      int
+	domain uint
+
+	// Per-layer derived layout (index = layer, bottom-up).
+	levels   []uint   // ℓ_i
+	wshift   []uint   // Δ_i − 1: log2 of word size in bits
+	segID    []int    // probabilistic segment index
+	nwords   []uint64 // number of W_i-bit words in the layer's segment
+	replicas []int
+	seeds    [][]uint64 // seeds[layer][replica]
+
+	segs  []bitArray // probabilistic segments
+	exact bitArray   // exact bitmap (empty unless cfg.Exact)
+
+	exactLevel uint // ℓ_k when cfg.Exact
+	hasExact   bool
+	permute    bool
+	maxScan    uint64
+
+	hashOverride hashFunc // nil in production; tests only
+}
+
+// New creates a filter from a validated Config.
+func New(cfg Config) (*Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.K()
+	f := &Filter{
+		cfg:      cfg,
+		k:        k,
+		domain:   uint(cfg.Domain),
+		levels:   make([]uint, k),
+		wshift:   make([]uint, k),
+		segID:    make([]int, k),
+		nwords:   make([]uint64, k),
+		replicas: make([]int, k),
+		seeds:    make([][]uint64, k),
+		segs:     make([]bitArray, len(cfg.SegBits)),
+		permute:  cfg.PermuteWords,
+		maxScan:  DefaultMaxScanGroups,
+	}
+	if cfg.MaxScanGroups > 0 {
+		f.maxScan = uint64(cfg.MaxScanGroups)
+	}
+	for s, b := range cfg.SegBits {
+		f.segs[s] = newBitArray(b)
+	}
+	lvl := uint(0)
+	for i := 0; i < k; i++ {
+		f.levels[i] = lvl
+		lvl += uint(cfg.Deltas[i])
+		f.wshift[i] = uint(cfg.Deltas[i] - 1)
+		if cfg.SegmentOf != nil {
+			f.segID[i] = cfg.SegmentOf[i]
+		}
+		f.nwords[i] = cfg.SegBits[f.segID[i]] >> f.wshift[i]
+		f.replicas[i] = 1
+		if cfg.Replicas != nil {
+			f.replicas[i] = cfg.Replicas[i]
+		}
+		f.seeds[i] = make([]uint64, f.replicas[i])
+		for r := range f.seeds[i] {
+			f.seeds[i][r] = hashutil.Mix64(uint64(i)<<32 | uint64(r) | 0xb10f<<48)
+		}
+	}
+	if cfg.Exact {
+		f.hasExact = true
+		f.exactLevel = lvl
+		f.exact = newBitArray(cfg.ExactBits())
+	}
+	return f, nil
+}
+
+// NewBasic creates the tuning-free basic bloomRF of §3–5 sized for n keys
+// at the given space budget.
+func NewBasic(n uint64, bitsPerKey float64) *Filter {
+	f, err := New(BasicConfig(n, bitsPerKey))
+	if err != nil {
+		// BasicConfig always produces a valid config; reaching this is a bug.
+		panic(fmt.Sprintf("core: invalid basic config: %v", err))
+	}
+	return f
+}
+
+// hash returns the raw hash of word-group g for (layer, replica).
+func (f *Filter) hash(layer, replica int, g uint64) uint64 {
+	if f.hashOverride != nil {
+		return f.hashOverride(layer, replica, g)
+	}
+	return hashutil.Hash64(g, f.seeds[layer][replica])
+}
+
+// wordPos locates the filter word holding word-group g of a layer/replica:
+// the containing segment and the bit position of the word's first bit.
+func (f *Filter) wordPos(layer, replica int, g uint64) (seg *bitArray, bitPos uint64) {
+	h := f.hash(layer, replica, g)
+	w := h % f.nwords[layer]
+	return &f.segs[f.segID[layer]], w << f.wshift[layer]
+}
+
+// reversedPrefix implements the §3.2 degenerate-distribution mitigation:
+// when PermuteWords is on, half of the prefixes (chosen by a hash of the
+// prefix itself) write their word in reverse bit order, breaking key
+// patterns that would otherwise pile every layer onto the same in-word
+// offset. Insert, point and covering probes know the prefix and use the
+// exact orientation; decomposition runs test both orientations in the same
+// single word access (see testRangeLayer).
+func (f *Filter) reversedPrefix(layer int, prefix uint64) bool {
+	if !f.permute {
+		return false
+	}
+	return hashutil.Hash64(prefix, uint64(layer)|0x0e7a<<48)&1 == 1
+}
+
+// layerBit returns the exact bit position of key x on a layer/replica
+// (MH_i(x) of §3.2), relative to the layer's segment.
+func (f *Filter) layerBit(layer, replica int, x uint64) (seg *bitArray, pos uint64) {
+	ws := f.wshift[layer]
+	prefix := rsh(x, f.levels[layer])
+	g := prefix >> ws
+	off := prefix & lowMask(ws)
+	if f.reversedPrefix(layer, prefix) {
+		off = lowMask(ws) - off
+	}
+	seg, base := f.wordPos(layer, replica, g)
+	return seg, base + off
+}
+
+// Insert adds key x to the filter. Safe for concurrent use.
+func (f *Filter) Insert(x uint64) {
+	for i := 0; i < f.k; i++ {
+		for r := 0; r < f.replicas[i]; r++ {
+			seg, pos := f.layerBit(i, r, x)
+			seg.setBit(pos)
+		}
+	}
+	if f.hasExact {
+		f.exact.setBit(rsh(x, f.exactLevel))
+	}
+}
+
+// MayContain reports whether x may have been inserted. False means
+// definitely absent; true means present with probability 1 − FPR.
+// Safe for concurrent use with Insert.
+func (f *Filter) MayContain(x uint64) bool {
+	if f.hasExact && !f.exact.getBit(rsh(x, f.exactLevel)) {
+		return false
+	}
+	// Probe top-down: upper layers are sparser early in the filter's life,
+	// which makes negative probes cheap (error-correction order, §3.2).
+	for i := f.k - 1; i >= 0; i-- {
+		for r := 0; r < f.replicas[i]; r++ {
+			seg, pos := f.layerBit(i, r, x)
+			if !seg.getBit(pos) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Config returns a copy of the filter's configuration.
+func (f *Filter) Config() Config {
+	c := f.cfg
+	c.Deltas = append([]int(nil), f.cfg.Deltas...)
+	if f.cfg.Replicas != nil {
+		c.Replicas = append([]int(nil), f.cfg.Replicas...)
+	}
+	if f.cfg.SegmentOf != nil {
+		c.SegmentOf = append([]int(nil), f.cfg.SegmentOf...)
+	}
+	c.SegBits = append([]uint64(nil), f.cfg.SegBits...)
+	return c
+}
+
+// K returns the number of probabilistic layers.
+func (f *Filter) K() int { return f.k }
+
+// SizeBits returns the total memory footprint in bits.
+func (f *Filter) SizeBits() uint64 {
+	var t uint64
+	for i := range f.segs {
+		t += f.segs[i].size()
+	}
+	return t + f.exact.size()
+}
+
+// FillRatio returns the fraction of set bits in probabilistic segment s.
+func (f *Filter) FillRatio(s int) float64 {
+	return float64(f.segs[s].onesCount()) / float64(f.segs[s].size())
+}
+
+// SegmentSnapshot returns a copy of the raw words of probabilistic segment
+// s, used by the Fig. 5 scatter analysis.
+func (f *Filter) SegmentSnapshot(s int) []uint64 { return f.segs[s].snapshot() }
+
+// NumSegments returns the number of probabilistic segments.
+func (f *Filter) NumSegments() int { return len(f.segs) }
+
+// LayerWord returns the storage-word index (within the layer's segment,
+// counted in 64-bit elements) that key x maps to on the given layer, for
+// scatter analysis (Fig. 5.A).
+func (f *Filter) LayerWord(layer int, x uint64) uint64 {
+	_, pos := f.layerBit(layer, 0, x)
+	return pos >> 6
+}
+
+// Levels returns ℓ_0..ℓ_k (the last entry is the exact level if present).
+func (f *Filter) Levels() []int { return f.cfg.Levels() }
+
+// HasExact reports whether the filter has an exact top bitmap.
+func (f *Filter) HasExact() bool { return f.hasExact }
+
+// popcount of a layer for diagnostics.
+func (f *Filter) exactOnes() uint64 {
+	if !f.hasExact {
+		return 0
+	}
+	return f.exact.onesCount()
+}
+
+// Stats summarizes filter occupancy for diagnostics and experiments.
+type Stats struct {
+	SizeBits   uint64
+	K          int
+	SetBits    uint64
+	ExactBits  uint64
+	ExactSet   uint64
+	FillRatios []float64
+}
+
+// Stats returns occupancy statistics.
+func (f *Filter) Stats() Stats {
+	st := Stats{SizeBits: f.SizeBits(), K: f.k, ExactBits: f.exact.size(), ExactSet: f.exactOnes()}
+	st.FillRatios = make([]float64, len(f.segs))
+	for i := range f.segs {
+		ones := f.segs[i].onesCount()
+		st.SetBits += ones
+		st.FillRatios[i] = float64(ones) / float64(f.segs[i].size())
+	}
+	return st
+}
+
+// log2u returns ⌊log2 x⌋ (0 for x = 0).
+func log2u(x uint64) int {
+	if x == 0 {
+		return 0
+	}
+	return bits.Len64(x) - 1
+}

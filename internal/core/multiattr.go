@@ -1,0 +1,102 @@
+package core
+
+import "fmt"
+
+// MultiAttr is the two-dimensional bloomRF of §8: it concatenates two
+// attributes at reduced precision (32 bits each) and inserts the pair in
+// both orders — <A,B> and <B,A> — into one underlying filter. This answers
+// conjunctive predicates with one attribute fixed and the other a point or
+// range, e.g. A<42 AND B=4711, A=42 AND B>4711, or A=42 AND B=4711.
+//
+// Precision reduction is monotone (a right shift), so range predicates stay
+// free of false negatives: query bounds are widened to the containing
+// reduced-precision bucket.
+type MultiAttr struct {
+	f *Filter
+	// shiftA/shiftB reduce each attribute into 32 bits.
+	shiftA, shiftB uint
+}
+
+// MultiAttrOptions configures a two-attribute filter.
+type MultiAttrOptions struct {
+	// N is the expected number of tuples (each inserted twice).
+	N uint64
+	// BitsPerKey is the budget per tuple.
+	BitsPerKey float64
+	// MaxRange bounds range predicates in reduced-precision units; 0 means
+	// 2^20.
+	MaxRange float64
+	// BitsA and BitsB give the significant bits of each attribute (≤ 64);
+	// values above 32 are right-shifted into 32 bits. 0 means 32.
+	BitsA, BitsB int
+}
+
+// NewMultiAttr creates a two-attribute bloomRF.
+func NewMultiAttr(opt MultiAttrOptions) (*MultiAttr, error) {
+	if opt.N == 0 || opt.BitsPerKey <= 0 {
+		return nil, fmt.Errorf("core: MultiAttr needs N and BitsPerKey")
+	}
+	r := opt.MaxRange
+	if r == 0 {
+		r = 1 << 20
+	}
+	shift := func(bits int) uint {
+		if bits <= 0 || bits > 64 {
+			bits = 32
+		}
+		if bits <= 32 {
+			return 0
+		}
+		return uint(bits - 32)
+	}
+	// Both orders are inserted, doubling the key count at the same total
+	// budget — the space cost the paper accepts for dual-direction queries.
+	f, _, err := NewTuned(TuneOptions{N: 2 * opt.N, BitsPerKey: opt.BitsPerKey / 2, MaxRange: r})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiAttr{f: f, shiftA: shift(opt.BitsA), shiftB: shift(opt.BitsB)}, nil
+}
+
+// reduce clamps a reduced value into 32 bits.
+func reduce(v uint64, shift uint) uint64 {
+	v >>= shift
+	if v > 0xFFFFFFFF {
+		v = 0xFFFFFFFF
+	}
+	return v
+}
+
+// Insert adds the tuple (a, b).
+func (m *MultiAttr) Insert(a, b uint64) {
+	ra, rb := reduce(a, m.shiftA), reduce(b, m.shiftB)
+	m.f.Insert(ra<<32 | rb) // <A,B>
+	m.f.Insert(rb<<32 | ra) // <B,A>
+}
+
+// MayContainPoint tests A = a AND B = b.
+func (m *MultiAttr) MayContainPoint(a, b uint64) bool {
+	ra, rb := reduce(a, m.shiftA), reduce(b, m.shiftB)
+	return m.f.MayContain(ra<<32 | rb)
+}
+
+// MayContainARangeBEq tests A ∈ [aLo, aHi] AND B = b using the <B,A>
+// orientation, whose high bits pin B exactly.
+func (m *MultiAttr) MayContainARangeBEq(aLo, aHi, b uint64) bool {
+	rb := reduce(b, m.shiftB)
+	lo := reduce(aLo, m.shiftA)
+	hi := reduce(aHi, m.shiftA)
+	return m.f.MayContainRange(rb<<32|lo, rb<<32|hi)
+}
+
+// MayContainAEqBRange tests A = a AND B ∈ [bLo, bHi] using the <A,B>
+// orientation.
+func (m *MultiAttr) MayContainAEqBRange(a, bLo, bHi uint64) bool {
+	ra := reduce(a, m.shiftA)
+	lo := reduce(bLo, m.shiftB)
+	hi := reduce(bHi, m.shiftB)
+	return m.f.MayContainRange(ra<<32|lo, ra<<32|hi)
+}
+
+// SizeBits returns the underlying filter's footprint.
+func (m *MultiAttr) SizeBits() uint64 { return m.f.SizeBits() }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMultiAttrPointAndRange(t *testing.T) {
+	m, err := NewMultiAttr(MultiAttrOptions{N: 2000, BitsPerKey: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(40))
+	type tup struct{ a, b uint64 }
+	tups := make([]tup, 2000)
+	for i := range tups {
+		tups[i] = tup{uint64(rng.Intn(1 << 20)), uint64(rng.Intn(1 << 20))}
+		m.Insert(tups[i].a, tups[i].b)
+	}
+	for _, tp := range tups {
+		if !m.MayContainPoint(tp.a, tp.b) {
+			t.Fatalf("point false negative for (%d,%d)", tp.a, tp.b)
+		}
+		// A < a+10 AND B = b (the paper's Run<300 AND ObjectID=Const shape).
+		if !m.MayContainARangeBEq(tp.a-min(tp.a, 5), tp.a+5, tp.b) {
+			t.Fatalf("A-range false negative for (%d,%d)", tp.a, tp.b)
+		}
+		// A = a AND B in range.
+		if !m.MayContainAEqBRange(tp.a, tp.b-min(tp.b, 5), tp.b+5) {
+			t.Fatalf("B-range false negative for (%d,%d)", tp.a, tp.b)
+		}
+	}
+}
+
+func TestMultiAttrSelectivity(t *testing.T) {
+	// The conjunctive filter must reject most non-matching combinations:
+	// pairing As and Bs that never co-occur.
+	m, err := NewMultiAttr(MultiAttrOptions{N: 5000, BitsPerKey: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		m.Insert(i, i+1_000_000) // strictly correlated pairs
+	}
+	fp := 0
+	const probes = 2000
+	for i := uint64(0); i < probes; i++ {
+		// a exists, b exists, but never together.
+		if m.MayContainPoint(i%5000, (i+2500)%5000+1_000_000) {
+			fp++
+		}
+	}
+	if fpr := float64(fp) / probes; fpr > 0.2 {
+		t.Errorf("multi-attr point FPR %.3f too high", fpr)
+	}
+}
+
+func TestMultiAttrPrecisionReduction(t *testing.T) {
+	// 40-bit attributes are right-shifted into 32 bits; range queries stay
+	// free of false negatives because the reduction is monotone.
+	m, err := NewMultiAttr(MultiAttrOptions{N: 500, BitsPerKey: 20, BitsA: 40, BitsB: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	type tup struct{ a, b uint64 }
+	tups := make([]tup, 500)
+	for i := range tups {
+		tups[i] = tup{rng.Uint64() >> 24, rng.Uint64() >> 24}
+		m.Insert(tups[i].a, tups[i].b)
+	}
+	for _, tp := range tups {
+		if !m.MayContainPoint(tp.a, tp.b) {
+			t.Fatalf("false negative after precision reduction (%d,%d)", tp.a, tp.b)
+		}
+		if !m.MayContainARangeBEq(tp.a, tp.a+1000, tp.b) {
+			t.Fatalf("range false negative after precision reduction")
+		}
+	}
+}
+
+func TestMultiAttrRejectsBadOptions(t *testing.T) {
+	if _, err := NewMultiAttr(MultiAttrOptions{N: 0, BitsPerKey: 10}); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := NewMultiAttr(MultiAttrOptions{N: 10, BitsPerKey: 0}); err == nil {
+		t.Error("BitsPerKey=0 should error")
+	}
+}

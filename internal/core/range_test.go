@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestFig7Decomposition pins the paper's Fig. 7 / §4 example: for d = 16,
+// Δ = 4 (levels 0,4,8,12) the query I = [45,60] probes the coverings
+// J_12 = [0,4095], J_8 = [0,255], J_4^l = [32,47], J_4^r = [48,63] and the
+// decomposition runs [45,47] and [48,60] on level 0.
+func TestFig7Decomposition(t *testing.T) {
+	checks := DecomposeChecks(45, 60, []int{0, 4, 8, 12})
+	want := []Check{
+		{Level: 12, Lo: 0, Hi: 0, Covering: true}, // J_12 = [0,4095]
+		{Level: 8, Lo: 0, Hi: 0, Covering: true},  // J_8 = [0,255]
+		{Level: 4, Lo: 2, Hi: 2, Covering: true},  // J_4^l = [32,47]
+		{Level: 4, Lo: 3, Hi: 3, Covering: true},  // J_4^r = [48,63]
+		{Level: 0, Lo: 45, Hi: 47},                // I^l = [45,47]
+		{Level: 0, Lo: 48, Hi: 60},                // I^r = [48,60]
+	}
+	if len(checks) != len(want) {
+		t.Fatalf("got %d checks %+v, want %d", len(checks), checks, len(want))
+	}
+	for i, w := range want {
+		if checks[i] != w {
+			t.Errorf("check %d = %+v, want %+v", i, checks[i], w)
+		}
+	}
+	// The decomposition intervals [45,47] and [48,60] exactly tile the
+	// query minus nothing: their union must be [45,60].
+	lo1, hi1 := checks[4].KeyRange()
+	lo2, hi2 := checks[5].KeyRange()
+	if lo1 != 45 || hi1 != 47 || lo2 != 48 || hi2 != 60 {
+		t.Errorf("key ranges [%d,%d] [%d,%d], want [45,47] [48,60]", lo1, hi1, lo2, hi2)
+	}
+}
+
+// TestDecomposeTilesQuery: for random queries, the non-covering checks must
+// exactly tile [lo,hi] — disjoint and with union equal to the query.
+func TestDecomposeTilesQuery(t *testing.T) {
+	levels := []int{0, 4, 8, 12}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		lo := rng.Uint64() & 0xFFFF
+		hi := rng.Uint64() & 0xFFFF
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		checks := DecomposeChecks(lo, hi, levels)
+		// Collect decomposition intervals and sort-merge them.
+		type iv struct{ a, b uint64 }
+		var ivs []iv
+		for _, c := range checks {
+			if c.Covering {
+				continue
+			}
+			a, b := c.KeyRange()
+			ivs = append(ivs, iv{a, b})
+		}
+		if len(ivs) == 0 {
+			t.Fatalf("[%d,%d]: no decomposition intervals", lo, hi)
+		}
+		// The traversal emits left-path runs before right-path runs per
+		// layer but across layers they interleave; sort by start.
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[j].a < ivs[i].a {
+					ivs[i], ivs[j] = ivs[j], ivs[i]
+				}
+			}
+		}
+		if ivs[0].a != lo {
+			t.Fatalf("[%d,%d]: tiles start at %d", lo, hi, ivs[0].a)
+		}
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].a != ivs[i-1].b+1 {
+				t.Fatalf("[%d,%d]: gap/overlap between [%d,%d] and [%d,%d]",
+					lo, hi, ivs[i-1].a, ivs[i-1].b, ivs[i].a, ivs[i].b)
+			}
+		}
+		if ivs[len(ivs)-1].b != hi {
+			t.Fatalf("[%d,%d]: tiles end at %d", lo, hi, ivs[len(ivs)-1].b)
+		}
+	}
+}
+
+// TestDecomposeCoveringCount: at most 2 coverings and 2 decomposition runs
+// per level — the constant-work guarantee behind O(k) range lookups.
+func TestDecomposeCoveringCount(t *testing.T) {
+	levels := []int{0, 7, 14, 21, 28, 35, 42}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		lo := rng.Uint64()
+		hi := lo + rng.Uint64()%(1<<40)
+		if hi < lo {
+			hi = ^uint64(0)
+		}
+		perLevelCov := map[int]int{}
+		perLevelDec := map[int]int{}
+		for _, c := range DecomposeChecks(lo, hi, levels) {
+			if c.Covering {
+				perLevelCov[c.Level]++
+			} else {
+				perLevelDec[c.Level]++
+			}
+		}
+		for lvl, n := range perLevelCov {
+			if n > 2 {
+				t.Fatalf("[%d,%d]: %d coverings at level %d", lo, hi, n, lvl)
+			}
+		}
+		for lvl, n := range perLevelDec {
+			if n > 2 && lvl != levels[len(levels)-1] {
+				t.Fatalf("[%d,%d]: %d decomposition runs at level %d", lo, hi, n, lvl)
+			}
+		}
+	}
+}
+
+// TestNoFalseNegativesRangeExhaustive inserts keys into a small-domain
+// filter and verifies every possible range answer against brute force:
+// ranges containing a key must be positive.
+func TestNoFalseNegativesRangeExhaustive(t *testing.T) {
+	cfg := basicConfigDomain(16, 64, 16)
+	cfg.Deltas = []int{4, 4, 4, 4}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	present := map[uint64]bool{}
+	var keys []uint64
+	for i := 0; i < 64; i++ {
+		k := rng.Uint64() & 0xFFFF
+		present[k] = true
+		keys = append(keys, k)
+		f.Insert(k)
+	}
+	// Sorted keys for brute-force interval emptiness.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	nonEmpty := func(lo, hi uint64) bool {
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 30000; trial++ {
+		lo := rng.Uint64() & 0xFFFF
+		span := rng.Uint64() % 1024
+		hi := lo + span
+		if hi > 0xFFFF {
+			hi = 0xFFFF
+		}
+		if nonEmpty(lo, hi) && !f.MayContainRange(lo, hi) {
+			t.Fatalf("false negative for range [%d,%d]", lo, hi)
+		}
+	}
+}
+
+// TestNoFalseNegativesRangeAllConfigs runs the invariant across layouts:
+// basic, multi-segment, replicated, exact top layer, permuted words.
+func TestNoFalseNegativesRangeAllConfigs(t *testing.T) {
+	configs := map[string]Config{
+		"basic": func() Config {
+			c := basicConfigDomain(24, 200, 12)
+			return c
+		}(),
+		"segments": {
+			Domain: 24, Deltas: []int{7, 7, 4, 2}, SegBits: []uint64{2048, 1024},
+			SegmentOf: []int{0, 0, 1, 1}, Replicas: []int{1, 1, 1, 2},
+		},
+		"exact": {
+			Domain: 24, Deltas: []int{7, 7}, SegBits: []uint64{2048},
+			Exact: true, // exact bitmap of 2^10 bits at level 14
+		},
+		"permuted": {
+			Domain: 24, Deltas: []int{7, 7, 7}, SegBits: []uint64{2048},
+			PermuteWords: true,
+		},
+		"tinywords": {
+			Domain: 24, Deltas: []int{1, 2, 3, 4, 5, 6}, SegBits: []uint64{4096},
+		},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			f, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(10))
+			var keys []uint64
+			for i := 0; i < 200; i++ {
+				k := rng.Uint64() & ((1 << 24) - 1)
+				keys = append(keys, k)
+				f.Insert(k)
+			}
+			for trial := 0; trial < 20000; trial++ {
+				k := keys[rng.Intn(len(keys))]
+				spanL := rng.Uint64() % (1 << uint(rng.Intn(20)))
+				spanR := rng.Uint64() % (1 << uint(rng.Intn(20)))
+				lo := k - min(k, spanL)
+				hi := k + min(((1<<24)-1)-k, spanR)
+				if !f.MayContainRange(lo, hi) {
+					t.Fatalf("false negative: key %d in range [%d,%d]", k, lo, hi)
+				}
+			}
+			// Point probes must also never miss.
+			for _, k := range keys {
+				if !f.MayContain(k) {
+					t.Fatalf("point false negative for %d", k)
+				}
+			}
+		})
+	}
+}
+
+// TestExactLayerAuthoritative: with an exact top bitmap, a range whose
+// middle spans exact-level DIs that contain keys must hit, and an empty
+// aligned exact-level DI must answer definitively false.
+func TestExactLayerAuthoritative(t *testing.T) {
+	cfg := Config{Domain: 24, Deltas: []int{7, 7}, SegBits: []uint64{4096}, Exact: true}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := f.Levels()
+	exactLevel := uint(levels[len(levels)-1]) // 14
+	f.Insert(5 << exactLevel)                 // one key in exact DI #5
+
+	// Query covering DIs 3..7 at the exact level: middle contains DI 5.
+	lo := uint64(3)<<exactLevel + 1 // unaligned left
+	hi := uint64(7)<<exactLevel + 2 // unaligned right
+	if !f.MayContainRange(lo, hi) {
+		t.Fatal("range over occupied exact DI must be positive")
+	}
+	// An exactly aligned empty DI is a definitive negative regardless of
+	// the probabilistic layers' state.
+	if f.MayContainRange(9<<exactLevel, 10<<exactLevel-1) {
+		t.Fatal("aligned empty exact DI must be negative")
+	}
+}
+
+// TestRangeFPRSanity checks the range FPR is controlled for R within the
+// basic design envelope (R ≤ 2^14 per §7 Observation).
+func TestRangeFPRSanity(t *testing.T) {
+	const n = 20000
+	f := NewBasic(n, 18)
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	sortU64(keys)
+	const R = 1 << 10
+	fp, probes := 0, 0
+	for probes < 5000 {
+		lo := rng.Uint64()
+		if lo > ^uint64(0)-R {
+			continue
+		}
+		hi := lo + R - 1
+		if hasKeyInRange(keys, lo, hi) {
+			continue
+		}
+		probes++
+		if f.MayContainRange(lo, hi) {
+			fp++
+		}
+	}
+	fpr := float64(fp) / float64(probes)
+	if fpr > 0.20 {
+		t.Fatalf("range FPR %.4f too high for 18 bits/key, R=2^10", fpr)
+	}
+}
+
+// TestMaxScanGuard: an absurdly wide query over a basic filter exercises
+// the conservative top-layer scan bound and must return true (maybe), not
+// hang or report false.
+func TestMaxScanGuard(t *testing.T) {
+	cfg := BasicConfig(100, 10)
+	cfg.MaxScanGroups = 8
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(12345)
+	if !f.MayContainRange(0, ^uint64(0)) {
+		t.Fatal("guarded wide scan must answer maybe (true)")
+	}
+}
+
+func TestReversedBoundsAccepted(t *testing.T) {
+	f := NewBasic(100, 12)
+	f.Insert(500)
+	if !f.MayContainRange(600, 400) {
+		t.Fatal("reversed bounds should behave as [400,600]")
+	}
+}
+
+func sortU64(s []uint64) { slices.Sort(s) }
+
+func hasKeyInRange(sorted []uint64, lo, hi uint64) bool {
+	// binary search for first key >= lo
+	a, b := 0, len(sorted)
+	for a < b {
+		mid := (a + b) / 2
+		if sorted[mid] < lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a < len(sorted) && sorted[a] <= hi
+}

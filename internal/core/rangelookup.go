@@ -1,0 +1,255 @@
+package core
+
+import "math/bits"
+
+// Covering kinds used by the two-path range lookup. A covering is a dyadic
+// interval that contains a query bound; it is tested with a single bit and,
+// if positive, expanded into the layer below (paper §4).
+const (
+	covSingle = iota // contains both bounds (phase 1 of Fig. 7)
+	covLeft          // contains the left bound; query extends to the DI's right edge
+	covRight         // contains the right bound; query extends from the DI's left edge
+)
+
+// MayContainRange reports whether any key in [lo, hi] (inclusive) may have
+// been inserted. False means the range is definitely empty; true means it
+// is non-empty with probability 1 − FPR. Both orders of the bounds are
+// accepted. Safe for concurrent use with Insert.
+//
+// The implementation follows Algorithm 1: it walks the left and right
+// prefix paths top-down, testing one covering bit per path per layer and
+// the contiguous runs of decomposition intervals with at most two masked
+// word accesses per path per layer, giving O(k) time independent of the
+// range size.
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if f.domain < 64 {
+		max := lowMask(f.domain)
+		if lo > max {
+			return false
+		}
+		if hi > max {
+			hi = max
+		}
+	}
+
+	top := f.k - 1
+	if f.hasExact {
+		top = f.k // virtual exact layer above the probabilistic ones
+	}
+	var covs [2]int
+	ncov := 0
+
+	// Initial split at the top level. Levels above it are saturated (or
+	// exact) by construction and need no probabilistic test.
+	L := f.levelAt(top)
+	pl, pr := rsh(lo, L), rsh(hi, L)
+	switch {
+	case pl == pr && alignedLeft(lo, L) && alignedRight(hi, L):
+		// The query is exactly one dyadic interval: a single test decides.
+		return f.testRangeLayer(top, pl, pl)
+	case pl == pr:
+		if !f.testCovering(top, pl) {
+			return false
+		}
+		covs[0] = covSingle
+		ncov = 1
+	default:
+		la, lb := pl, pr
+		if !alignedLeft(lo, L) {
+			la = pl + 1
+			if f.testCovering(top, pl) {
+				covs[ncov] = covLeft
+				ncov++
+			}
+		}
+		if !alignedRight(hi, L) {
+			lb = pr - 1
+			if f.testCovering(top, pr) {
+				covs[ncov] = covRight
+				ncov++
+			}
+		}
+		if la <= lb && f.testRangeLayer(top, la, lb) {
+			return true
+		}
+		if ncov == 0 {
+			return false
+		}
+	}
+
+	// Expand surviving coverings layer by layer. Each expansion tests the
+	// fully-contained child intervals (decomposition) immediately and keeps
+	// at most one boundary child per path as the next covering.
+	for i := top; i >= 1; i-- {
+		childLevel := f.levels[i-1]
+		parentLevel := f.levelAt(i)
+		delta := parentLevel - childLevel
+		var next [2]int
+		n2 := 0
+		for j := 0; j < ncov; j++ {
+			switch covs[j] {
+			case covSingle:
+				cpl, cpr := rsh(lo, childLevel), rsh(hi, childLevel)
+				if cpl == cpr {
+					if alignedLeft(lo, childLevel) && alignedRight(hi, childLevel) {
+						return f.testRangeLayer(i-1, cpl, cpl)
+					}
+					// A single covering is the only active path, so a
+					// cleared bit is an early negative (Algorithm 1, L.8).
+					if !f.testCovering(i-1, cpl) {
+						return false
+					}
+					next[n2] = covSingle
+					n2++
+					continue
+				}
+				la, lb := cpl, cpr
+				if !alignedLeft(lo, childLevel) {
+					la = cpl + 1
+					if f.testCovering(i-1, cpl) {
+						next[n2] = covLeft
+						n2++
+					}
+				}
+				if !alignedRight(hi, childLevel) {
+					lb = cpr - 1
+					if f.testCovering(i-1, cpr) {
+						next[n2] = covRight
+						n2++
+					}
+				}
+				if la <= lb && f.testRangeLayer(i-1, la, lb) {
+					return true
+				}
+			case covLeft:
+				cpl := rsh(lo, childLevel)
+				parentEnd := rsh(lo, parentLevel)<<delta | (uint64(1)<<delta - 1)
+				la := cpl
+				if !alignedLeft(lo, childLevel) {
+					la = cpl + 1
+					if f.testCovering(i-1, cpl) {
+						next[n2] = covLeft
+						n2++
+					}
+				}
+				if la <= parentEnd && f.testRangeLayer(i-1, la, parentEnd) {
+					return true
+				}
+			case covRight:
+				cpr := rsh(hi, childLevel)
+				parentStart := rsh(hi, parentLevel) << delta
+				lb := cpr
+				if !alignedRight(hi, childLevel) {
+					lb = cpr - 1
+					if f.testCovering(i-1, cpr) {
+						next[n2] = covRight
+						n2++
+					}
+				}
+				if parentStart <= lb && f.testRangeLayer(i-1, parentStart, lb) {
+					return true
+				}
+			}
+		}
+		if n2 == 0 {
+			return false
+		}
+		covs, ncov = next, n2
+	}
+	// At level 0 every boundary child is itself inside the query interval,
+	// so no covering survives the last expansion; reaching here means every
+	// decomposition test was negative.
+	return false
+}
+
+// levelAt returns the dyadic level of layer i, where i = k denotes the
+// virtual exact layer.
+func (f *Filter) levelAt(i int) uint {
+	if i == f.k {
+		return f.exactLevel
+	}
+	return f.levels[i]
+}
+
+// testCovering tests the single bit of the dyadic interval identified by
+// prefix on layer i (i = k: exact bitmap). With replicated hash functions
+// the bit must be set in every replica.
+func (f *Filter) testCovering(i int, prefix uint64) bool {
+	if i == f.k {
+		return f.exact.getBit(prefix)
+	}
+	ws := f.wshift[i]
+	g := prefix >> ws
+	off := prefix & lowMask(ws)
+	if f.reversedPrefix(i, prefix) {
+		off = lowMask(ws) - off
+	}
+	for r := 0; r < f.replicas[i]; r++ {
+		seg, base := f.wordPos(i, r, g)
+		if !seg.getBit(base + off) {
+			return false
+		}
+	}
+	return true
+}
+
+// testRangeLayer tests whether any dyadic interval with prefix in [pa, pb]
+// (at layer i's level) has its bit set. On the exact layer the answer is
+// authoritative. On probabilistic layers the run is scanned word-group by
+// word-group; each group costs one masked word access per replica, and runs
+// beyond maxScan groups conservatively return true (never a false
+// negative).
+func (f *Filter) testRangeLayer(i int, pa, pb uint64) bool {
+	if i == f.k {
+		return f.exact.anySet(pa, pb)
+	}
+	ws := f.wshift[i]
+	wbits := uint64(1) << ws
+	ga, gb := pa>>ws, pb>>ws
+	if gb-ga >= f.maxScan {
+		return true
+	}
+	for g := ga; g <= gb; g++ {
+		oLo := uint64(0)
+		if g == ga {
+			oLo = pa & (wbits - 1)
+		}
+		oHi := wbits - 1
+		if g == gb {
+			oHi = pb & (wbits - 1)
+		}
+		mask := lowMask(uint(oHi-oLo+1)) << oLo
+		if f.permute {
+			// Prefixes in the run may be stored in either orientation:
+			// test both in the same word access (superset probe — the
+			// small FPR cost of the degenerate-distribution defense).
+			mask |= reverseWord(mask, uint(wbits))
+		}
+		w := ^uint64(0)
+		for r := 0; r < f.replicas[i]; r++ {
+			seg, base := f.wordPos(i, r, g)
+			w &= seg.loadSub(base, uint(wbits))
+		}
+		if w&mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reverseWord reverses the low wbits bits of w.
+func reverseWord(w uint64, wbits uint) uint64 {
+	return bits.Reverse64(w) >> (64 - wbits)
+}
+
+func alignedLeft(lo uint64, level uint) bool {
+	return lo&lowMask(level) == 0
+}
+
+func alignedRight(hi uint64, level uint) bool {
+	m := lowMask(level)
+	return hi&m == m
+}

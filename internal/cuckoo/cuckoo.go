@@ -1,0 +1,169 @@
+// Package cuckoo implements the cuckoo filter of Fan et al. (CoNEXT 2014),
+// the point-filter baseline of the paper's Fig. 12.E: 4-way buckets of
+// f-bit fingerprints with partial-key cuckoo hashing, targeting high
+// occupancy (the paper runs it at 95%).
+package cuckoo
+
+import (
+	"repro/internal/hashutil"
+)
+
+const (
+	slotsPerBucket = 4
+	maxKicks       = 500
+)
+
+// Filter is a cuckoo filter over 64-bit keys. It is not safe for
+// concurrent mutation (matching the reference implementation).
+type Filter struct {
+	buckets   [][slotsPerBucket]uint16
+	nBuckets  uint64
+	fpBits    uint
+	fpMask    uint16
+	count     uint64
+	kickState uint64 // deterministic eviction randomness
+}
+
+// New creates a filter able to hold about n keys at the target load factor
+// with fpBits-bit fingerprints (1..16).
+func New(n uint64, fpBits uint, loadFactor float64) *Filter {
+	if fpBits < 1 {
+		fpBits = 1
+	}
+	if fpBits > 16 {
+		fpBits = 16
+	}
+	if loadFactor <= 0 || loadFactor > 1 {
+		loadFactor = 0.95
+	}
+	need := float64(n) / loadFactor / slotsPerBucket
+	nb := uint64(1)
+	for float64(nb) < need {
+		nb <<= 1 // power of two for the XOR trick
+	}
+	return &Filter{
+		buckets:  make([][slotsPerBucket]uint16, nb),
+		nBuckets: nb,
+		fpBits:   fpBits,
+		fpMask:   uint16(1<<fpBits - 1),
+	}
+}
+
+// NewBudget creates a filter using about bitsPerKey·n bits: fingerprint
+// size ⌊bitsPerKey·loadFactor·...⌋ is left to the caller; this helper picks
+// the largest fingerprint that fits the budget at 95% occupancy, matching
+// the paper's "vary the fingerprint sizes ... aim for high occupancies
+// (95%)".
+func NewBudget(n uint64, bitsPerKey float64) *Filter {
+	// total bits = nBuckets·4·fp; nBuckets ≈ n/(0.95·4) rounded up to a
+	// power of two. Search the largest fp with total ≤ n·bitsPerKey.
+	best := uint(1)
+	for fp := uint(1); fp <= 16; fp++ {
+		f := New(n, fp, 0.95)
+		if float64(f.SizeBits()) <= bitsPerKey*float64(n) {
+			best = fp
+		}
+	}
+	return New(n, best, 0.95)
+}
+
+func (f *Filter) fingerprint(x uint64) uint16 {
+	fp := uint16(hashutil.Hash64(x, 0x0ff1ce)) & f.fpMask
+	if fp == 0 {
+		fp = 1 // 0 marks an empty slot
+	}
+	return fp
+}
+
+func (f *Filter) indexes(x uint64) (uint64, uint16) {
+	i1 := hashutil.Mix64(x) & (f.nBuckets - 1)
+	return i1, f.fingerprint(x)
+}
+
+func (f *Filter) altIndex(i uint64, fp uint16) uint64 {
+	return (i ^ hashutil.Hash64(uint64(fp), 0xa17)) & (f.nBuckets - 1)
+}
+
+func (f *Filter) insertAt(i uint64, fp uint16) bool {
+	b := &f.buckets[i]
+	for s := 0; s < slotsPerBucket; s++ {
+		if b[s] == 0 {
+			b[s] = fp
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds a key; it reports false when the filter is too full (the
+// caller should have sized it for n).
+func (f *Filter) Insert(x uint64) bool {
+	i1, fp := f.indexes(x)
+	i2 := f.altIndex(i1, fp)
+	if f.insertAt(i1, fp) || f.insertAt(i2, fp) {
+		f.count++
+		return true
+	}
+	// Evict: kick a random resident fingerprint to its alternate bucket.
+	i := i1
+	if f.kickState&1 == 1 {
+		i = i2
+	}
+	for kick := 0; kick < maxKicks; kick++ {
+		f.kickState = hashutil.Mix64(f.kickState + uint64(kick) + fp64(fp))
+		s := int(f.kickState % slotsPerBucket)
+		f.buckets[i][s], fp = fp, f.buckets[i][s]
+		i = f.altIndex(i, fp)
+		if f.insertAt(i, fp) {
+			f.count++
+			return true
+		}
+	}
+	return false
+}
+
+func fp64(fp uint16) uint64 { return uint64(fp) }
+
+// MayContain reports whether x may have been inserted.
+func (f *Filter) MayContain(x uint64) bool {
+	i1, fp := f.indexes(x)
+	i2 := f.altIndex(i1, fp)
+	for s := 0; s < slotsPerBucket; s++ {
+		if f.buckets[i1][s] == fp || f.buckets[i2][s] == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes one copy of a key's fingerprint, the cuckoo-filter
+// capability Bloom filters lack. It reports whether something was removed.
+func (f *Filter) Delete(x uint64) bool {
+	i1, fp := f.indexes(x)
+	for _, i := range [2]uint64{i1, f.altIndex(i1, fp)} {
+		for s := 0; s < slotsPerBucket; s++ {
+			if f.buckets[i][s] == fp {
+				f.buckets[i][s] = 0
+				f.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Count returns the number of stored fingerprints.
+func (f *Filter) Count() uint64 { return f.count }
+
+// LoadFactor returns the slot occupancy.
+func (f *Filter) LoadFactor() float64 {
+	return float64(f.count) / float64(f.nBuckets*slotsPerBucket)
+}
+
+// SizeBits returns the table size in bits (fingerprint payload).
+func (f *Filter) SizeBits() uint64 {
+	return f.nBuckets * slotsPerBucket * uint64(f.fpBits)
+}
+
+// FingerprintBits returns f, the per-entry fingerprint width.
+func (f *Filter) FingerprintBits() uint { return f.fpBits }

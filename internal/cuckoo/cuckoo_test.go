@@ -1,0 +1,119 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertLookup(t *testing.T) {
+	f := New(10000, 12, 0.95)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if !f.Insert(keys[i]) {
+			t.Fatalf("insert failed at %d/%d (load %.3f)", i, len(keys), f.LoadFactor())
+		}
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestHighOccupancy(t *testing.T) {
+	// The paper targets 95% occupancy; the filter must actually reach it.
+	const n = 100_000
+	f := New(n, 12, 0.95)
+	rng := rand.New(rand.NewSource(2))
+	inserted := 0
+	for i := 0; i < n; i++ {
+		if f.Insert(rng.Uint64()) {
+			inserted++
+		}
+	}
+	if float64(inserted) < 0.99*n {
+		t.Fatalf("only %d/%d inserts succeeded (load %.3f)", inserted, n, f.LoadFactor())
+	}
+	if f.LoadFactor() < 0.70 {
+		t.Errorf("load factor %.3f unexpectedly low", f.LoadFactor())
+	}
+}
+
+func TestFPRByFingerprint(t *testing.T) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	measure := func(fpBits uint) float64 {
+		f := New(n, fpBits, 0.95)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		fp := 0
+		const probes = 20000
+		for i := 0; i < probes; i++ {
+			if f.MayContain(rng.Uint64()) {
+				fp++
+			}
+		}
+		return float64(fp) / probes
+	}
+	f8, f12 := measure(8), measure(12)
+	if f12 >= f8 {
+		t.Errorf("larger fingerprints must lower FPR: 8b=%.4f 12b=%.4f", f8, f12)
+	}
+	// Theory: ≈ 2·4/2^f at high load.
+	if f8 > 0.10 {
+		t.Errorf("8-bit fingerprint FPR %.4f too high", f8)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := New(1000, 12, 0.9)
+	f.Insert(42)
+	if !f.MayContain(42) {
+		t.Fatal("lost key")
+	}
+	if !f.Delete(42) {
+		t.Fatal("delete failed")
+	}
+	if f.MayContain(42) {
+		t.Error("key still present after delete (no other residents)")
+	}
+	if f.Delete(42) {
+		t.Error("second delete should fail")
+	}
+	if f.Count() != 0 {
+		t.Errorf("count = %d, want 0", f.Count())
+	}
+}
+
+func TestNewBudget(t *testing.T) {
+	const n = 10000
+	for _, bpk := range []float64{8, 12, 16, 22} {
+		f := NewBudget(n, bpk)
+		if float64(f.SizeBits()) > bpk*n*1.01 {
+			t.Errorf("budget %v b/k exceeded: %d bits for %d keys", bpk, f.SizeBits(), n)
+		}
+		if f.FingerprintBits() < 1 {
+			t.Errorf("budget %v b/k: no fingerprint fits", bpk)
+		}
+	}
+	// Bigger budgets must not shrink the fingerprint.
+	if NewBudget(n, 22).FingerprintBits() < NewBudget(n, 8).FingerprintBits() {
+		t.Error("fingerprint size not monotone in budget")
+	}
+}
+
+func TestFingerprintClamping(t *testing.T) {
+	if New(10, 0, 0.5).FingerprintBits() != 1 {
+		t.Error("fpBits=0 not clamped to 1")
+	}
+	if New(10, 99, 0.5).FingerprintBits() != 16 {
+		t.Error("fpBits=99 not clamped to 16")
+	}
+}

@@ -1,0 +1,73 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKeplerLikeFlux(t *testing.T) {
+	flux := KeplerLikeFlux(20000, 1)
+	if len(flux) != 20000 {
+		t.Fatal("wrong length")
+	}
+	// Deterministic.
+	flux2 := KeplerLikeFlux(20000, 1)
+	for i := range flux {
+		if flux[i] != flux2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// Transit dips must create clear negative excursions relative to the
+	// baseline, and no NaN/Inf anywhere.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range flux {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("invalid sample")
+		}
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 50 {
+		t.Errorf("dynamic range too small: [%v, %v]", minV, maxV)
+	}
+	// Distinct seeds produce distinct series.
+	other := KeplerLikeFlux(100, 2)
+	same := true
+	for i := range other {
+		if other[i] != flux[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds ignored")
+	}
+}
+
+func TestSDSSLike(t *testing.T) {
+	rows := SDSSLike(20000, 3)
+	if len(rows) != 20000 {
+		t.Fatal("wrong length")
+	}
+	var runSum float64
+	for _, r := range rows {
+		if r.Run > 8000 {
+			t.Fatalf("Run %d out of domain", r.Run)
+		}
+		if r.ObjectID>>32 != r.Run {
+			t.Fatalf("ObjectID high bits %d do not encode Run %d", r.ObjectID>>32, r.Run)
+		}
+		runSum += float64(r.Run)
+	}
+	mean := runSum / float64(len(rows))
+	if mean < 2500 || mean > 3500 {
+		t.Errorf("Run mean %.0f, want ≈3000", mean)
+	}
+	// Determinism.
+	again := SDSSLike(5, 3)
+	for i := range again {
+		if again[i] != rows[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

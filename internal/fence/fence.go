@@ -1,0 +1,104 @@
+// Package fence implements fence pointers / zone maps (paper §1: ZoneMaps
+// in Netezza, Block-Range Index in PostgreSQL): per-block minimum/maximum
+// key bounds. They are cheap and construction-online, handle range queries
+// coarsely and are near-useless for point queries on wide key ranges —
+// the other classical baseline of Fig. 9.D.
+package fence
+
+import (
+	"encoding/binary"
+	"errors"
+	"slices"
+	"sort"
+)
+
+// Index is a zone map: sorted, non-overlapping key zones of fixed
+// cardinality, each carrying [min, max] bounds.
+type Index struct {
+	mins []uint64
+	maxs []uint64
+}
+
+// Build creates a zone map over keys with the given zone size (keys per
+// zone). The keys are sorted internally; zone size 0 means one zone.
+func Build(keys []uint64, zoneSize int) *Index {
+	ks := append([]uint64(nil), keys...)
+	slices.Sort(ks)
+	if zoneSize <= 0 {
+		zoneSize = len(ks)
+	}
+	idx := &Index{}
+	for i := 0; i < len(ks); i += zoneSize {
+		j := min(i+zoneSize, len(ks))
+		idx.mins = append(idx.mins, ks[i])
+		idx.maxs = append(idx.maxs, ks[j-1])
+	}
+	return idx
+}
+
+// MayContain reports whether x falls inside any zone.
+func (z *Index) MayContain(x uint64) bool { return z.MayContainRange(x, x) }
+
+// MayContainRange reports whether [lo, hi] overlaps any zone.
+func (z *Index) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if len(z.mins) == 0 {
+		return false
+	}
+	// First zone whose max ≥ lo; overlap iff its min ≤ hi.
+	i := sort.Search(len(z.maxs), func(i int) bool { return z.maxs[i] >= lo })
+	return i < len(z.mins) && z.mins[i] <= hi
+}
+
+// Zones returns the number of zones.
+func (z *Index) Zones() int { return len(z.mins) }
+
+// SizeBits returns the index footprint (two uint64 per zone).
+func (z *Index) SizeBits() uint64 { return uint64(len(z.mins)) * 128 }
+
+// Bounds returns the global [min, max] (ok = false when empty) — the
+// single-zone fence pointer RocksDB keeps per SST.
+func (z *Index) Bounds() (lo, hi uint64, ok bool) {
+	if len(z.mins) == 0 {
+		return 0, 0, false
+	}
+	return z.mins[0], z.maxs[len(z.maxs)-1], true
+}
+
+// ErrCorrupt reports a malformed serialized index.
+var ErrCorrupt = errors.New("fence: corrupt index block")
+
+// Marshal serializes the index (zone count + min/max pairs).
+func Marshal(z *Index) []byte {
+	buf := make([]byte, 0, 4+16*len(z.mins))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(z.mins)))
+	for i := range z.mins {
+		buf = binary.LittleEndian.AppendUint64(buf, z.mins[i])
+		buf = binary.LittleEndian.AppendUint64(buf, z.maxs[i])
+	}
+	return buf
+}
+
+// Unmarshal inverts Marshal.
+func Unmarshal(data []byte) (*Index, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) != 4+16*n {
+		return nil, ErrCorrupt
+	}
+	z := &Index{mins: make([]uint64, n), maxs: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		z.mins[i] = binary.LittleEndian.Uint64(data[4+16*i:])
+		z.maxs[i] = binary.LittleEndian.Uint64(data[12+16*i:])
+	}
+	for i := 0; i < n; i++ {
+		if z.mins[i] > z.maxs[i] || (i > 0 && z.mins[i] < z.maxs[i-1]) {
+			return nil, ErrCorrupt
+		}
+	}
+	return z, nil
+}

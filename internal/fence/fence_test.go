@@ -1,0 +1,88 @@
+package fence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndProbe(t *testing.T) {
+	keys := []uint64{10, 20, 30, 100, 200, 300, 1000, 2000}
+	z := Build(keys, 3)
+	if z.Zones() != 3 {
+		t.Fatalf("zones = %d, want 3", z.Zones())
+	}
+	for _, k := range keys {
+		if !z.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	// Gap between zones: [31, 99] overlaps zone [10..30]? zone1 = 10..30,
+	// zone2 = 100..300, zone3 = 1000..2000. [31,99] hits nothing.
+	if z.MayContainRange(31, 99) {
+		t.Error("[31,99] falls between zones")
+	}
+	if !z.MayContainRange(25, 150) {
+		t.Error("[25,150] overlaps two zones")
+	}
+	if z.MayContain(5) || z.MayContain(3000) {
+		t.Error("out-of-bounds points should miss")
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % (1 << 40)
+	}
+	z := Build(keys, 64)
+	prop := func(i uint16, spanL, spanR uint32) bool {
+		k := keys[int(i)%len(keys)]
+		lo := k - min(k, uint64(spanL))
+		hi := k + min(^uint64(0)-k, uint64(spanR))
+		return z.MayContainRange(lo, hi)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	z := Build(nil, 10)
+	if z.MayContain(42) || z.MayContainRange(0, ^uint64(0)) {
+		t.Error("empty index must reject everything")
+	}
+	if _, _, ok := z.Bounds(); ok {
+		t.Error("empty index has no bounds")
+	}
+	z1 := Build([]uint64{42}, 0)
+	if !z1.MayContain(42) || z1.MayContain(43) {
+		t.Error("single-key zone wrong")
+	}
+	lo, hi, ok := z1.Bounds()
+	if !ok || lo != 42 || hi != 42 {
+		t.Errorf("bounds = (%d,%d,%v)", lo, hi, ok)
+	}
+}
+
+func TestCoarseness(t *testing.T) {
+	// Fence pointers cannot reject ranges inside a zone's span — the
+	// reason they lose to PRFs in the paper (Fig. 9.D): a zone covering
+	// [0, 2^40] answers true for everything inside.
+	keys := []uint64{0, 1 << 40}
+	z := Build(keys, 2)
+	if !z.MayContainRange(1000, 2000) {
+		t.Error("range inside zone span must answer maybe")
+	}
+	if z.SizeBits() != 128 {
+		t.Errorf("SizeBits = %d, want 128", z.SizeBits())
+	}
+}
+
+func TestReversedBounds(t *testing.T) {
+	z := Build([]uint64{500}, 1)
+	if !z.MayContainRange(600, 400) {
+		t.Error("reversed bounds should behave as [400,600]")
+	}
+}

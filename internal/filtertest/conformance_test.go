@@ -1,0 +1,165 @@
+package filtertest
+
+import (
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/cuckoo"
+	"repro/internal/fence"
+	"repro/internal/prefixbf"
+	"repro/internal/rosetta"
+	"repro/internal/surf"
+)
+
+// The conformance suite applied to every filter in the repository. Each
+// filter is adapted to the PRF interface the same way the harness adapts
+// it for the experiments.
+
+func TestBloomRFBasicConformance(t *testing.T) {
+	Run(t, Options{Build: func(keys []uint64) PRF {
+		f := core.NewBasic(uint64(len(keys)), 16)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		return f
+	}})
+}
+
+func TestBloomRFTunedConformance(t *testing.T) {
+	Run(t, Options{Build: func(keys []uint64) PRF {
+		f, _, err := core.NewTuned(core.TuneOptions{N: uint64(len(keys)), BitsPerKey: 18, MaxRange: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		return f
+	}})
+}
+
+func TestBloomRFPermutedConformance(t *testing.T) {
+	Run(t, Options{Build: func(keys []uint64) PRF {
+		cfg := core.BasicConfig(uint64(len(keys)), 16)
+		cfg.PermuteWords = true
+		f, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		return f
+	}})
+}
+
+func TestBloomRFSerializedConformance(t *testing.T) {
+	// The deserialized filter must satisfy the same contract.
+	Run(t, Options{Build: func(keys []uint64) PRF {
+		f := core.NewBasic(uint64(len(keys)), 16)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		blob, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := core.UnmarshalFilter(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}})
+}
+
+func TestRosettaConformance(t *testing.T) {
+	for _, v := range []rosetta.Variant{rosetta.VariantF, rosetta.VariantS, rosetta.VariantO, rosetta.VariantV} {
+		t.Run(v.String(), func(t *testing.T) {
+			Run(t, Options{
+				MaxSpan: 1 << 10, // within the tuned range envelope
+				Build: func(keys []uint64) PRF {
+					f, err := rosetta.New(rosetta.Options{
+						N: uint64(len(keys)), BitsPerKey: 20, MaxRange: 1 << 10, Variant: v,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, k := range keys {
+						f.Insert(k)
+					}
+					return f
+				},
+			})
+		})
+	}
+}
+
+type surfAdapter struct{ f *surf.Filter }
+
+func (s surfAdapter) MayContain(x uint64) bool           { return s.f.MayContainUint64(x) }
+func (s surfAdapter) MayContainRange(lo, hi uint64) bool { return s.f.MayContainRangeUint64(lo, hi) }
+
+func TestSuRFConformance(t *testing.T) {
+	for _, mode := range []surf.SuffixMode{surf.SuffixNone, surf.SuffixHash, surf.SuffixReal} {
+		t.Run(mode.String(), func(t *testing.T) {
+			Run(t, Options{Build: func(keys []uint64) PRF {
+				enc := make([][]byte, len(keys))
+				for i, k := range keys {
+					enc[i] = surf.EncodeUint64(k)
+				}
+				f, err := surf.Build(enc, surf.Options{Suffix: mode, SuffixBits: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return surfAdapter{f}
+			}})
+		})
+	}
+}
+
+type pointAdapter struct{ contains func(uint64) bool }
+
+func (p pointAdapter) MayContain(x uint64) bool           { return p.contains(x) }
+func (p pointAdapter) MayContainRange(lo, hi uint64) bool { return true }
+
+func TestBloomConformance(t *testing.T) {
+	Run(t, Options{PointOnly: true, Build: func(keys []uint64) PRF {
+		f := bloom.New(uint64(len(keys)), 12)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		return pointAdapter{f.MayContain}
+	}})
+}
+
+func TestCuckooConformance(t *testing.T) {
+	Run(t, Options{PointOnly: true, Build: func(keys []uint64) PRF {
+		f := cuckoo.New(uint64(len(keys)), 12, 0.9)
+		for _, k := range keys {
+			if !f.Insert(k) {
+				t.Fatal("cuckoo overflow")
+			}
+		}
+		return pointAdapter{f.MayContain}
+	}})
+}
+
+func TestPrefixBFConformance(t *testing.T) {
+	Run(t, Options{Build: func(keys []uint64) PRF {
+		f := prefixbf.New(uint64(len(keys)), 14, 20, 0)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		return f
+	}})
+}
+
+func TestFenceConformance(t *testing.T) {
+	// Zone maps over sparse random keys answer almost every point probe
+	// with maybe — the paper's argument for why min/max indices are
+	// impractical as point filters — so the FPR ceiling is lifted.
+	Run(t, Options{MaxPointFPR: 1.0, Build: func(keys []uint64) PRF {
+		return fence.Build(keys, 64)
+	}})
+}

@@ -1,0 +1,162 @@
+// Package filtertest provides a conformance suite that every point-range
+// filter in this repository must pass: no false negatives for points or
+// ranges, determinism across identical builds, monotonicity under range
+// widening, and (when supported) serialization fidelity. Filter packages
+// invoke it from their own tests so a regression in any implementation is
+// caught by one shared specification.
+package filtertest
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// PRF is the probe interface under test.
+type PRF interface {
+	MayContain(x uint64) bool
+	MayContainRange(lo, hi uint64) bool
+}
+
+// Options configures a conformance run.
+type Options struct {
+	// Build constructs the filter over the given sorted, distinct keys.
+	// It is called multiple times; identical inputs must produce filters
+	// with identical probe behaviour (determinism).
+	Build func(sortedKeys []uint64) PRF
+	// NumKeys is the key-set size (0 = 2000).
+	NumKeys int
+	// KeyMask restricts generated keys (0 = full 64-bit domain); useful
+	// for filters with limited domains.
+	KeyMask uint64
+	// MaxSpan bounds generated range widths (0 = 2^20).
+	MaxSpan uint64
+	// PointOnly skips range-specific checks beyond the trivially true
+	// requirement (for Bloom/Cuckoo adapters that always answer ranges
+	// with maybe).
+	PointOnly bool
+	// MaxPointFPR is the sanity ceiling for the point FPR on absent keys
+	// (0 = 0.5). Coarse structures like fence pointers legitimately
+	// approach 1.0 on sparse domains and should raise it.
+	MaxPointFPR float64
+	// Seed randomizes the run deterministically (0 = 1).
+	Seed int64
+}
+
+// Run executes the conformance suite.
+func Run(t *testing.T, opt Options) {
+	t.Helper()
+	if opt.NumKeys == 0 {
+		opt.NumKeys = 2000
+	}
+	if opt.KeyMask == 0 {
+		opt.KeyMask = ^uint64(0)
+	}
+	if opt.MaxSpan == 0 {
+		opt.MaxSpan = 1 << 20
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	keySet := map[uint64]struct{}{}
+	keys := make([]uint64, 0, opt.NumKeys)
+	for len(keys) < opt.NumKeys {
+		k := rng.Uint64() & opt.KeyMask
+		if _, dup := keySet[k]; dup {
+			continue
+		}
+		keySet[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	sortU64(keys)
+
+	f := opt.Build(keys)
+
+	t.Run("NoPointFalseNegatives", func(t *testing.T) {
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				t.Fatalf("false negative for stored key %d", k)
+			}
+		}
+	})
+
+	t.Run("NoRangeFalseNegatives", func(t *testing.T) {
+		for trial := 0; trial < 4*opt.NumKeys; trial++ {
+			k := keys[rng.Intn(len(keys))]
+			spanL := rng.Uint64() % opt.MaxSpan
+			spanR := rng.Uint64() % opt.MaxSpan
+			lo := k - minU64(k, spanL)
+			hi := k + minU64(opt.KeyMask-k, spanR)
+			if !f.MayContainRange(lo, hi) {
+				t.Fatalf("false negative: key %d inside [%d,%d]", k, lo, hi)
+			}
+		}
+	})
+
+	t.Run("DegenerateRangeMatchesPoint", func(t *testing.T) {
+		if opt.PointOnly {
+			t.Skip("point-only filter")
+		}
+		for trial := 0; trial < 2000; trial++ {
+			y := rng.Uint64() & opt.KeyMask
+			p, r := f.MayContain(y), f.MayContainRange(y, y)
+			// A range [y,y] may be answered more loosely than a point
+			// probe (trie truncation), but never more strictly.
+			if p && !r {
+				t.Fatalf("range [x,x] stricter than point probe for %d", y)
+			}
+		}
+	})
+
+	// Note: range-widening monotonicity is deliberately NOT part of the
+	// contract. Widening a query changes its dyadic decomposition, so a
+	// false positive of the narrow query may legitimately vanish; only
+	// true positives must survive, which NoRangeFalseNegatives covers.
+
+	t.Run("Deterministic", func(t *testing.T) {
+		g := opt.Build(keys)
+		for trial := 0; trial < 2000; trial++ {
+			y := rng.Uint64() & opt.KeyMask
+			if f.MayContain(y) != g.MayContain(y) {
+				t.Fatalf("rebuild diverges on point %d", y)
+			}
+			lo := rng.Uint64() & opt.KeyMask
+			hi := lo + minU64(opt.KeyMask-lo, rng.Uint64()%opt.MaxSpan)
+			if f.MayContainRange(lo, hi) != g.MayContainRange(lo, hi) {
+				t.Fatalf("rebuild diverges on range [%d,%d]", lo, hi)
+			}
+		}
+	})
+
+	t.Run("FPRSanity", func(t *testing.T) {
+		fp, probes := 0, 0
+		for probes < 5000 {
+			y := rng.Uint64() & opt.KeyMask
+			if _, present := keySet[y]; present {
+				continue
+			}
+			probes++
+			if f.MayContain(y) {
+				fp++
+			}
+		}
+		ceiling := opt.MaxPointFPR
+		if ceiling == 0 {
+			ceiling = 0.5
+		}
+		fpr := float64(fp) / float64(probes)
+		if fpr > ceiling {
+			t.Errorf("point FPR %.3f above sanity ceiling %.2f — filter degenerate?", fpr, ceiling)
+		}
+	})
+}
+
+func sortU64(s []uint64) { slices.Sort(s) }
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

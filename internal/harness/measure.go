@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/workload"
+)
+
+// FPRResult is one measurement of filter accuracy and speed.
+type FPRResult struct {
+	FPR        float64
+	Queries    int
+	Positives  int
+	ProbeTime  time.Duration
+	MopsPerSec float64
+	SizeBits   uint64
+	BitsPerKey float64
+}
+
+// MeasureRangeFPR probes the filter with empty range queries and reports
+// the false-positive rate (every positive is false by construction) and
+// probe throughput.
+func MeasureRangeFPR(f PRF, queries []workload.RangeQuery, n int) FPRResult {
+	pos := 0
+	start := time.Now()
+	for _, q := range queries {
+		if f.MayContainRange(q.Lo, q.Hi) {
+			pos++
+		}
+	}
+	elapsed := time.Since(start)
+	return result(f, len(queries), pos, elapsed, n)
+}
+
+// MeasurePointFPR probes the filter with absent keys.
+func MeasurePointFPR(f PRF, queries []uint64, n int) FPRResult {
+	pos := 0
+	start := time.Now()
+	for _, y := range queries {
+		if f.MayContain(y) {
+			pos++
+		}
+	}
+	elapsed := time.Since(start)
+	return result(f, len(queries), pos, elapsed, n)
+}
+
+func result(f PRF, q, pos int, elapsed time.Duration, n int) FPRResult {
+	r := FPRResult{Queries: q, Positives: pos, ProbeTime: elapsed, SizeBits: f.SizeBits()}
+	if q > 0 {
+		r.FPR = float64(pos) / float64(q)
+		if secs := elapsed.Seconds(); secs > 0 {
+			r.MopsPerSec = float64(q) / secs / 1e6
+		}
+	}
+	if n > 0 {
+		r.BitsPerKey = float64(r.SizeBits) / float64(n)
+	}
+	return r
+}
+
+// BuildAndMeasure is the standalone-experiment kernel shared by the grid
+// figures: draw keys, build each filter, probe with empty queries of the
+// given width (width 0 means point queries).
+func BuildAndMeasure(b Builder, keys []uint64, bpk float64, rangeSize uint64,
+	queryDist workload.Distribution, numQueries int, seed int64) (FPRResult, error) {
+	f, err := b.Build(keys, bpk, rangeSize)
+	if err != nil {
+		return FPRResult{}, err
+	}
+	qg := workload.NewQueryGen(queryDist, seed, keys)
+	if rangeSize <= 1 {
+		return MeasurePointFPR(f, qg.EmptyPointQueries(numQueries), len(keys)), nil
+	}
+	qs := qg.EmptyRangeQueries(numQueries, rangeSize)
+	return MeasureRangeFPR(f, qs, len(keys)), nil
+}

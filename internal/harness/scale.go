@@ -1,0 +1,51 @@
+package harness
+
+import "fmt"
+
+// Scale controls experiment sizes. The paper runs 50M keys and 10^5
+// queries on a Xeon server; the default scales keep every experiment in
+// laptop territory while preserving the comparative shape (who wins,
+// crossovers) — see EXPERIMENTS.md.
+type Scale struct {
+	Name string
+	// Keys is the standalone-filter key count (paper: 50M, or 2M for the
+	// point-filter shootout).
+	Keys int
+	// LSMKeys is the key count for LSM end-to-end experiments (paper: 50M
+	// over 25 L0 SSTs).
+	LSMKeys int
+	// Queries is the probe count per cell (paper: 10^5).
+	Queries int
+	// GridKeys are the key counts of the Fig. 1/11 grids
+	// (paper: 10^3..5·10^7).
+	GridKeys []int
+}
+
+// Scales available via the -scale flag.
+var (
+	ScaleSmall = Scale{
+		Name: "small", Keys: 100_000, LSMKeys: 100_000, Queries: 2_000,
+		GridKeys: []int{1_000, 10_000, 100_000},
+	}
+	ScaleMedium = Scale{
+		Name: "medium", Keys: 1_000_000, LSMKeys: 1_000_000, Queries: 20_000,
+		GridKeys: []int{1_000, 10_000, 100_000, 1_000_000},
+	}
+	ScalePaper = Scale{
+		Name: "paper", Keys: 50_000_000, LSMKeys: 50_000_000, Queries: 100_000,
+		GridKeys: []int{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 50_000_000},
+	}
+)
+
+// ParseScale resolves a scale name.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return ScaleSmall, nil
+	case "medium", "":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return Scale{}, fmt.Errorf("harness: unknown scale %q (small|medium|paper)", name)
+}

@@ -1,0 +1,288 @@
+package lsm
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DBOptions configures a DB.
+type DBOptions struct {
+	// Dir holds the SSTable files.
+	Dir string
+	// Policy builds the filter block of every flushed SST.
+	Policy FilterPolicy
+	// Registry resolves policies when reopening tables; it must contain
+	// Policy. Nil uses a registry of just Policy.
+	Registry Registry
+	// MemtableBytes triggers an automatic flush (0 = 4 MiB).
+	MemtableBytes int
+	// BlockSize is the SSTable data-block size (0 = 4 KiB).
+	BlockSize int
+	// SimulatedReadLatency is charged to IOStats per block read to emulate
+	// the paper's disk-backed testbed (not slept).
+	SimulatedReadLatency time.Duration
+}
+
+// DB is a minimal LSM store: one mutable memtable plus a set of immutable
+// L0 SSTables searched newest-first. Compaction is disabled, matching the
+// paper's RocksDB setup ("compaction-disabled SST file", §9).
+type DB struct {
+	opt    DBOptions
+	reg    Registry
+	mu     sync.RWMutex
+	mem    *skiplist
+	tables []*Table // newest last
+	seq    int
+	stats  IOStats
+}
+
+// Open creates or reopens a DB in opt.Dir.
+func Open(opt DBOptions) (*DB, error) {
+	if opt.Policy == nil {
+		return nil, fmt.Errorf("lsm: DBOptions.Policy is required")
+	}
+	if opt.MemtableBytes <= 0 {
+		opt.MemtableBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = Registry{opt.Policy.Name(): opt.Policy}
+	} else if _, ok := reg[opt.Policy.Name()]; !ok {
+		reg[opt.Policy.Name()] = opt.Policy
+	}
+	db := &DB{opt: opt, reg: reg, mem: newSkiplist(1)}
+	// Recover existing tables in sequence order.
+	paths, err := filepath.Glob(filepath.Join(opt.Dir, "*.sst"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		t, err := OpenTable(p, reg, &db.stats, opt.SimulatedReadLatency)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("lsm: reopen %s: %w", p, err)
+		}
+		db.tables = append(db.tables, t)
+		db.seq++
+	}
+	return db, nil
+}
+
+// Close releases all tables. The memtable is not flushed implicitly; call
+// Flush first for durability.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, t := range db.tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.tables = nil
+	return first
+}
+
+// Stats exposes the shared I/O counters.
+func (db *DB) Stats() *IOStats { return &db.stats }
+
+// Put inserts or overwrites a key.
+func (db *DB) Put(key uint64, value []byte) error {
+	db.mem.put(key, append([]byte(nil), value...), false)
+	return db.maybeFlush()
+}
+
+// Delete writes a tombstone.
+func (db *DB) Delete(key uint64) error {
+	db.mem.put(key, nil, true)
+	return db.maybeFlush()
+}
+
+func (db *DB) maybeFlush() error {
+	if db.mem.memory() < db.opt.MemtableBytes {
+		return nil
+	}
+	return db.Flush()
+}
+
+// Flush writes the memtable to a new L0 SSTable. The returned build time
+// is the filter-construction component (Fig. 12.C).
+func (db *DB) Flush() error {
+	_, err := db.FlushWithTiming()
+	return err
+}
+
+// FlushWithTiming flushes and reports the filter build time.
+func (db *DB) FlushWithTiming() (time.Duration, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	recs := db.mem.all()
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	path := filepath.Join(db.opt.Dir, fmt.Sprintf("%06d.sst", db.seq))
+	w, err := NewTableWriter(path, db.opt.Policy, db.opt.BlockSize)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range recs {
+		if err := w.Add(r.key, r.value, r.tomb); err != nil {
+			w.Abort()
+			return 0, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	t, err := OpenTable(path, db.reg, &db.stats, db.opt.SimulatedReadLatency)
+	if err != nil {
+		return 0, err
+	}
+	db.tables = append(db.tables, t)
+	db.seq++
+	db.mem = newSkiplist(int64(db.seq))
+	return w.FilterBuildTime, nil
+}
+
+// Get returns the newest value for key.
+func (db *DB) Get(key uint64) ([]byte, bool, error) {
+	if v, tomb, found := db.mem.get(key); found {
+		if tomb {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	db.mu.RLock()
+	tables := append([]*Table(nil), db.tables...)
+	db.mu.RUnlock()
+	for i := len(tables) - 1; i >= 0; i-- {
+		v, tomb, found, err := tables[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// KV is one key-value pair produced by Scan.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns all live records with lo ≤ key ≤ hi, newest version per
+// key, in ascending key order. Filters let the scan skip SSTables whose
+// key ranges cannot intersect the query — the mechanism the paper's
+// Workload E experiments measure end to end.
+func (db *DB) Scan(lo, hi uint64) ([]KV, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Gather per-source sorted streams: memtable (newest) then tables
+	// newest-first. Priority = source order.
+	var sources [][]record
+	var memRecs []record
+	db.mem.scan(lo, hi, func(k uint64, v []byte, tomb bool) bool {
+		memRecs = append(memRecs, record{key: k, value: v, tomb: tomb})
+		return true
+	})
+	sources = append(sources, memRecs)
+	db.mu.RLock()
+	tables := append([]*Table(nil), db.tables...)
+	db.mu.RUnlock()
+	for i := len(tables) - 1; i >= 0; i-- {
+		var recs []record
+		if _, err := tables[i].scan(lo, hi, func(r record) bool {
+			recs = append(recs, r)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		sources = append(sources, recs)
+	}
+	return mergeNewestWins(sources), nil
+}
+
+// ScanEmptyCheck reports whether the scan produced any live record — the
+// probe the paper's empty-range workloads issue (the system only cares
+// whether it must look further).
+func (db *DB) ScanEmptyCheck(lo, hi uint64) (bool, error) {
+	kvs, err := db.Scan(lo, hi)
+	return len(kvs) > 0, err
+}
+
+// NumTables returns the number of L0 SSTables.
+func (db *DB) NumTables() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.tables)
+}
+
+// mergeNewestWins merges per-source sorted record streams; lower source
+// index wins on key ties (sources are ordered newest first). Tombstones
+// suppress older versions and are dropped from the output.
+func mergeNewestWins(sources [][]record) []KV {
+	h := &mergeHeap{}
+	for i, recs := range sources {
+		if len(recs) > 0 {
+			heap.Push(h, mergeItem{recs: recs, src: i})
+		}
+	}
+	var out []KV
+	lastKey, haveLast := uint64(0), false
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		r := it.recs[0]
+		if len(it.recs) > 1 {
+			heap.Push(h, mergeItem{recs: it.recs[1:], src: it.src})
+		}
+		if haveLast && r.key == lastKey {
+			continue // older version of an emitted (or tombstoned) key
+		}
+		lastKey, haveLast = r.key, true
+		if !r.tomb {
+			out = append(out, KV{Key: r.key, Value: r.value})
+		}
+	}
+	return out
+}
+
+type mergeItem struct {
+	recs []record
+	src  int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].recs[0].key != h[j].recs[0].key {
+		return h[i].recs[0].key < h[j].recs[0].key
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,409 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestDB(t *testing.T, policy FilterPolicy) *DB {
+	t.Helper()
+	db, err := Open(DBOptions{
+		Dir:           t.TempDir(),
+		Policy:        policy,
+		MemtableBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSkiplistBasics(t *testing.T) {
+	s := newSkiplist(1)
+	rng := rand.New(rand.NewSource(1))
+	ref := map[uint64][]byte{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() % 10000
+		v := []byte(fmt.Sprintf("v%d", i))
+		ref[k] = v
+		s.put(k, v, false)
+	}
+	if s.length() != len(ref) {
+		t.Fatalf("length = %d, want %d", s.length(), len(ref))
+	}
+	for k, v := range ref {
+		got, tomb, found := s.get(k)
+		if !found || tomb || string(got) != string(v) {
+			t.Fatalf("get(%d) = %q,%v,%v want %q", k, got, tomb, found, v)
+		}
+	}
+	// Ordered iteration.
+	prev := uint64(0)
+	first := true
+	s.scan(0, ^uint64(0), func(k uint64, v []byte, tomb bool) bool {
+		if !first && k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		return true
+	})
+	// Bounded scan.
+	count := 0
+	s.scan(100, 200, func(k uint64, _ []byte, _ bool) bool {
+		if k < 100 || k > 200 {
+			t.Fatalf("scan out of bounds: %d", k)
+		}
+		count++
+		return true
+	})
+	want := 0
+	for k := range ref {
+		if k >= 100 && k <= 200 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("bounded scan saw %d keys, want %d", count, want)
+	}
+}
+
+func TestSSTableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.sst")
+	policy := &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 20}
+	w, err := NewTableWriter(path, policy, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		if err := w.Add(i*10, []byte(fmt.Sprintf("value-%d", i)), i%100 == 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var stats IOStats
+	tb, err := OpenTable(path, Registry{"bloomrf": policy}, &stats, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.Entries() != n {
+		t.Fatalf("entries = %d, want %d", tb.Entries(), n)
+	}
+	for i := uint64(0); i < n; i += 37 {
+		v, tomb, found, err := tb.get(i * 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("key %d not found", i*10)
+		}
+		if tomb != (i%100 == 7) {
+			t.Fatalf("key %d tombstone mismatch", i*10)
+		}
+		if !tomb && string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key %d value %q", i*10, v)
+		}
+	}
+	// Missing keys come back not-found without error.
+	if _, _, found, _ := tb.get(5); found {
+		t.Error("key 5 should be absent")
+	}
+	// Scan over a sub-range.
+	var got []uint64
+	filtered, err := tb.scan(100, 200, func(r record) bool {
+		got = append(got, r.key)
+		return true
+	})
+	if err != nil || filtered {
+		t.Fatalf("scan: filtered=%v err=%v", filtered, err)
+	}
+	want := []uint64{100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200}
+	if len(got) != len(want) {
+		t.Fatalf("scan got %v, want %v", got, want)
+	}
+	// I/O accounting moved.
+	snap := stats.Snapshot()
+	if snap.BlockReads == 0 || snap.BytesRead == 0 || snap.IOWaitTime == 0 {
+		t.Errorf("I/O accounting empty: %+v", snap)
+	}
+	if snap.DeserTime == 0 {
+		t.Error("deserialization time not recorded")
+	}
+}
+
+func TestTableWriterRejectsUnsorted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	w, err := NewTableWriter(path, &BloomPolicy{BitsPerKey: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if err := w.Add(10, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(10, nil, false); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if err := w.Add(5, nil, false); err == nil {
+		t.Error("descending key accepted")
+	}
+}
+
+func TestDBPutGetFlush(t *testing.T) {
+	db := openTestDB(t, &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 16})
+	rng := rand.New(rand.NewSource(2))
+	ref := map[uint64]string{}
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 100000
+		v := fmt.Sprintf("v%d", i)
+		ref[k] = v
+		if err := db.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if i%5000 == 4999 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if db.NumTables() == 0 {
+		t.Fatal("no flushes happened")
+	}
+	for k, v := range ref {
+		got, found, err := db.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || string(got) != v {
+			t.Fatalf("Get(%d) = %q,%v want %q", k, got, found, v)
+		}
+	}
+	// Overwrites across flush boundaries: newest wins.
+	if err := db.Put(42, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, found, _ := db.Get(42)
+	if !found || string(got) != "new" {
+		t.Fatalf("overwrite lost: %q %v", got, found)
+	}
+}
+
+func TestDBDeleteTombstone(t *testing.T) {
+	db := openTestDB(t, &BloomPolicy{BitsPerKey: 10})
+	if err := db.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := db.Get(1); found {
+		t.Error("deleted key still visible (memtable tombstone)")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := db.Get(1); found {
+		t.Error("deleted key visible after tombstone flush")
+	}
+	kvs, err := db.Scan(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 0 {
+		t.Errorf("scan sees deleted key: %v", kvs)
+	}
+}
+
+func TestDBScanMergesNewestWins(t *testing.T) {
+	db := openTestDB(t, &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 16, Basic: true})
+	// Old version in an SST, new version in a newer SST, newest in mem.
+	for i := uint64(0); i < 100; i++ {
+		db.Put(i, []byte("old"))
+	}
+	db.Flush()
+	for i := uint64(0); i < 100; i += 2 {
+		db.Put(i, []byte("mid"))
+	}
+	db.Flush()
+	db.Put(0, []byte("mem"))
+	kvs, err := db.Scan(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 10 {
+		t.Fatalf("scan returned %d keys, want 10", len(kvs))
+	}
+	wantVals := map[uint64]string{0: "mem", 1: "old", 2: "mid", 3: "old", 4: "mid"}
+	for _, kv := range kvs[:5] {
+		if want := wantVals[kv.Key]; string(kv.Value) != want {
+			t.Errorf("key %d = %q, want %q", kv.Key, kv.Value, want)
+		}
+	}
+	// Ascending order.
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i].Key <= kvs[i-1].Key {
+			t.Fatal("scan output not sorted")
+		}
+	}
+}
+
+func TestDBReopen(t *testing.T) {
+	dir := t.TempDir()
+	policy := &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 16}
+	db, err := Open(DBOptions{Dir: dir, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		db.Put(i, []byte("x"))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(DBOptions{Dir: dir, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.NumTables() != 1 {
+		t.Fatalf("reopened tables = %d, want 1", db2.NumTables())
+	}
+	if _, found, _ := db2.Get(500); !found {
+		t.Error("key lost across reopen")
+	}
+}
+
+// TestFilterPoliciesEndToEnd runs the same workload through every policy:
+// identical query answers (full recall), different filter effectiveness.
+func TestFilterPoliciesEndToEnd(t *testing.T) {
+	policies := map[string]FilterPolicy{
+		"bloomrf":  &BloomRFPolicy{BitsPerKey: 18, MaxRange: 1 << 24},
+		"basicrf":  &BloomRFPolicy{BitsPerKey: 18, Basic: true},
+		"bloom":    &BloomPolicy{BitsPerKey: 18},
+		"prefixbf": &PrefixBloomPolicy{BitsPerKey: 18, Level: 12},
+		"fence":    &FencePolicy{ZoneSize: 256},
+		"rosetta":  &RosettaPolicy{BitsPerKey: 18, MaxRange: 1 << 10},
+		"surf":     &SuRFPolicy{BitsPerKey: 18},
+	}
+	for name, policy := range policies {
+		t.Run(name, func(t *testing.T) {
+			db := openTestDB(t, policy)
+			rng := rand.New(rand.NewSource(3))
+			keys := make([]uint64, 3000)
+			for i := range keys {
+				keys[i] = rng.Uint64() >> 20
+				db.Put(keys[i], []byte("v"))
+				if i%1000 == 999 {
+					if err := db.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Point recall.
+			for _, k := range keys[:300] {
+				if _, found, err := db.Get(k); err != nil || !found {
+					t.Fatalf("Get(%d) = %v, %v", k, found, err)
+				}
+			}
+			// Range recall.
+			for i := 0; i < 300; i++ {
+				k := keys[rng.Intn(len(keys))]
+				nonEmpty, err := db.ScanEmptyCheck(k-min(k, 50), k+50)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !nonEmpty {
+					t.Fatalf("scan around key %d came back empty", k)
+				}
+			}
+			// Filter probes must have been recorded.
+			if db.Stats().Snapshot().FilterProbes == 0 {
+				t.Error("no filter probes recorded")
+			}
+		})
+	}
+}
+
+// TestFilterEffectiveness: on empty point gets, bloomRF must avoid most
+// block reads, and the fence policy must avoid none (inside the key span).
+func TestFilterEffectiveness(t *testing.T) {
+	run := func(policy FilterPolicy) (blockReads uint64) {
+		db := openTestDB(t, policy)
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 5000; i++ {
+			db.Put(rng.Uint64(), []byte("v"))
+		}
+		db.Flush()
+		before := db.Stats().Snapshot()
+		for i := 0; i < 2000; i++ {
+			db.Get(rng.Uint64())
+		}
+		return db.Stats().Snapshot().Sub(before).BlockReads
+	}
+	brf := run(&BloomRFPolicy{BitsPerKey: 18, MaxRange: 1 << 16})
+	fen := run(&FencePolicy{})
+	if brf > 200 {
+		t.Errorf("bloomRF let %d/2000 empty gets through", brf)
+	}
+	if fen < 1500 {
+		t.Errorf("single-zone fence should pass almost all: %d/2000", fen)
+	}
+}
+
+func TestOpenTableUnknownPolicy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.sst")
+	w, err := NewTableWriter(path, &BloomPolicy{BitsPerKey: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(1, nil, false)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTable(path, Registry{}, nil, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestOpenTableCorruptFooter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.sst")
+	w, _ := NewTableWriter(path, &BloomPolicy{BitsPerKey: 10}, 0)
+	w.Add(1, []byte("v"), false)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a footer byte.
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-12] ^= 0xFF
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTable(path, Registry{"bloom": &BloomPolicy{}}, nil, 0); err == nil {
+		t.Error("corrupt footer accepted")
+	}
+}
+
+func readFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,417 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/hashutil"
+)
+
+// SSTable layout (all little endian):
+//
+//	data blocks   — count u32, then per entry: key u64, flags u8, vlen u32, value
+//	index block   — count u32, then per block: firstKey u64, lastKey u64, off u64, len u64
+//	filter block  — nameLen u8, policy name, payload
+//	footer        — indexOff u64, indexLen u64, filterOff u64, filterLen u64,
+//	                numEntries u64, checksum u64 (keyed hash of the 40-byte prefix)
+const (
+	tableMagic     = 0x62524c534d543031 // "bRLSMT01"
+	footerSize     = 48
+	flagTombstone  = 1 << 0
+	defaultBlockSz = 4096
+)
+
+// ErrCorruptTable reports a malformed SSTable.
+var ErrCorruptTable = errors.New("lsm: corrupt sstable")
+
+// TableWriter streams sorted records into an SSTable file.
+type TableWriter struct {
+	f         *os.File
+	policy    FilterPolicy
+	blockSize int
+	buf       []byte
+	blockBuf  []byte
+	blockN    uint32
+	firstKey  uint64
+	lastKey   uint64
+	haveFirst bool
+	index     []indexEntry
+	keys      []uint64
+	entries   uint64
+	off       uint64
+	prevKey   uint64
+	haveAny   bool
+	// FilterBuildTime records how long CreateFilter took (Fig. 12.C).
+	FilterBuildTime time.Duration
+}
+
+type indexEntry struct {
+	firstKey, lastKey, off, length uint64
+}
+
+// NewTableWriter creates a writer; blockSize 0 means 4 KiB.
+func NewTableWriter(path string, policy FilterPolicy, blockSize int) (*TableWriter, error) {
+	if blockSize <= 0 {
+		blockSize = defaultBlockSz
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TableWriter{f: f, policy: policy, blockSize: blockSize}, nil
+}
+
+// Add appends a record; keys must be strictly increasing.
+func (w *TableWriter) Add(key uint64, value []byte, tomb bool) error {
+	if w.haveAny && key <= w.prevKey {
+		return fmt.Errorf("lsm: keys not strictly increasing (%d after %d)", key, w.prevKey)
+	}
+	w.prevKey, w.haveAny = key, true
+	if !w.haveFirst {
+		w.firstKey = key
+		w.haveFirst = true
+	}
+	w.lastKey = key
+	flags := byte(0)
+	if tomb {
+		flags |= flagTombstone
+	}
+	w.blockBuf = binary.LittleEndian.AppendUint64(w.blockBuf, key)
+	w.blockBuf = append(w.blockBuf, flags)
+	w.blockBuf = binary.LittleEndian.AppendUint32(w.blockBuf, uint32(len(value)))
+	w.blockBuf = append(w.blockBuf, value...)
+	w.blockN++
+	w.keys = append(w.keys, key)
+	w.entries++
+	if len(w.blockBuf) >= w.blockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *TableWriter) flushBlock() error {
+	if w.blockN == 0 {
+		return nil
+	}
+	hdr := binary.LittleEndian.AppendUint32(nil, w.blockN)
+	block := append(hdr, w.blockBuf...)
+	if _, err := w.f.Write(block); err != nil {
+		return err
+	}
+	w.index = append(w.index, indexEntry{w.firstKey, w.lastKey, w.off, uint64(len(block))})
+	w.off += uint64(len(block))
+	w.blockBuf = w.blockBuf[:0]
+	w.blockN = 0
+	w.haveFirst = false
+	return nil
+}
+
+// Finish writes the index, filter block and footer, then closes the file.
+func (w *TableWriter) Finish() error {
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	// Index block.
+	idx := binary.LittleEndian.AppendUint32(nil, uint32(len(w.index)))
+	for _, e := range w.index {
+		idx = binary.LittleEndian.AppendUint64(idx, e.firstKey)
+		idx = binary.LittleEndian.AppendUint64(idx, e.lastKey)
+		idx = binary.LittleEndian.AppendUint64(idx, e.off)
+		idx = binary.LittleEndian.AppendUint64(idx, e.length)
+	}
+	indexOff := w.off
+	if _, err := w.f.Write(idx); err != nil {
+		return err
+	}
+	w.off += uint64(len(idx))
+
+	// Filter block.
+	start := time.Now()
+	payload, err := w.policy.CreateFilter(w.keys)
+	w.FilterBuildTime = time.Since(start)
+	if err != nil {
+		return fmt.Errorf("lsm: filter build: %w", err)
+	}
+	name := w.policy.Name()
+	fb := append([]byte{byte(len(name))}, name...)
+	fb = append(fb, payload...)
+	filterOff := w.off
+	if _, err := w.f.Write(fb); err != nil {
+		return err
+	}
+	w.off += uint64(len(fb))
+
+	// Footer.
+	foot := make([]byte, 0, footerSize)
+	foot = binary.LittleEndian.AppendUint64(foot, indexOff)
+	foot = binary.LittleEndian.AppendUint64(foot, uint64(len(idx)))
+	foot = binary.LittleEndian.AppendUint64(foot, filterOff)
+	foot = binary.LittleEndian.AppendUint64(foot, uint64(len(fb)))
+	foot = binary.LittleEndian.AppendUint64(foot, w.entries)
+	foot = binary.LittleEndian.AppendUint64(foot, hashutil.HashBytes(foot, tableMagic))
+	if _, err := w.f.Write(foot); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abort closes and removes a partially written table.
+func (w *TableWriter) Abort() {
+	name := w.f.Name()
+	w.f.Close()
+	os.Remove(name)
+}
+
+// Table is an open SSTable.
+type Table struct {
+	f       *os.File
+	path    string
+	index   []indexEntry
+	filter  FilterReader
+	entries uint64
+	stats   *IOStats
+	// SimulatedReadLatency is charged (not slept) per block read.
+	simLatency time.Duration
+}
+
+// OpenTable opens an SSTable, resolving the filter policy by name through
+// the registry and deserializing the filter block (the cost Fig. 12.G
+// reports as "Deserialization").
+func OpenTable(path string, reg Registry, stats *IOStats, simLatency time.Duration) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, ErrCorruptTable
+	}
+	foot := make([]byte, footerSize)
+	if _, err := f.ReadAt(foot, st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(foot[40:]) != hashutil.HashBytes(foot[:40], tableMagic) {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad footer checksum", ErrCorruptTable)
+	}
+	indexOff := binary.LittleEndian.Uint64(foot[0:])
+	indexLen := binary.LittleEndian.Uint64(foot[8:])
+	filterOff := binary.LittleEndian.Uint64(foot[16:])
+	filterLen := binary.LittleEndian.Uint64(foot[24:])
+	entries := binary.LittleEndian.Uint64(foot[32:])
+	if indexOff+indexLen > uint64(st.Size()) || filterOff+filterLen > uint64(st.Size()) {
+		f.Close()
+		return nil, ErrCorruptTable
+	}
+
+	t := &Table{f: f, path: path, entries: entries, stats: stats, simLatency: simLatency}
+	idx := make([]byte, indexLen)
+	if _, err := f.ReadAt(idx, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(idx) < 4 {
+		f.Close()
+		return nil, ErrCorruptTable
+	}
+	n := binary.LittleEndian.Uint32(idx)
+	if uint64(len(idx)) != 4+32*uint64(n) {
+		f.Close()
+		return nil, ErrCorruptTable
+	}
+	for i := uint32(0); i < n; i++ {
+		off := 4 + 32*i
+		t.index = append(t.index, indexEntry{
+			firstKey: binary.LittleEndian.Uint64(idx[off:]),
+			lastKey:  binary.LittleEndian.Uint64(idx[off+8:]),
+			off:      binary.LittleEndian.Uint64(idx[off+16:]),
+			length:   binary.LittleEndian.Uint64(idx[off+24:]),
+		})
+	}
+
+	fb := make([]byte, filterLen)
+	if _, err := f.ReadAt(fb, int64(filterOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(fb) < 1 || int(fb[0])+1 > len(fb) {
+		f.Close()
+		return nil, ErrCorruptTable
+	}
+	name := string(fb[1 : 1+fb[0]])
+	policy, err := reg.lookup(name)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	start := time.Now()
+	reader, err := policy.NewReader(fb[1+fb[0]:])
+	if stats != nil {
+		stats.DeserNanos.Add(uint64(time.Since(start)))
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: filter block: %w", err)
+	}
+	t.filter = reader
+	return t, nil
+}
+
+// Close releases the file handle.
+func (t *Table) Close() error { return t.f.Close() }
+
+// Entries returns the record count.
+func (t *Table) Entries() uint64 { return t.entries }
+
+// Path returns the backing file path.
+func (t *Table) Path() string { return t.path }
+
+// keyMayMatch consults the filter, accounting probe time and verdicts.
+func (t *Table) keyMayMatch(key uint64) bool {
+	start := time.Now()
+	ok := t.filter.KeyMayMatch(key)
+	if t.stats != nil {
+		t.stats.FilterProbes.Add(1)
+		t.stats.FilterProbeNanos.Add(uint64(time.Since(start)))
+		if !ok {
+			t.stats.FilterNegatives.Add(1)
+		}
+	}
+	return ok
+}
+
+// rangeMayMatch consults the filter for [lo, hi].
+func (t *Table) rangeMayMatch(lo, hi uint64) bool {
+	start := time.Now()
+	ok := t.filter.RangeMayMatch(lo, hi)
+	if t.stats != nil {
+		t.stats.FilterProbes.Add(1)
+		t.stats.FilterProbeNanos.Add(uint64(time.Since(start)))
+		if !ok {
+			t.stats.FilterNegatives.Add(1)
+		}
+	}
+	return ok
+}
+
+// readBlock fetches and parses data block i.
+func (t *Table) readBlock(i int) ([]record, error) {
+	e := t.index[i]
+	buf := make([]byte, e.length)
+	if _, err := t.f.ReadAt(buf, int64(e.off)); err != nil {
+		return nil, err
+	}
+	if t.stats != nil {
+		t.stats.BlockReads.Add(1)
+		t.stats.BytesRead.Add(e.length)
+		t.stats.IOWaitNanos.Add(uint64(t.simLatency))
+	}
+	if len(buf) < 4 {
+		return nil, ErrCorruptTable
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	out := make([]record, 0, n)
+	off := 4
+	for j := uint32(0); j < n; j++ {
+		if off+13 > len(buf) {
+			return nil, ErrCorruptTable
+		}
+		key := binary.LittleEndian.Uint64(buf[off:])
+		flags := buf[off+8]
+		vlen := int(binary.LittleEndian.Uint32(buf[off+9:]))
+		off += 13
+		if off+vlen > len(buf) {
+			return nil, ErrCorruptTable
+		}
+		out = append(out, record{key: key, value: buf[off : off+vlen : off+vlen], tomb: flags&flagTombstone != 0})
+		off += vlen
+	}
+	return out, nil
+}
+
+// get looks a key up, going through the filter first.
+func (t *Table) get(key uint64) (value []byte, tomb, found bool, err error) {
+	if !t.keyMayMatch(key) {
+		return nil, false, false, nil
+	}
+	i := t.findBlock(key)
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	recs, err := t.readBlock(i)
+	if err != nil {
+		return nil, false, false, err
+	}
+	lo, hi := 0, len(recs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if recs[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(recs) && recs[lo].key == key {
+		return recs[lo].value, recs[lo].tomb, true, nil
+	}
+	return nil, false, false, nil
+}
+
+// findBlock returns the index of the block that may hold key, or -1.
+func (t *Table) findBlock(key uint64) int {
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.index[mid].lastKey < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.index) && t.index[lo].firstKey <= key {
+		return lo
+	}
+	return -1
+}
+
+// scan invokes fn for records with lo ≤ key ≤ hi in key order, going
+// through the range filter first. fn returns false to stop.
+func (t *Table) scan(lo, hi uint64, fn func(record) bool) (filtered bool, err error) {
+	if !t.rangeMayMatch(lo, hi) {
+		return true, nil
+	}
+	i, n := 0, len(t.index)
+	for i < n && t.index[i].lastKey < lo {
+		i++
+	}
+	for ; i < n && t.index[i].firstKey <= hi; i++ {
+		recs, err := t.readBlock(i)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range recs {
+			if r.key < lo {
+				continue
+			}
+			if r.key > hi {
+				return false, nil
+			}
+			if !fn(r) {
+				return false, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,158 @@
+// Package model implements the theoretical FPR and space models of the
+// bloomRF paper: the basic closed-form estimates of §5 (eq. 5/6), the
+// extended per-level recursion of §7 used by the tuning advisor, Rosetta's
+// first-cut space model, and the point/range lower bounds of Carter et al.
+// and Goswami et al. used in the §6 comparison (Fig. 8).
+package model
+
+import "math"
+
+// ZeroBitProbability returns p, the probability that a bit of a bloomRF (or
+// Bloom filter) bit array of m bits is still zero after inserting n keys
+// with k hash functions: p = (1 − C/m)^(k·n) ≈ e^(−C·k·n/m). C models the
+// influence of the data distribution; C = 1 for uniform, normal and zipfian
+// data (paper Fig. 5).
+func ZeroBitProbability(n uint64, m float64, k int, c float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return math.Exp(-c * float64(k) * float64(n) / m)
+}
+
+// BasicK returns the basic bloomRF layer count k = ⌈(d − log2 n)/Δ⌉ (§3.1).
+func BasicK(d int, n uint64, delta int) int {
+	if n == 0 {
+		n = 1
+	}
+	k := int(math.Ceil((float64(d) - math.Log2(float64(n))) / float64(delta)))
+	if k < 1 {
+		k = 1
+	}
+	if k*delta > d {
+		k = d / delta
+		if k < 1 {
+			k = 1
+		}
+	}
+	return k
+}
+
+// PointFPR returns basic bloomRF's point-query FPR estimate
+// ε ≈ (1 − p)^k with p = e^(−kn/m) (§5). Unlike a standard Bloom filter,
+// k is fixed by the domain size rather than free.
+func PointFPR(n uint64, m float64, k int) float64 {
+	p := ZeroBitProbability(n, m, k, 1)
+	return math.Pow(1-p, float64(k))
+}
+
+// RangeFPR returns basic bloomRF's range-query FPR bound of eq. (6):
+// ε ≤ 2·(1 − p)^(k − log2(R)/Δ) for query ranges up to R.
+// The bound is clamped to [0, 1].
+func RangeFPR(n uint64, m float64, k, delta int, r float64) float64 {
+	p := ZeroBitProbability(n, m, k, 1)
+	exp := float64(k)
+	if r > 1 {
+		exp -= math.Log2(r) / float64(delta)
+	}
+	if exp <= 0 {
+		return 1
+	}
+	eps := 2 * math.Pow(1-p, exp)
+	return math.Min(eps, 1)
+}
+
+// BitsPerKeyForRangeFPR inverts eq. (6): the bits/key basic bloomRF needs
+// to achieve range FPR eps for ranges up to R in a d-bit domain with n keys
+// and level distance delta. Returns +Inf when the target is unreachable at
+// any budget (k − log2(R)/Δ ≤ 0).
+func BitsPerKeyForRangeFPR(eps float64, r float64, d int, n uint64, delta int) float64 {
+	k := BasicK(d, n, delta)
+	exp := float64(k)
+	if r > 1 {
+		exp -= math.Log2(r) / float64(delta)
+	}
+	if exp <= 0 {
+		return math.Inf(1)
+	}
+	// eps = 2(1−p)^exp  ⇒  p = 1 − (eps/2)^(1/exp);  p = e^(−k/b) ⇒
+	// b = −k / ln p.
+	p := 1 - math.Pow(eps/2, 1/exp)
+	if p <= 0 || p >= 1 {
+		return math.Inf(1)
+	}
+	return -float64(k) / math.Log(p)
+}
+
+// BitsPerKeyForPointFPR inverts the point estimate for a given Δ.
+func BitsPerKeyForPointFPR(eps float64, d int, n uint64, delta int) float64 {
+	k := BasicK(d, n, delta)
+	p := 1 - math.Pow(eps, 1/float64(k))
+	if p <= 0 || p >= 1 {
+		return math.Inf(1)
+	}
+	return -float64(k) / math.Log(p)
+}
+
+// BestBitsPerKeyForRangeFPR minimizes BitsPerKeyForRangeFPR over the level
+// distance Δ ∈ [1, 7], returning the space-optimal basic configuration's
+// bits/key and the chosen Δ. This is the "bloomRF" curve of Fig. 8.
+func BestBitsPerKeyForRangeFPR(eps, r float64, d int, n uint64) (bits float64, delta int) {
+	bits = math.Inf(1)
+	delta = 7
+	for dl := 1; dl <= 7; dl++ {
+		if b := BitsPerKeyForRangeFPR(eps, r, d, n, dl); b < bits {
+			bits, delta = b, dl
+		}
+	}
+	return bits, delta
+}
+
+// RosettaBitsPerKey returns the space Rosetta's first-cut solution (F)
+// needs per key for range FPR eps at max range R:
+// m/n ≈ log2(e)·log2(R/ε)  (§6, citing [29]).
+func RosettaBitsPerKey(eps, r float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		return math.Inf(1)
+	}
+	return math.Log2(math.E) * math.Log2(r/eps)
+}
+
+// RosettaPointBitsPerKey is the R = 1 specialization: a plain Bloom filter
+// at its optimal operating point, m/n = log2(e)·log2(1/ε).
+func RosettaPointBitsPerKey(eps float64) float64 {
+	return RosettaBitsPerKey(eps, 1)
+}
+
+// PointLowerBound returns the information-theoretic minimum bits/key for a
+// point filter with FPR eps (Carter et al. [7]): m/n ≥ log2(1/ε).
+func PointLowerBound(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		return math.Inf(1)
+	}
+	return math.Log2(1 / eps)
+}
+
+// RangeLowerBound returns the Goswami et al. [20] lower bound on bits/key
+// for range emptiness with FPR eps at range size R in a d-bit domain with n
+// keys. The bound is a family parameterized by γ > 1; the returned value is
+// the pointwise maximum over γ (§6).
+func RangeLowerBound(eps, r float64, d int, n uint64) float64 {
+	if eps <= 0 || eps >= 1 {
+		return math.Inf(1)
+	}
+	crowd := 1 - 4*float64(n)*r/math.Pow(2, float64(d))
+	if crowd <= 0 {
+		// The bound's density precondition fails: fall back to the point
+		// bound, which always holds.
+		return PointLowerBound(eps)
+	}
+	best := 0.0
+	for gamma := 1.0001; gamma < 4096; gamma *= 1.25 {
+		v := math.Log2(math.Pow(r, 1-gamma*eps)/eps) +
+			math.Log2(crowd*(1-1/gamma)*math.E)
+		if v > best {
+			best = v
+		}
+	}
+	return math.Max(best, PointLowerBound(eps))
+}

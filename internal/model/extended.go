@@ -1,0 +1,127 @@
+package model
+
+import "math"
+
+// LayerSpec describes one probabilistic bloomRF layer for the extended FPR
+// model of §7, bottom-up (index 0 = level 0).
+type LayerSpec struct {
+	// Level is the layer's dyadic level ℓ_i.
+	Level int
+	// Replicas is r_i, the number of hash functions writing this layer.
+	Replicas int
+	// Segment indexes into ExtendedParams.SegBits.
+	Segment int
+}
+
+// ExtendedParams parameterizes the extended recursive FPR model.
+type ExtendedParams struct {
+	// Domain is d.
+	Domain int
+	// N is the number of keys.
+	N uint64
+	// Layers describes the probabilistic layers bottom-up. Layers[0].Level
+	// must be 0.
+	Layers []LayerSpec
+	// SegBits holds the size (bits) of each probabilistic segment.
+	SegBits []float64
+	// ExactLevel is ℓ_k: levels ≥ ExactLevel are treated as exactly stored
+	// (fp = 0). For a basic filter without an exact segment pass the first
+	// level above the top layer; the paper's §7 example does the same
+	// ("level ℓ4 = d ... we assume it is stored exactly").
+	ExactLevel int
+	// C models the data-distribution influence on the zero-bit probability
+	// (1 for uniform/normal/zipfian).
+	C float64
+}
+
+// ExtendedFPR evaluates the §7 recursive model and returns the estimated
+// FPR for dyadic intervals on every level 0..Domain (index = level).
+//
+// The recursion proceeds band by band: the band of layer i covers levels
+// ℓ_{i+1}−1 down to ℓ_i, anchored at the already-computed level ℓ_{i+1}.
+// Within a band, a DI on level ℓ is tested through layer i with
+// b = 2^(ℓ−ℓ_i) side-by-side bits, so the probe-positive probability is
+// p' = 1 − (1 − (1−p)^r_i)^b.
+func ExtendedFPR(par ExtendedParams) []float64 {
+	d := par.Domain
+	n := float64(par.N)
+	c := par.C
+	if c == 0 {
+		c = 1
+	}
+	fpr := make([]float64, d+1)
+	fp := make([]float64, d+1)
+	tn := make([]float64, d+1)
+	// Expected number of occupied DIs on a level under uniform keys:
+	// T·(1 − (1 − 1/T)^n) with T = 2^(d−level). The paper states the
+	// coarser tp_ℓ = min(n, T); the expected-occupancy refinement is what
+	// reproduces the §7 example's printed values (0.95/0.78/... on the top
+	// band) because it leaves the fractional potential false positives that
+	// min() rounds away.
+	tp := func(level int) float64 {
+		t := math.Pow(2, float64(d-level))
+		if t <= 1 {
+			return 1
+		}
+		return t * -math.Expm1(n*math.Log1p(-1/t))
+	}
+	// Per-segment k' = Σ r over layers in the segment.
+	kPrime := make([]int, len(par.SegBits))
+	for _, l := range par.Layers {
+		kPrime[l.Segment] += l.Replicas
+	}
+
+	// Exact region: levels d .. ExactLevel.
+	for l := d; l >= par.ExactLevel; l-- {
+		total := math.Pow(2, float64(d-l))
+		fp[l] = 0
+		tn[l] = total - tp(l)
+		fpr[l] = 0
+	}
+
+	// Probabilistic bands, top-down.
+	anchor := par.ExactLevel
+	for i := len(par.Layers) - 1; i >= 0; i-- {
+		layer := par.Layers[i]
+		seg := layer.Segment
+		p := math.Pow(1-c/par.SegBits[seg], float64(kPrime[seg])*n)
+		for l := anchor - 1; l >= layer.Level; l-- {
+			mult := math.Pow(2, float64(anchor-l))
+			fpPot := mult*(fp[anchor]+tp(anchor)) - tp(l)
+			if fpPot < 0 {
+				fpPot = 0
+			}
+			b := math.Pow(2, float64(l-layer.Level))
+			pPrime := 1 - math.Pow(1-math.Pow(1-p, float64(layer.Replicas)), b)
+			fp[l] = pPrime * fpPot
+			tn[l] = mult*tn[anchor] + (1-pPrime)*fpPot
+			if fp[l]+tn[l] > 0 {
+				fpr[l] = fp[l] / (fp[l] + tn[l])
+			}
+		}
+		anchor = layer.Level
+	}
+	return fpr
+}
+
+// ExtendedPointFPR returns the level-0 entry of ExtendedFPR.
+func ExtendedPointFPR(par ExtendedParams) float64 {
+	return ExtendedFPR(par)[0]
+}
+
+// ExtendedMaxRangeFPR returns max fpr over the levels used by range queries
+// of size up to R: levels 0..⌊log2 R⌋ (§7 Tuning Advisor, fpr_m).
+func ExtendedMaxRangeFPR(par ExtendedParams, r float64) float64 {
+	fpr := ExtendedFPR(par)
+	top := int(math.Floor(math.Log2(r)))
+	if top > par.Domain {
+		top = par.Domain
+	}
+	max := 0.0
+	for l := 0; l <= top; l++ {
+		if fpr[l] > max {
+			max = fpr[l]
+		}
+	}
+	return max
+}

@@ -1,0 +1,63 @@
+// Package prefixbf implements the classic Prefix Bloom filter baseline
+// (paper §1 "State-of-the-Art" and Fig. 9.D): a Bloom filter over fixed-
+// length key prefixes. Range queries probe every prefix overlapping the
+// query interval; point queries can only test the key's prefix, which is
+// why prefix Bloom filters are "impractical for point queries" — all keys
+// sharing a prefix collide.
+package prefixbf
+
+import (
+	"repro/internal/bloom"
+)
+
+// Filter is a Bloom filter over key prefixes of a fixed dyadic level.
+type Filter struct {
+	bf *bloom.Filter
+	// level is the number of low bits dropped from each key.
+	level uint
+	// maxProbes bounds range-query work; wider queries answer true.
+	maxProbes uint64
+}
+
+// New creates a prefix Bloom filter for n keys at bitsPerKey, dropping
+// `level` low bits (prefix length d − level). maxProbes bounds the number
+// of prefix probes per range query (0 means 4096).
+func New(n uint64, bitsPerKey float64, level uint, maxProbes uint64) *Filter {
+	if maxProbes == 0 {
+		maxProbes = 4096
+	}
+	return &Filter{bf: bloom.New(n, bitsPerKey), level: level, maxProbes: maxProbes}
+}
+
+// Level returns the number of dropped low bits.
+func (f *Filter) Level() uint { return f.level }
+
+// Insert adds a key's prefix.
+func (f *Filter) Insert(x uint64) { f.bf.Insert(x >> f.level) }
+
+// MayContain tests the key's prefix: every key sharing the prefix answers
+// true, the structural weakness the paper calls out.
+func (f *Filter) MayContain(x uint64) bool { return f.bf.MayContain(x >> f.level) }
+
+// MayContainRange probes all prefixes covering [lo, hi]; ranges wider than
+// maxProbes·2^level conservatively answer true.
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	pl, ph := lo>>f.level, hi>>f.level
+	if ph-pl >= f.maxProbes {
+		return true
+	}
+	for p := pl; ; p++ {
+		if f.bf.MayContain(p) {
+			return true
+		}
+		if p == ph {
+			return false
+		}
+	}
+}
+
+// SizeBits returns the underlying filter size.
+func (f *Filter) SizeBits() uint64 { return f.bf.SizeBits() }

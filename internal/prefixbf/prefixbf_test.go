@@ -1,0 +1,79 @@
+package prefixbf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(2000, 12, 16, 0)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("point false negative for %d", k)
+		}
+		if !f.MayContainRange(k-min(k, 100), k+min(^uint64(0)-k, 100)) {
+			t.Fatalf("range false negative for %d", k)
+		}
+	}
+}
+
+func TestPrefixCollision(t *testing.T) {
+	// Keys sharing the dropped-bit prefix are indistinguishable — the
+	// documented weakness for point queries.
+	f := New(100, 12, 16, 0)
+	f.Insert(0x1234_0000)
+	if !f.MayContain(0x1234_ABCD) {
+		t.Error("prefix sibling should collide (same prefix)")
+	}
+	if f.Level() != 16 {
+		t.Errorf("level = %d, want 16", f.Level())
+	}
+}
+
+func TestRangeProbeBudget(t *testing.T) {
+	f := New(100, 12, 8, 4)
+	f.Insert(1 << 30)
+	// Range spanning more than 4 prefixes of 2^8: conservative true.
+	if !f.MayContainRange(0, 1<<16) {
+		t.Error("over-budget range must answer maybe")
+	}
+	// Small empty range far from the key: should usually be false.
+	if f.MayContainRange(5<<40, 5<<40|255) {
+		t.Log("small range false positive (acceptable, probabilistic)")
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	const n = 10000
+	f := New(n, 14, 20, 0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		f.Insert(rng.Uint64())
+	}
+	// Empty ranges of one prefix width: FPR should be bloom-like.
+	fp, probes := 0, 2000
+	for i := 0; i < probes; i++ {
+		lo := rng.Uint64() &^ ((1 << 20) - 1)
+		if f.MayContainRange(lo, lo|((1<<20)-1)) {
+			fp++
+		}
+	}
+	// n keys over 2^44 prefixes: almost all probes hit empty prefixes.
+	if fpr := float64(fp) / float64(probes); fpr > 0.05 {
+		t.Errorf("single-prefix range FPR %.4f too high", fpr)
+	}
+}
+
+func TestReversedBounds(t *testing.T) {
+	f := New(10, 12, 8, 0)
+	f.Insert(1000)
+	if !f.MayContainRange(1200, 900) {
+		t.Error("reversed bounds should behave as [900,1200]")
+	}
+}

@@ -1,0 +1,330 @@
+// Package rosetta implements Rosetta (Luo et al., SIGMOD 2020), the
+// hierarchical point-range filter the paper benchmarks against: one Bloom
+// filter per dyadic level up to L = log2(R), range queries answered by
+// dyadic decomposition with recursive "doubting" down to level 0.
+//
+// Variants (paper §6):
+//   - VariantF, the first-cut solution: bottom level sized for the target
+//     FPR ε, every upper level sized for FPR 1/(2−ε).
+//   - VariantS, single level: only the bottom Bloom filter; range queries
+//     probe every element of the interval (linear time).
+//   - VariantO, optimized: like F but the memory split between the bottom
+//     level and the upper levels is chosen by a bounded grid search over
+//     the modeled range FPR. The original uses a solver over sample
+//     workloads; the grid search is a documented substitution that keeps
+//     the same mechanism (shifting bits across levels) at a fraction of
+//     the tuning cost.
+//   - VariantV, variable-level: geometrically decaying per-level weights
+//     push bits toward the lower levels, trading middle/top-level FPR for
+//     bottom-level (point) FPR.
+package rosetta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bloom"
+)
+
+// Variant selects the memory-allocation strategy.
+type Variant int
+
+const (
+	// VariantF is the first-cut solution (default).
+	VariantF Variant = iota
+	// VariantS uses a single bottom-level filter.
+	VariantS
+	// VariantO shifts memory between bottom and upper levels by grid
+	// search on the modeled range FPR.
+	VariantO
+	// VariantV is the variable-level variant: like O but with
+	// geometrically decaying per-level weights that push bits toward the
+	// lower levels, improving bottom-level FPR at the cost of the middle
+	// and top levels (paper §6).
+	VariantV
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantF:
+		return "F"
+	case VariantS:
+		return "S"
+	case VariantO:
+		return "O"
+	case VariantV:
+		return "V"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options configures a Rosetta filter.
+type Options struct {
+	// N is the expected number of keys.
+	N uint64
+	// BitsPerKey is the total space budget per key across all levels.
+	BitsPerKey float64
+	// MaxRange is R, the largest supported query range; larger queries
+	// degrade to linear probing capped by MaxProbes. 0 means 2^10.
+	MaxRange uint64
+	// Variant selects F, S, O or V. Default F.
+	Variant Variant
+	// MaxProbes bounds the dyadic probes per range query (0 = 8192);
+	// beyond it the filter conservatively answers true.
+	MaxProbes int
+}
+
+// Filter is a Rosetta point-range filter. Inserts are online; the variant
+// tuning (level sizing) is fixed at construction, which is why the paper
+// classifies Rosetta's optimized variants as offline (Problem 2).
+type Filter struct {
+	levels    []*bloom.Filter // levels[l] indexes prefixes x >> l
+	maxLevel  int             // L = len(levels)-1
+	maxProbes int
+	sizeBits  uint64
+}
+
+// New creates a Rosetta filter.
+func New(opt Options) (*Filter, error) {
+	if opt.N == 0 || opt.BitsPerKey <= 0 {
+		return nil, fmt.Errorf("rosetta: need N and BitsPerKey")
+	}
+	r := opt.MaxRange
+	if r == 0 {
+		r = 1 << 10
+	}
+	maxLevel := 0
+	for uint64(1)<<uint(maxLevel) < r && maxLevel < 63 {
+		maxLevel++
+	}
+	maxProbes := opt.MaxProbes
+	if maxProbes == 0 {
+		maxProbes = 8192
+	}
+	totalBits := opt.BitsPerKey * float64(opt.N)
+
+	var perLevel []float64
+	switch opt.Variant {
+	case VariantS:
+		perLevel = []float64{totalBits}
+		maxLevel = 0
+	case VariantO:
+		perLevel = allocateO(opt.N, totalBits, maxLevel, r)
+	case VariantV:
+		perLevel = allocateV(totalBits, maxLevel)
+	default:
+		perLevel = allocateF(opt.N, totalBits, maxLevel)
+	}
+	f := &Filter{maxLevel: len(perLevel) - 1, maxProbes: maxProbes}
+	for _, b := range perLevel {
+		bf := bloom.NewBits(uint64(b), bloomKForBits(opt.N, b))
+		f.levels = append(f.levels, bf)
+		f.sizeBits += bf.SizeBits()
+	}
+	return f, nil
+}
+
+// bloomKForBits is the standard optimal k = (m/n)·ln2.
+func bloomKForBits(n uint64, mBits float64) int {
+	k := int(mBits / float64(n) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return k
+}
+
+// bfBitsForFPR returns the Bloom size for n keys at FPR eps:
+// m = −n·ln(eps)/ln²2 = n·log2(e)·log2(1/eps).
+func bfBitsForFPR(n uint64, eps float64) float64 {
+	return float64(n) * math.Log2(math.E) * math.Log2(1/eps)
+}
+
+// allocateF sizes the first-cut variant: find the bottom FPR ε such that
+// the bottom filter plus L upper filters at FPR 1/(2−ε) fit the budget.
+// When even ε = 0.5 does not fit, the budget is split evenly.
+func allocateF(n uint64, totalBits float64, maxLevel int) []float64 {
+	upper := func(eps float64) float64 { return bfBitsForFPR(n, 1/(2-eps)) }
+	need := func(eps float64) float64 {
+		return bfBitsForFPR(n, eps) + float64(maxLevel)*upper(eps)
+	}
+	if need(0.5) > totalBits {
+		per := totalBits / float64(maxLevel+1)
+		out := make([]float64, maxLevel+1)
+		for i := range out {
+			out[i] = per
+		}
+		return out
+	}
+	lo, hi := 1e-9, 0.5
+	for it := 0; it < 60; it++ {
+		mid := (lo + hi) / 2
+		if need(mid) > totalBits {
+			lo = mid // need more eps (less space)
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]float64, maxLevel+1)
+	out[0] = bfBitsForFPR(n, hi)
+	for l := 1; l <= maxLevel; l++ {
+		out[l] = upper(hi)
+	}
+	return out
+}
+
+// allocateO grid-searches the bottom level's share of the budget,
+// minimizing a closed-form estimate of the range FPR for queries of size R
+// (the probability any of the ~2·L covering probes survives doubting).
+func allocateO(n uint64, totalBits float64, maxLevel int, r uint64) []float64 {
+	bestScore := math.Inf(1)
+	var best []float64
+	for frac := 0.20; frac <= 0.80; frac += 0.05 {
+		bottom := totalBits * frac
+		perUpper := totalBits * (1 - frac) / float64(maxLevel)
+		epsBottom := bloomFPR(n, bottom)
+		epsUpper := bloomFPR(n, perUpper)
+		// A probe at level l must survive its own filter and the doubting
+		// chain below; approximate the chain survival as the product of
+		// per-level FPRs with branching 2 (upper bound clamped to 1).
+		chain := epsBottom
+		for l := 1; l <= maxLevel; l++ {
+			chain = math.Min(1, 2*chain*epsUpper)
+		}
+		score := 1 - math.Pow(1-chain, 2*float64(maxLevel))
+		// Weight in the point FPR so the bottom level is not starved.
+		score += epsBottom * epsBottom
+		if score < bestScore {
+			bestScore = score
+			best = make([]float64, maxLevel+1)
+			best[0] = bottom
+			for l := 1; l <= maxLevel; l++ {
+				best[l] = perUpper
+			}
+		}
+	}
+	return best
+}
+
+// allocateV assigns geometrically decaying weights bottom-up: level l gets
+// weight decay^l, concentrating memory at the low levels.
+func allocateV(totalBits float64, maxLevel int) []float64 {
+	const decay = 0.6
+	weights := make([]float64, maxLevel+1)
+	sum := 0.0
+	w := 1.0
+	for l := 0; l <= maxLevel; l++ {
+		weights[l] = w
+		sum += w
+		w *= decay
+	}
+	out := make([]float64, maxLevel+1)
+	for l := range out {
+		out[l] = totalBits * weights[l] / sum
+	}
+	return out
+}
+
+func bloomFPR(n uint64, mBits float64) float64 {
+	if mBits <= 0 {
+		return 1
+	}
+	k := float64(bloomKForBits(n, mBits))
+	return math.Pow(1-math.Exp(-k*float64(n)/mBits), k)
+}
+
+// Insert adds a key to every level's filter (prefixes x>>l), the online
+// insertion path Rosetta shares with bloomRF.
+func (f *Filter) Insert(x uint64) {
+	for l := 0; l <= f.maxLevel; l++ {
+		f.levels[l].Insert(x >> uint(l))
+	}
+}
+
+// MayContain probes the exact bottom filter.
+func (f *Filter) MayContain(x uint64) bool {
+	return f.levels[0].MayContain(x)
+}
+
+// MayContainRange decomposes [lo, hi] into maximal dyadic intervals capped
+// at the top level and probes each with doubting. Work beyond MaxProbes
+// conservatively answers true; the probe budget is shared across the whole
+// query, reproducing Rosetta's "logarithmic (sometimes linear) complexity
+// with respect to the query range" (paper §6).
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	budget := f.maxProbes
+	cur := lo
+	for {
+		level := maxDyadicLevel(cur, hi)
+		if level > f.maxLevel {
+			level = f.maxLevel
+		}
+		if f.doubt(level, cur>>uint(level), &budget) {
+			return true
+		}
+		if budget <= 0 {
+			return true // out of probes: maybe
+		}
+		next := cur + (uint64(1) << uint(level))
+		if next <= cur || next > hi {
+			return false
+		}
+		cur = next
+	}
+}
+
+// maxDyadicLevel returns the largest level l such that the dyadic interval
+// of size 2^l starting at cur is aligned and fits within [cur, hi].
+func maxDyadicLevel(cur, hi uint64) int {
+	span := hi - cur + 1
+	l := 0
+	for l < 63 {
+		sz := uint64(1) << uint(l+1)
+		if cur&(sz-1) != 0 || (span != 0 && sz > span) {
+			break
+		}
+		l++
+	}
+	if span == 0 { // [0, ^0]: full domain
+		return 63
+	}
+	return l
+}
+
+// doubt recursively verifies a positive at level l by probing its two
+// children, Rosetta's mechanism for sharpening upper-level FPR (1/(2−ε))
+// toward the bottom level's ε.
+func (f *Filter) doubt(level int, prefix uint64, budget *int) bool {
+	if *budget <= 0 {
+		return true
+	}
+	*budget--
+	if !f.levels[level].MayContain(prefix) {
+		return false
+	}
+	if level == 0 {
+		return true
+	}
+	return f.doubt(level-1, prefix<<1, budget) || f.doubt(level-1, prefix<<1|1, budget)
+}
+
+// MaxLevel returns L, the top dyadic level maintained.
+func (f *Filter) MaxLevel() int { return f.maxLevel }
+
+// SizeBits returns the total memory across levels.
+func (f *Filter) SizeBits() uint64 { return f.sizeBits }
+
+// LevelBits returns the per-level sizes (diagnostics).
+func (f *Filter) LevelBits() []uint64 {
+	out := make([]uint64, len(f.levels))
+	for i, bf := range f.levels {
+		out[i] = bf.SizeBits()
+	}
+	return out
+}

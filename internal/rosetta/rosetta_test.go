@@ -1,0 +1,271 @@
+package rosetta
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func buildFilter(t *testing.T, opt Options, keys []uint64) *Filter {
+	t.Helper()
+	f, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	return f
+}
+
+func randKeys(seed int64, n int, mask uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() & mask
+	}
+	return keys
+}
+
+func TestNoFalseNegativesPoint(t *testing.T) {
+	keys := randKeys(1, 5000, ^uint64(0))
+	f := buildFilter(t, Options{N: 5000, BitsPerKey: 18, MaxRange: 64}, keys)
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("point false negative for %d", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesRange(t *testing.T) {
+	for _, variant := range []Variant{VariantF, VariantS, VariantO} {
+		t.Run(variant.String(), func(t *testing.T) {
+			keys := randKeys(2, 2000, (1<<32)-1)
+			f := buildFilter(t, Options{N: 2000, BitsPerKey: 20, MaxRange: 256, Variant: variant}, keys)
+			rng := rand.New(rand.NewSource(3))
+			for trial := 0; trial < 5000; trial++ {
+				k := keys[rng.Intn(len(keys))]
+				span := rng.Uint64() % 256
+				lo := k - min(k, span)
+				hi := k + min(^uint64(0)-k, span)
+				if !f.MayContainRange(lo, hi) {
+					t.Fatalf("range false negative: key %d in [%d,%d]", k, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+func TestSmallRangeFPR(t *testing.T) {
+	// Rosetta's home turf: small ranges at generous budgets should filter
+	// well (the paper gives it the very-short-range crown, Fig. 9).
+	const n = 20000
+	keys := randKeys(4, n, ^uint64(0))
+	f := buildFilter(t, Options{N: n, BitsPerKey: 20, MaxRange: 64}, keys)
+	sorted := append([]uint64(nil), keys...)
+	slices.Sort(sorted)
+	rng := rand.New(rand.NewSource(5))
+	fp, probes := 0, 0
+	for probes < 3000 {
+		lo := rng.Uint64()
+		if lo > ^uint64(0)-64 {
+			continue
+		}
+		hi := lo + 63
+		if hasKey(sorted, lo, hi) {
+			continue
+		}
+		probes++
+		if f.MayContainRange(lo, hi) {
+			fp++
+		}
+	}
+	if fpr := float64(fp) / float64(probes); fpr > 0.10 {
+		t.Errorf("small-range FPR %.4f too high at 20 b/k", fpr)
+	}
+}
+
+func TestPointFPRBeatsRangeBudgetedFilter(t *testing.T) {
+	// The bottom level is an exact-key Bloom filter, so point FPR must be
+	// excellent (paper Fig. 9.A2: Rosetta has the lowest point FPR).
+	const n = 20000
+	keys := randKeys(6, n, ^uint64(0))
+	// Small-range tuning (R = 64) leaves the bottom level most of the
+	// budget; with R = 2^10 eleven levels split 22 b/k and the point FPR
+	// degrades to percent level — exactly the trade-off of Fig. 10.
+	f := buildFilter(t, Options{N: n, BitsPerKey: 22, MaxRange: 64}, keys)
+	present := map[uint64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	rng := rand.New(rand.NewSource(7))
+	fp, probes := 0, 0
+	for probes < 50000 {
+		y := rng.Uint64()
+		if present[y] {
+			continue
+		}
+		probes++
+		if f.MayContain(y) {
+			fp++
+		}
+	}
+	if fpr := float64(fp) / float64(probes); fpr > 0.01 {
+		t.Errorf("point FPR %.5f too high for 22 b/k Rosetta", fpr)
+	}
+}
+
+func TestVariantLevelSizing(t *testing.T) {
+	f, err := New(Options{N: 10000, BitsPerKey: 20, MaxRange: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := f.LevelBits()
+	if len(lb) != 9 { // levels 0..8 for R=256
+		t.Fatalf("levels = %d, want 9", len(lb))
+	}
+	// First-cut: bottom level largest (FPR ε < 1/(2−ε)).
+	for l := 1; l < len(lb); l++ {
+		if lb[0] < lb[l] {
+			t.Errorf("bottom level (%d bits) smaller than level %d (%d bits)", lb[0], l, lb[l])
+		}
+	}
+	// Total within budget (±64-bit rounding per level).
+	var total uint64
+	for _, b := range lb {
+		total += b
+	}
+	budget := uint64(10000 * 20)
+	if total > budget+uint64(len(lb)*64) {
+		t.Errorf("total %d exceeds budget %d", total, budget)
+	}
+	if f.SizeBits() != total {
+		t.Errorf("SizeBits %d != Σ levels %d", f.SizeBits(), total)
+	}
+}
+
+func TestVariantS(t *testing.T) {
+	f, err := New(Options{N: 1000, BitsPerKey: 16, MaxRange: 1 << 12, Variant: VariantS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaxLevel() != 0 {
+		t.Fatalf("variant S must keep a single level, got %d", f.MaxLevel())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f.Insert(i * 977)
+	}
+	// Range queries degrade to per-element probes but stay correct.
+	if !f.MayContainRange(977*10-3, 977*10+3) {
+		t.Error("false negative on variant S range")
+	}
+}
+
+func TestProbeBudgetConservative(t *testing.T) {
+	f, err := New(Options{N: 100, BitsPerKey: 16, MaxRange: 16, MaxProbes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(1 << 40)
+	// A huge range blows the probe budget and must answer maybe (true),
+	// never false.
+	if !f.MayContainRange(0, ^uint64(0)) {
+		t.Error("budget-exhausted query must answer true")
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{N: 0, BitsPerKey: 10}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New(Options{N: 10, BitsPerKey: 0}); err == nil {
+		t.Error("BitsPerKey=0 accepted")
+	}
+}
+
+func TestMaxDyadicLevel(t *testing.T) {
+	cases := []struct {
+		cur, hi uint64
+		want    int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 7, 3},
+		{0, 6, 2},  // span 7: largest aligned fit is 4
+		{4, 7, 2},  // aligned at 4, span 4
+		{2, 7, 1},  // alignment limits to 2
+		{1, 7, 0},  // odd start
+		{8, 15, 3}, // aligned 8-block
+		{0, ^uint64(0), 63},
+	}
+	for _, c := range cases {
+		if got := maxDyadicLevel(c.cur, c.hi); got != c.want {
+			t.Errorf("maxDyadicLevel(%d,%d) = %d, want %d", c.cur, c.hi, got, c.want)
+		}
+	}
+}
+
+func hasKey(sorted []uint64, lo, hi uint64) bool {
+	i, j := 0, len(sorted)
+	for i < j {
+		m := (i + j) / 2
+		if sorted[m] < lo {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i < len(sorted) && sorted[i] <= hi
+}
+
+func TestVariantV(t *testing.T) {
+	f, err := New(Options{N: 10000, BitsPerKey: 20, MaxRange: 256, Variant: VariantV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := f.LevelBits()
+	// Geometric decay: strictly more bits at lower levels.
+	for l := 1; l < len(lb); l++ {
+		if lb[l] > lb[l-1] {
+			t.Errorf("variant V level %d (%d bits) larger than level %d (%d bits)", l, lb[l], l-1, lb[l-1])
+		}
+	}
+	// Point FPR must beat variant F at the same budget (bits pushed down).
+	keys := randKeys(30, 20000, ^uint64(0))
+	fv := buildFilter(t, Options{N: 20000, BitsPerKey: 18, MaxRange: 1 << 10, Variant: VariantV}, keys)
+	ff := buildFilter(t, Options{N: 20000, BitsPerKey: 18, MaxRange: 1 << 10, Variant: VariantF}, keys)
+	rng := rand.New(rand.NewSource(31))
+	fpV, fpF, probes := 0, 0, 20000
+	for i := 0; i < probes; i++ {
+		y := rng.Uint64()
+		if fv.MayContain(y) {
+			fpV++
+		}
+		if ff.MayContain(y) {
+			fpF++
+		}
+	}
+	if fpV >= fpF {
+		t.Errorf("variant V point FPR (%d) not below variant F (%d)", fpV, fpF)
+	}
+	// And it must still satisfy no-false-negatives.
+	for _, k := range keys[:2000] {
+		if !fv.MayContain(k) {
+			t.Fatalf("variant V lost key %d", k)
+		}
+		if !fv.MayContainRange(k-min(k, 50), k+min(^uint64(0)-k, 50)) {
+			t.Fatalf("variant V range false negative around %d", k)
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	for v, want := range map[Variant]string{VariantF: "F", VariantS: "S", VariantO: "O", VariantV: "V"} {
+		if v.String() != want {
+			t.Errorf("variant %d string = %q", int(v), v.String())
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant should still format")
+	}
+}

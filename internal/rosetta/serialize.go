@@ -1,0 +1,71 @@
+package rosetta
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/bloom"
+	"repro/internal/hashutil"
+)
+
+const serMagic = "ros1"
+
+// ErrCorrupt reports a malformed filter block.
+var ErrCorrupt = errors.New("rosetta: corrupt filter block")
+
+// MarshalBinary serializes the filter: header + one bloom block per level.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, serMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.levels)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.maxProbes))
+	for _, bf := range f.levels {
+		blk, err := bf.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blk)))
+		buf = append(buf, blk...)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, hashutil.HashBytes(buf, 0))
+	return buf, nil
+}
+
+// Unmarshal inverts MarshalBinary.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 4+4+4+8 || string(data[:4]) != serMagic {
+		return nil, ErrCorrupt
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if hashutil.HashBytes(body, 0) != sum {
+		return nil, ErrCorrupt
+	}
+	nLevels := int(binary.LittleEndian.Uint32(body[4:]))
+	maxProbes := int(binary.LittleEndian.Uint32(body[8:]))
+	if nLevels < 1 || nLevels > 64 || maxProbes < 1 {
+		return nil, ErrCorrupt
+	}
+	f := &Filter{maxLevel: nLevels - 1, maxProbes: maxProbes}
+	off := 12
+	for l := 0; l < nLevels; l++ {
+		if off+4 > len(body) {
+			return nil, ErrCorrupt
+		}
+		blen := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+blen > len(body) {
+			return nil, ErrCorrupt
+		}
+		bf, err := bloom.Unmarshal(body[off : off+blen])
+		if err != nil {
+			return nil, err
+		}
+		f.levels = append(f.levels, bf)
+		f.sizeBits += bf.SizeBits()
+		off += blen
+	}
+	if off != len(body) {
+		return nil, ErrCorrupt
+	}
+	return f, nil
+}

@@ -1,0 +1,197 @@
+// Package succinct provides the rank/select bit vectors underlying the
+// SuRF baseline's LOUDS-Dense/Sparse encodings (Zhang et al., SIGMOD 2018):
+// constant-time rank via per-block popcount prefix sums and near-constant
+// select via sampled positions.
+package succinct
+
+import "math/bits"
+
+// Builder accumulates bits before freezing them into a BitVector.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// Append adds one bit.
+func (b *Builder) Append(bit bool) {
+	if b.n%64 == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[b.n/64] |= 1 << (b.n % 64)
+	}
+	b.n++
+}
+
+// AppendN adds the low n bits of v, LSB first.
+func (b *Builder) AppendN(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		b.Append(v&(1<<i) != 0)
+	}
+}
+
+// Len returns the number of bits appended so far.
+func (b *Builder) Len() int { return b.n }
+
+// Build freezes the builder into a BitVector with rank/select support.
+func (b *Builder) Build() *BitVector {
+	return NewBitVector(b.words, b.n)
+}
+
+const selectSample = 256
+
+// BitVector is an immutable bit array with O(1) Rank1 and near-O(1)
+// Select1.
+type BitVector struct {
+	words []uint64
+	n     int
+	// rank[i] = number of set bits in words[0:i].
+	rank []uint32
+	// selectHints[j] = word index containing the (j·selectSample+1)-th set
+	// bit.
+	selectHints []uint32
+	ones        int
+}
+
+// NewBitVector builds the acceleration structures over the given words
+// (n = logical bit length; trailing bits of the last word must be zero).
+func NewBitVector(words []uint64, n int) *BitVector {
+	need := (n + 63) / 64
+	w := make([]uint64, need)
+	copy(w, words)
+	bv := &BitVector{words: w, n: n}
+	bv.rank = make([]uint32, len(w)+1)
+	total := 0
+	for i, word := range w {
+		bv.rank[i] = uint32(total)
+		total += bits.OnesCount64(word)
+	}
+	bv.rank[len(w)] = uint32(total)
+	bv.ones = total
+	for j := 0; j*selectSample < total; j++ {
+		target := j*selectSample + 1
+		// Binary search the rank array for the word containing the
+		// target-th set bit.
+		lo, hi := 0, len(w)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(bv.rank[mid+1]) >= target {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		bv.selectHints = append(bv.selectHints, uint32(lo))
+	}
+	return bv
+}
+
+// Len returns the bit length.
+func (v *BitVector) Len() int { return v.n }
+
+// Ones returns the total number of set bits.
+func (v *BitVector) Ones() int { return v.ones }
+
+// Get returns bit i.
+func (v *BitVector) Get(i int) bool {
+	return v.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Rank1 returns the number of set bits in [0, i) — i may equal Len().
+func (v *BitVector) Rank1(i int) int {
+	w := i >> 6
+	r := int(v.rank[w])
+	if off := i & 63; off != 0 {
+		r += bits.OnesCount64(v.words[w] & (1<<off - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of clear bits in [0, i).
+func (v *BitVector) Rank0(i int) int { return i - v.Rank1(i) }
+
+// Select1 returns the position of the j-th set bit (1-based); -1 when j is
+// out of range.
+func (v *BitVector) Select1(j int) int {
+	if j < 1 || j > v.ones {
+		return -1
+	}
+	w := int(v.selectHints[(j-1)/selectSample])
+	// Walk forward from the hint.
+	for int(v.rank[w+1]) < j {
+		w++
+	}
+	need := j - int(v.rank[w])
+	word := v.words[w]
+	for i := 1; i < need; i++ {
+		word &= word - 1 // clear lowest set bit
+	}
+	return w<<6 + bits.TrailingZeros64(word)
+}
+
+// NextSet returns the position of the first set bit at or after i, or -1.
+func (v *BitVector) NextSet(i int) int {
+	if i >= v.n {
+		return -1
+	}
+	w := i >> 6
+	word := v.words[w] &^ (1<<(i&63) - 1)
+	for {
+		if word != 0 {
+			pos := w<<6 + bits.TrailingZeros64(word)
+			if pos >= v.n {
+				return -1
+			}
+			return pos
+		}
+		w++
+		if w >= len(v.words) {
+			return -1
+		}
+		word = v.words[w]
+	}
+}
+
+// PrevSet returns the position of the last set bit at or before i, or -1.
+func (v *BitVector) PrevSet(i int) int {
+	if i >= v.n {
+		i = v.n - 1
+	}
+	if i < 0 {
+		return -1
+	}
+	w := i >> 6
+	word := v.words[w] & (^uint64(0) >> (63 - i&63))
+	for {
+		if word != 0 {
+			return w<<6 + 63 - bits.LeadingZeros64(word)
+		}
+		w--
+		if w < 0 {
+			return -1
+		}
+		word = v.words[w]
+	}
+}
+
+// SizeBits returns the memory footprint including rank/select overhead.
+func (v *BitVector) SizeBits() uint64 {
+	return uint64(len(v.words))*64 + uint64(len(v.rank))*32 + uint64(len(v.selectHints))*32
+}
+
+// Bits extracts w (≤ 64) bits starting at position pos, LSB-first, matching
+// Builder.AppendN. Used for the packed fixed-width suffix arrays of SuRF.
+func (v *BitVector) Bits(pos, w int) uint64 {
+	if w == 0 {
+		return 0
+	}
+	wi, off := pos>>6, pos&63
+	val := v.words[wi] >> off
+	if off+w > 64 && wi+1 < len(v.words) {
+		val |= v.words[wi+1] << (64 - off)
+	}
+	if w < 64 {
+		val &= 1<<w - 1
+	}
+	return val
+}

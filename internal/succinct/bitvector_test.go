@@ -1,0 +1,157 @@
+package succinct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// reference is a naive bit array for cross-checking.
+type reference struct{ bits []bool }
+
+func buildRandom(seed int64, n int, density float64) (*BitVector, *reference) {
+	rng := rand.New(rand.NewSource(seed))
+	var b Builder
+	ref := &reference{bits: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		bit := rng.Float64() < density
+		ref.bits[i] = bit
+		b.Append(bit)
+	}
+	return b.Build(), ref
+}
+
+func (r *reference) rank1(i int) int {
+	n := 0
+	for j := 0; j < i; j++ {
+		if r.bits[j] {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *reference) select1(j int) int {
+	seen := 0
+	for i, b := range r.bits {
+		if b {
+			seen++
+			if seen == j {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestRankAgainstNaive(t *testing.T) {
+	for _, density := range []float64{0.01, 0.5, 0.99} {
+		bv, ref := buildRandom(1, 3000, density)
+		for i := 0; i <= 3000; i += 7 {
+			if got, want := bv.Rank1(i), ref.rank1(i); got != want {
+				t.Fatalf("density %v: Rank1(%d) = %d, want %d", density, i, got, want)
+			}
+			if got, want := bv.Rank0(i), i-ref.rank1(i); got != want {
+				t.Fatalf("density %v: Rank0(%d) = %d, want %d", density, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectAgainstNaive(t *testing.T) {
+	for _, density := range []float64{0.02, 0.5, 0.98} {
+		bv, ref := buildRandom(2, 4000, density)
+		for j := 1; j <= bv.Ones(); j += 3 {
+			if got, want := bv.Select1(j), ref.select1(j); got != want {
+				t.Fatalf("density %v: Select1(%d) = %d, want %d", density, j, got, want)
+			}
+		}
+		if bv.Select1(0) != -1 || bv.Select1(bv.Ones()+1) != -1 {
+			t.Fatal("out-of-range select must return -1")
+		}
+	}
+}
+
+func TestRankSelectInverse(t *testing.T) {
+	bv, _ := buildRandom(3, 10000, 0.3)
+	prop := func(jj uint16) bool {
+		j := int(jj)%bv.Ones() + 1
+		pos := bv.Select1(j)
+		return pos >= 0 && bv.Get(pos) && bv.Rank1(pos) == j-1 && bv.Rank1(pos+1) == j
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPrevSet(t *testing.T) {
+	var b Builder
+	//           0      1     2      3     4      5     6
+	for _, bit := range []bool{false, true, false, true, false, false, true} {
+		b.Append(bit)
+	}
+	bv := b.Build()
+	cases := []struct{ from, next, prev int }{
+		{0, 1, -1}, {1, 1, 1}, {2, 3, 1}, {3, 3, 3}, {4, 6, 3}, {6, 6, 6},
+	}
+	for _, c := range cases {
+		if got := bv.NextSet(c.from); got != c.next {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.next)
+		}
+		if got := bv.PrevSet(c.from); got != c.prev {
+			t.Errorf("PrevSet(%d) = %d, want %d", c.from, got, c.prev)
+		}
+	}
+	if bv.NextSet(7) != -1 {
+		t.Error("NextSet past end must be -1")
+	}
+	if bv.PrevSet(100) != 6 {
+		t.Error("PrevSet clamps to length")
+	}
+}
+
+func TestNextPrevSetAcrossWords(t *testing.T) {
+	var b Builder
+	for i := 0; i < 300; i++ {
+		b.Append(i == 70 || i == 200)
+	}
+	bv := b.Build()
+	if got := bv.NextSet(0); got != 70 {
+		t.Errorf("NextSet(0) = %d, want 70", got)
+	}
+	if got := bv.NextSet(71); got != 200 {
+		t.Errorf("NextSet(71) = %d, want 200", got)
+	}
+	if got := bv.PrevSet(199); got != 70 {
+		t.Errorf("PrevSet(199) = %d, want 70", got)
+	}
+	if got := bv.PrevSet(299); got != 200 {
+		t.Errorf("PrevSet(299) = %d, want 200", got)
+	}
+}
+
+func TestAppendN(t *testing.T) {
+	var b Builder
+	b.AppendN(0b1011, 4)
+	bv := b.Build()
+	want := []bool{true, true, false, true}
+	for i, w := range want {
+		if bv.Get(i) != w {
+			t.Errorf("bit %d = %v, want %v", i, bv.Get(i), w)
+		}
+	}
+	if bv.Len() != 4 || bv.Ones() != 3 {
+		t.Errorf("len/ones = %d/%d, want 4/3", bv.Len(), bv.Ones())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var b Builder
+	bv := b.Build()
+	if bv.Len() != 0 || bv.Ones() != 0 || bv.Rank1(0) != 0 {
+		t.Error("empty vector broken")
+	}
+	if bv.NextSet(0) != -1 || bv.Select1(1) != -1 {
+		t.Error("empty vector queries must fail gracefully")
+	}
+}

@@ -1,0 +1,266 @@
+package surf
+
+// Iterator enumerates the stored (truncated) keys of a SuRF in
+// lexicographic order. Keys come back as the minimal distinguishing
+// prefixes the trie stores, not the original full keys — the usual SuRF
+// trade-off. A freshly created iterator is invalid; call SeekFirst or Seek.
+type Iterator struct {
+	f      *Filter
+	frames []iterFrame
+	key    []byte
+	valid  bool
+	// atPrefix marks that the current position is a prefix-key terminal
+	// of the node on top of the stack rather than a leaf edge.
+	atPrefix bool
+}
+
+// iterFrame records one traversal step: the node entered and the position
+// of the label taken inside it (dense: label value; sparse: edge index).
+type iterFrame struct {
+	node int
+	pos  int
+	leaf bool // the taken label is a leaf edge (ends the key)
+}
+
+// NewIterator returns an iterator over the filter's keys.
+func (f *Filter) NewIterator() *Iterator { return &Iterator{f: f} }
+
+// Valid reports whether the iterator is positioned at a key.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current truncated key; valid until the next move.
+func (it *Iterator) Key() []byte {
+	if !it.valid {
+		return nil
+	}
+	return it.key
+}
+
+// SeekFirst positions at the smallest key.
+func (it *Iterator) SeekFirst() {
+	it.reset()
+	if it.f.numKeys == 0 {
+		return
+	}
+	it.descendSmallest(0)
+}
+
+// Seek positions at the smallest stored key whose full form may be ≥
+// target (conservative under truncation, like MayContainRange's lower
+// bound).
+func (it *Iterator) Seek(target []byte) {
+	it.reset()
+	if it.f.numKeys == 0 {
+		return
+	}
+	f := it.f
+	node, depth := 0, 0
+	for {
+		if depth == len(target) {
+			it.descendSmallest(node)
+			return
+		}
+		c := int(target[depth])
+		if node < f.numDense {
+			p := node*256 + c
+			if f.dLabels.Get(p) {
+				if !f.dHasChild.Get(p) {
+					// Leaf on the search path: its truncated key is a
+					// prefix of target — conservative include.
+					it.pushDense(node, c, true)
+					it.finish(false)
+					return
+				}
+				it.pushDense(node, c, false)
+				node = 1 + f.dHasChild.Rank1(p)
+				depth++
+				continue
+			}
+			if it.advanceWithin(node, c-1) {
+				return
+			}
+		} else {
+			s := node - f.numDense
+			first, end := f.sparseNodeEdges(s)
+			e, found := f.sparseFindLabel(first, end, byte(c))
+			if found {
+				if !f.sHasChild.Get(e) {
+					it.pushSparse(node, e, true)
+					it.finish(false)
+					return
+				}
+				it.pushSparse(node, e, false)
+				node = 1 + f.denseChildren + f.sHasChild.Rank1(e)
+				depth++
+				continue
+			}
+			if it.advanceWithin(node, c-1) {
+				return
+			}
+		}
+		// Backtrack until some ancestor can advance; either way the seek
+		// is complete (backtrack positions the iterator or invalidates it).
+		it.backtrack()
+		return
+	}
+}
+
+// Next advances to the following key.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	if it.atPrefix {
+		// The prefix key sorts before all edges of its node: continue with
+		// the node's smallest edge.
+		node := it.currentNode()
+		it.atPrefix = false
+		if it.advanceWithin(node, -1) {
+			return
+		}
+		it.backtrack()
+		return
+	}
+	it.backtrack() // pop the current leaf edge and advance
+}
+
+func (it *Iterator) reset() {
+	it.frames = it.frames[:0]
+	it.key = it.key[:0]
+	it.valid = false
+	it.atPrefix = false
+}
+
+// currentNode is the node the next move operates in (the child of the top
+// frame, or the root).
+func (it *Iterator) currentNode() int {
+	f := it.f
+	if len(it.frames) == 0 {
+		return 0
+	}
+	fr := it.frames[len(it.frames)-1]
+	if fr.node < f.numDense {
+		return 1 + f.dHasChild.Rank1(fr.node*256+fr.pos)
+	}
+	return 1 + f.denseChildren + f.sHasChild.Rank1(fr.pos)
+}
+
+func (it *Iterator) pushDense(node, label int, leaf bool) {
+	it.frames = append(it.frames, iterFrame{node: node, pos: label, leaf: leaf})
+	it.key = append(it.key, byte(label))
+}
+
+func (it *Iterator) pushSparse(node, edge int, leaf bool) {
+	it.frames = append(it.frames, iterFrame{node: node, pos: edge, leaf: leaf})
+	it.key = append(it.key, it.f.sLabels[edge])
+}
+
+func (it *Iterator) pop() {
+	it.frames = it.frames[:len(it.frames)-1]
+	it.key = it.key[:len(it.key)-1]
+}
+
+func (it *Iterator) finish(atPrefix bool) {
+	it.valid = true
+	it.atPrefix = atPrefix
+}
+
+// descendSmallest moves to the smallest key within node's subtree.
+func (it *Iterator) descendSmallest(node int) {
+	f := it.f
+	for {
+		if node < f.numDense {
+			if f.dPrefix.Get(node) {
+				it.finish(true)
+				return
+			}
+			p := f.dLabels.NextSet(node * 256)
+			if p < 0 || p >= (node+1)*256 {
+				it.valid = false
+				return
+			}
+			leaf := !f.dHasChild.Get(p)
+			it.pushDense(node, p-node*256, leaf)
+			if leaf {
+				it.finish(false)
+				return
+			}
+			node = 1 + f.dHasChild.Rank1(p)
+			continue
+		}
+		s := node - f.numDense
+		if f.sPrefix.Get(s) {
+			it.finish(true)
+			return
+		}
+		first, _ := f.sparseNodeEdges(s)
+		leaf := !f.sHasChild.Get(first)
+		it.pushSparse(node, first, leaf)
+		if leaf {
+			it.finish(false)
+			return
+		}
+		node = 1 + f.denseChildren + f.sHasChild.Rank1(first)
+	}
+}
+
+// advanceWithin moves to the smallest key under node whose first label is
+// strictly greater than `after` (-1 = take any). Reports success.
+func (it *Iterator) advanceWithin(node, after int) bool {
+	f := it.f
+	if node < f.numDense {
+		if after >= 255 {
+			return false
+		}
+		p := f.dLabels.NextSet(node*256 + after + 1)
+		if p < 0 || p >= (node+1)*256 {
+			return false
+		}
+		leaf := !f.dHasChild.Get(p)
+		it.pushDense(node, p-node*256, leaf)
+		if leaf {
+			it.finish(false)
+			return true
+		}
+		it.descendSmallest(1 + f.dHasChild.Rank1(p))
+		return it.valid
+	}
+	s := node - f.numDense
+	first, end := f.sparseNodeEdges(s)
+	e := first
+	for e < end && int(f.sLabels[e]) <= after {
+		e++
+	}
+	if e >= end {
+		return false
+	}
+	leaf := !f.sHasChild.Get(e)
+	it.pushSparse(node, e, leaf)
+	if leaf {
+		it.finish(false)
+		return true
+	}
+	it.descendSmallest(1 + f.denseChildren + f.sHasChild.Rank1(e))
+	return it.valid
+}
+
+// backtrack pops frames until one can advance past its taken label;
+// invalidates the iterator when the trie is exhausted.
+func (it *Iterator) backtrack() bool {
+	f := it.f
+	for len(it.frames) > 0 {
+		fr := it.frames[len(it.frames)-1]
+		it.pop()
+		var after int
+		if fr.node < f.numDense {
+			after = fr.pos
+		} else {
+			after = int(f.sLabels[fr.pos])
+		}
+		if it.advanceWithin(fr.node, after) {
+			return true
+		}
+	}
+	it.valid = false
+	return false
+}

@@ -1,0 +1,179 @@
+package surf
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// collect drains the iterator from its current position.
+func collect(it *Iterator) [][]byte {
+	var out [][]byte
+	for it.Valid() {
+		out = append(out, append([]byte(nil), it.Key()...))
+		it.Next()
+	}
+	return out
+}
+
+func TestIteratorEnumeratesAllKeysInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]uint64, 5000)
+	for i := range raw {
+		raw[i] = rng.Uint64()
+	}
+	slices.Sort(raw)
+	raw = slices.Compact(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	f, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := f.NewIterator()
+	it.SeekFirst()
+	got := collect(it)
+	if len(got) != len(keys) {
+		t.Fatalf("iterator yielded %d keys, want %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("iterator out of order at %d: %x ≥ %x", i, got[i-1], got[i])
+		}
+	}
+	// The i-th truncated key must be a prefix of the i-th original key
+	// (the minimal-prefix trie preserves order).
+	for i := range got {
+		if !bytes.HasPrefix(keys[i], got[i]) {
+			t.Fatalf("truncated key %x is not a prefix of original %x", got[i], keys[i])
+		}
+	}
+}
+
+func TestIteratorWithPrefixKeys(t *testing.T) {
+	keys := sortedKeys("a", "ab", "abc", "b", "ba", "z")
+	f, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := f.NewIterator()
+	it.SeekFirst()
+	got := collect(it)
+	if len(got) != len(keys) {
+		t.Fatalf("yielded %d keys %q, want %d", len(got), got, len(keys))
+	}
+	for i := range got {
+		if !bytes.HasPrefix(keys[i], got[i]) {
+			t.Fatalf("key %d: %q not a prefix of %q", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	keys := sortedKeys("bb", "dd", "ff")
+	f, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		target string
+		want   string // first truncated key at/after target ("" = invalid)
+	}{
+		{"a", "b"},
+		{"bb", "b"}, // "b" is a prefix of "bb": conservative include
+		{"bc", "b"}, // same
+		{"c", "d"},
+		{"dd", "d"},
+		{"de", "d"},
+		{"e", "f"},
+		{"ff", "f"},
+		{"fg", "f"},
+		{"g", ""},
+	}
+	for _, c := range cases {
+		it := f.NewIterator()
+		it.Seek([]byte(c.target))
+		if c.want == "" {
+			if it.Valid() {
+				t.Errorf("Seek(%q): want invalid, got %q", c.target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Errorf("Seek(%q) = %q (valid=%v), want %q", c.target, it.Key(), it.Valid(), c.want)
+		}
+	}
+}
+
+func TestIteratorSeekThenScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	raw := make([]uint64, 2000)
+	for i := range raw {
+		raw[i] = rng.Uint64() >> 8
+	}
+	slices.Sort(raw)
+	raw = slices.Compact(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	f, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seek to random targets: the rest of the enumeration must be sorted
+	// and contain at least the count of original keys ≥ target.
+	for trial := 0; trial < 100; trial++ {
+		v := rng.Uint64() >> 8
+		target := EncodeUint64(v)
+		it := f.NewIterator()
+		it.Seek(target)
+		got := collect(it)
+		wantAtLeast := 0
+		for _, k := range raw {
+			if k >= v {
+				wantAtLeast++
+			}
+		}
+		if len(got) < wantAtLeast {
+			t.Fatalf("Seek(%d): enumerated %d, want ≥ %d", v, len(got), wantAtLeast)
+		}
+		for i := 1; i < len(got); i++ {
+			if bytes.Compare(got[i-1], got[i]) >= 0 {
+				t.Fatal("post-seek enumeration out of order")
+			}
+		}
+	}
+}
+
+func TestIteratorEmptyFilter(t *testing.T) {
+	f, err := Build(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := f.NewIterator()
+	it.SeekFirst()
+	if it.Valid() {
+		t.Error("empty filter iterator should be invalid")
+	}
+	it.Seek([]byte("x"))
+	if it.Valid() {
+		t.Error("seek on empty filter should be invalid")
+	}
+	it.Next() // must not panic
+}
+
+func TestIteratorSingleAndPrefixOnly(t *testing.T) {
+	f, err := Build([][]byte{{}}, Options{}) // just the empty key
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := f.NewIterator()
+	it.SeekFirst()
+	if !it.Valid() || len(it.Key()) != 0 {
+		t.Fatalf("empty-key filter: valid=%v key=%q", it.Valid(), it.Key())
+	}
+}

@@ -1,0 +1,300 @@
+package surf
+
+import "bytes"
+
+// MayContain reports whether key may have been stored. False negatives are
+// impossible; false positives arise from truncation (keys sharing the
+// stored minimal prefix) unless refuted by the configured suffix bits.
+func (f *Filter) MayContain(key []byte) bool {
+	if f.numKeys == 0 {
+		return false
+	}
+	node, depth := 0, 0
+	for {
+		if node < f.numDense {
+			if depth == len(key) {
+				return f.dPrefix.Get(node) && f.checkPrefixSuffix(node, key, true)
+			}
+			p := node*256 + int(key[depth])
+			if !f.dLabels.Get(p) {
+				return false
+			}
+			if !f.dHasChild.Get(p) {
+				return f.checkDenseLeafSuffix(p, key, depth)
+			}
+			node = 1 + f.dHasChild.Rank1(p)
+			depth++
+			continue
+		}
+		s := node - f.numDense
+		if depth == len(key) {
+			return f.sPrefix.Get(s) && f.checkPrefixSuffix(s, key, false)
+		}
+		first, end := f.sparseNodeEdges(s)
+		e, ok := f.sparseFindLabel(first, end, key[depth])
+		if !ok {
+			return false
+		}
+		if !f.sHasChild.Get(e) {
+			return f.checkSparseLeafSuffix(e, key, depth)
+		}
+		node = 1 + f.denseChildren + f.sHasChild.Rank1(e)
+		depth++
+	}
+}
+
+// checkDenseLeafSuffix validates the suffix stored at dense leaf position p
+// against the query key (consumed through depth, the leaf label's depth).
+func (f *Filter) checkDenseLeafSuffix(p int, key []byte, depth int) bool {
+	if f.suffixBits == 0 {
+		return true
+	}
+	stored := f.dSuffix.Bits(f.dLeaf.Rank1(p)*f.suffixBits, f.suffixBits)
+	return stored == f.querySuffix(key, depth)
+}
+
+func (f *Filter) checkSparseLeafSuffix(e int, key []byte, depth int) bool {
+	if f.suffixBits == 0 {
+		return true
+	}
+	leafIdx := e - f.sHasChild.Rank1(e) // rank0 over edges
+	stored := f.sSuffix.Bits(leafIdx*f.suffixBits, f.suffixBits)
+	return stored == f.querySuffix(key, depth)
+}
+
+// checkPrefixSuffix validates a prefix-key terminal (dense flag selects the
+// dense arrays; idx is the node index within its part).
+func (f *Filter) checkPrefixSuffix(idx int, key []byte, dense bool) bool {
+	if f.suffixBits == 0 {
+		return true
+	}
+	var stored uint64
+	if dense {
+		stored = f.dPfxSuffix.Bits(f.dPrefix.Rank1(idx)*f.suffixBits, f.suffixBits)
+	} else {
+		stored = f.sPfxSuffix.Bits(f.sPrefix.Rank1(idx)*f.suffixBits, f.suffixBits)
+	}
+	switch f.mode {
+	case SuffixHash:
+		return stored == hashBits(key, f.suffixBits)
+	case SuffixReal:
+		// The terminating key's suffix is empty: stored is 0; the query
+		// consumed the full key, so its suffix is empty too.
+		return stored == 0
+	}
+	return true
+}
+
+// querySuffix computes the comparable suffix of the query key after the
+// leaf label at depth (key[depth] is the label byte).
+func (f *Filter) querySuffix(key []byte, depth int) uint64 {
+	switch f.mode {
+	case SuffixHash:
+		return hashBits(key, f.suffixBits)
+	case SuffixReal:
+		return realSuffixBits(key[depth+1:], f.suffixBits)
+	}
+	return 0
+}
+
+func hashBits(key []byte, w int) uint64 {
+	return surfHash(key) & (1<<w - 1)
+}
+
+// MayContainRange reports whether any stored key may fall in [lo, hi]
+// (byte-wise inclusive bounds). It positions a conservative lower-bound
+// iterator at lo and compares the found truncated key against hi, the SuRF
+// range algorithm. Truncated keys that are prefixes of hi answer maybe.
+func (f *Filter) MayContainRange(lo, hi []byte) bool {
+	if f.numKeys == 0 {
+		return false
+	}
+	if bytes.Compare(lo, hi) > 0 {
+		lo, hi = hi, lo
+	}
+	candidate, exact, ok := f.lowerBound(lo)
+	if !ok {
+		return false
+	}
+	if exact {
+		// The traversal ended inside a leaf whose truncated key is a
+		// prefix of lo: the actual stored key may be ≥ lo and ≤ hi only if
+		// the truncated prefix also permits ≤ hi.
+		return bytes.Compare(candidate, hi) <= 0
+	}
+	return bytes.Compare(candidate, hi) <= 0
+}
+
+// MayContainRangeUint64 is MayContainRange over big-endian uint64 keys.
+func (f *Filter) MayContainRangeUint64(lo, hi uint64) bool {
+	return f.MayContainRange(EncodeUint64(lo), EncodeUint64(hi))
+}
+
+// MayContainUint64 is MayContain over big-endian uint64 keys.
+func (f *Filter) MayContainUint64(x uint64) bool {
+	return f.MayContain(EncodeUint64(x))
+}
+
+// lowerBound returns the truncated key of the smallest stored entry whose
+// full key may be ≥ lo. exact reports that the returned truncated key is a
+// strict prefix of lo (so the relation to lo is uncertain — conservative).
+func (f *Filter) lowerBound(lo []byte) (key []byte, exact, ok bool) {
+	if f.numKeys == 0 {
+		return nil, false, false
+	}
+	// frames track the path for backtracking.
+	type frame struct {
+		node int // global node number
+		pos  int // dense: label value taken; sparse: edge index
+	}
+	var stack []frame
+	var buf []byte
+	node, depth := 0, 0
+
+	descendSmallest := func(node int) ([]byte, bool) {
+		for {
+			if node < f.numDense {
+				if f.dPrefix.Get(node) {
+					return buf, true // key terminates here: smallest in subtree
+				}
+				p := f.dLabels.NextSet(node * 256)
+				if p < 0 || p >= (node+1)*256 {
+					return nil, false // no labels: cannot happen for non-empty
+				}
+				buf = append(buf, byte(p-node*256))
+				if !f.dHasChild.Get(p) {
+					return buf, true
+				}
+				node = 1 + f.dHasChild.Rank1(p)
+				continue
+			}
+			s := node - f.numDense
+			if f.sPrefix.Get(s) {
+				return buf, true
+			}
+			first, _ := f.sparseNodeEdges(s)
+			buf = append(buf, f.sLabels[first])
+			if !f.sHasChild.Get(first) {
+				return buf, true
+			}
+			node = 1 + f.denseChildren + f.sHasChild.Rank1(first)
+		}
+	}
+
+	// advanceFromLabelAfter positions at the smallest leaf with a label
+	// strictly greater than `after` within `node`; ok=false if none.
+	advanceFromLabelAfter := func(node, after int) ([]byte, bool) {
+		if node < f.numDense {
+			if after >= 255 {
+				return nil, false
+			}
+			p := f.dLabels.NextSet(node*256 + after + 1)
+			if p < 0 || p >= (node+1)*256 {
+				return nil, false
+			}
+			buf = append(buf, byte(p-node*256))
+			if !f.dHasChild.Get(p) {
+				return buf, true
+			}
+			return descendSmallest(1 + f.dHasChild.Rank1(p))
+		}
+		s := node - f.numDense
+		first, end := f.sparseNodeEdges(s)
+		e, _ := f.sparseFindLabel(first, end, byte(after))
+		for e < end && int(f.sLabels[e]) <= after {
+			e++
+		}
+		if e >= end {
+			return nil, false
+		}
+		buf = append(buf, f.sLabels[e])
+		if !f.sHasChild.Get(e) {
+			return buf, true
+		}
+		return descendSmallest(1 + f.denseChildren + f.sHasChild.Rank1(e))
+	}
+
+	// leafGEQ reports whether a truncated leaf on the search path may hold
+	// a key ≥ lo. Without real suffix bits the answer is always maybe;
+	// with SuffixReal, a stored suffix strictly below lo's continuation
+	// proves the key < lo so the search can advance past the leaf — the
+	// mechanism that makes SuRF-Real sharper on short ranges.
+	leafGEQ := func(stored uint64, depth int) bool {
+		if f.mode != SuffixReal || f.suffixBits == 0 {
+			return true
+		}
+		return stored >= realSuffixBits(lo[depth+1:], f.suffixBits)
+	}
+
+	for {
+		if depth == len(lo) {
+			// lo fully consumed: the subtree's smallest entry is ≥ lo.
+			k, ok := descendSmallest(node)
+			return k, false, ok
+		}
+		c := int(lo[depth])
+		after := c - 1
+		if node < f.numDense {
+			p := node*256 + c
+			if f.dLabels.Get(p) {
+				if f.dHasChild.Get(p) {
+					buf = append(buf, byte(c))
+					stack = append(stack, frame{node, c})
+					node = 1 + f.dHasChild.Rank1(p)
+					depth++
+					continue
+				}
+				stored := f.dSuffix.Bits(f.dLeaf.Rank1(p)*f.suffixBits, f.suffixBits)
+				if leafGEQ(stored, depth) {
+					// Truncated leaf on the search path: prefix of lo.
+					return append(buf, byte(c)), true, true
+				}
+				after = c // leaf refuted: advance past its label
+			}
+			if k, ok := advanceFromLabelAfter(node, after); ok {
+				return k, false, true
+			}
+		} else {
+			s := node - f.numDense
+			first, end := f.sparseNodeEdges(s)
+			e, found := f.sparseFindLabel(first, end, byte(c))
+			if found {
+				if f.sHasChild.Get(e) {
+					buf = append(buf, byte(c))
+					stack = append(stack, frame{node, e})
+					node = 1 + f.denseChildren + f.sHasChild.Rank1(e)
+					depth++
+					continue
+				}
+				leafIdx := e - f.sHasChild.Rank1(e)
+				stored := f.sSuffix.Bits(leafIdx*f.suffixBits, f.suffixBits)
+				if leafGEQ(stored, depth) {
+					return append(buf, byte(c)), true, true
+				}
+				after = c
+			}
+			if k, ok := advanceFromLabelAfter(node, after); ok {
+				return k, false, true
+			}
+		}
+		// Backtrack: pop frames, advancing each parent past the taken label.
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			buf = buf[:len(buf)-1]
+			after := fr.pos
+			if fr.node < f.numDense {
+				// fr.pos is the label value taken.
+				if k, ok := advanceFromLabelAfter(fr.node, after); ok {
+					return k, false, true
+				}
+			} else {
+				// fr.pos is the edge index; advance past its label.
+				if k, ok := advanceFromLabelAfter(fr.node, int(f.sLabels[after])); ok {
+					return k, false, true
+				}
+			}
+		}
+		return nil, false, false
+	}
+}

@@ -1,0 +1,119 @@
+package surf
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/hashutil"
+	"repro/internal/succinct"
+)
+
+const serMagic = "srf1"
+
+// ErrCorrupt reports a malformed filter block.
+var ErrCorrupt = errors.New("surf: corrupt filter block")
+
+func appendBV(buf []byte, bv *succinct.BitVector) []byte {
+	n := bv.Len()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for i := 0; i < n; i += 64 {
+		w := 64
+		if n-i < 64 {
+			w = n - i
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, bv.Bits(i, w))
+	}
+	return buf
+}
+
+func readBV(data []byte, off int) (*succinct.BitVector, int, error) {
+	if off+4 > len(data) {
+		return nil, 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	words := (n + 63) / 64
+	if off+8*words > len(data) {
+		return nil, 0, ErrCorrupt
+	}
+	ws := make([]uint64, words)
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint64(data[off+8*i:])
+	}
+	// Clear bits past n in the last word (defensive against corruption).
+	if n%64 != 0 && words > 0 {
+		ws[words-1] &= 1<<(n%64) - 1
+	}
+	return succinct.NewBitVector(ws, n), off + 8*words, nil
+}
+
+// MarshalBinary serializes the filter as an SSTable filter-block payload.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, serMagic...)
+	buf = append(buf, byte(f.mode), byte(f.suffixBits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.numDense))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.denseChildren))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.numKeys))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.height))
+	for _, bv := range []*succinct.BitVector{
+		f.dLabels, f.dHasChild, f.dLeaf, f.dPrefix,
+		f.sHasChild, f.sLouds, f.sPrefix,
+		f.dSuffix, f.dPfxSuffix, f.sSuffix, f.sPfxSuffix,
+	} {
+		buf = appendBV(buf, bv)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.sLabels)))
+	buf = append(buf, f.sLabels...)
+	buf = binary.LittleEndian.AppendUint64(buf, hashutil.HashBytes(buf, 0))
+	return buf, nil
+}
+
+// Unmarshal inverts MarshalBinary.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 4+2+16+8 || string(data[:4]) != serMagic {
+		return nil, ErrCorrupt
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if hashutil.HashBytes(body, 0) != sum {
+		return nil, ErrCorrupt
+	}
+	f := &Filter{
+		mode:       SuffixMode(body[4]),
+		suffixBits: int(body[5]),
+	}
+	if f.mode < SuffixNone || f.mode > SuffixReal || f.suffixBits > 32 {
+		return nil, ErrCorrupt
+	}
+	f.numDense = int(binary.LittleEndian.Uint32(body[6:]))
+	f.denseChildren = int(binary.LittleEndian.Uint32(body[10:]))
+	f.numKeys = int(binary.LittleEndian.Uint32(body[14:]))
+	f.height = int(binary.LittleEndian.Uint32(body[18:]))
+	off := 22
+	dst := []**succinct.BitVector{
+		&f.dLabels, &f.dHasChild, &f.dLeaf, &f.dPrefix,
+		&f.sHasChild, &f.sLouds, &f.sPrefix,
+		&f.dSuffix, &f.dPfxSuffix, &f.sSuffix, &f.sPfxSuffix,
+	}
+	for _, p := range dst {
+		bv, next, err := readBV(body, off)
+		if err != nil {
+			return nil, err
+		}
+		*p = bv
+		off = next
+	}
+	if off+4 > len(body) {
+		return nil, ErrCorrupt
+	}
+	nl := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+nl != len(body) {
+		return nil, ErrCorrupt
+	}
+	f.sLabels = append([]byte(nil), body[off:off+nl]...)
+	if f.denseChildren != f.dHasChild.Ones() {
+		return nil, ErrCorrupt
+	}
+	return f, nil
+}

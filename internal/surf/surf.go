@@ -1,0 +1,420 @@
+// Package surf implements SuRF (Zhang et al., SIGMOD 2018), the succinct
+// trie point-range filter the bloomRF paper benchmarks against. Keys are
+// truncated to their minimal distinguishing prefixes and stored in a
+// two-part LOUDS encoding: the dense upper levels use 256-bit label and
+// has-child bitmaps per node, the sparse lower levels use one label byte,
+// has-child bit and LOUDS bit per edge. Optional per-key suffixes trade
+// space for FPR:
+//
+//   - SuffixNone — SuRF-Base: truncation only.
+//   - SuffixHash — SuRF-Hash: h hash bits of the full key (point queries).
+//   - SuffixReal — SuRF-Real: r real key bits (helps points and ranges).
+//
+// Construction is offline over the sorted key set — the paper's Problem 2;
+// SuRF cannot absorb inserts after Build.
+//
+// Deviation from the original: keys that are strict prefixes of other keys
+// are marked with a per-node prefix-key bitvector in both the dense and the
+// sparse part (the original re-purposes a terminator label in the sparse
+// part). This keeps arbitrary byte keys unambiguous — including 0xFF-heavy
+// big-endian integer encodings — at a cost of one bit per sparse node.
+package surf
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashutil"
+	"repro/internal/succinct"
+)
+
+// SuffixMode selects the per-key suffix stored at leaves.
+type SuffixMode int
+
+const (
+	// SuffixNone stores nothing (SuRF-Base).
+	SuffixNone SuffixMode = iota
+	// SuffixHash stores hash bits of the full key (SuRF-Hash).
+	SuffixHash
+	// SuffixReal stores the first bits of the truncated-away key suffix
+	// (SuRF-Real).
+	SuffixReal
+)
+
+func (m SuffixMode) String() string {
+	switch m {
+	case SuffixNone:
+		return "Base"
+	case SuffixHash:
+		return "Hash"
+	case SuffixReal:
+		return "Real"
+	default:
+		return fmt.Sprintf("SuffixMode(%d)", int(m))
+	}
+}
+
+// Options configures Build.
+type Options struct {
+	// Suffix selects the suffix mode; SuffixBits its width (0..32).
+	Suffix     SuffixMode
+	SuffixBits int
+	// DenseRatio controls the LOUDS-Dense cutoff, following the original's
+	// cumulative rule: levels are encoded dense while
+	// denseBits(0..cutoff−1) · DenseRatio ≤ sparseBits(cutoff..bottom),
+	// keeping the fast dense part a small fraction of the total. 0 means
+	// 64 (kSparseDenseRatio in the reference implementation).
+	DenseRatio int
+}
+
+// Filter is an immutable SuRF.
+type Filter struct {
+	// Dense part: D nodes, 256 bits per node in dLabels/dHasChild.
+	dLabels   *succinct.BitVector
+	dHasChild *succinct.BitVector
+	dLeaf     *succinct.BitVector // labels &^ hasChild, for suffix indexing
+	dPrefix   *succinct.BitVector // per dense node: key terminates here
+	numDense  int
+
+	// Sparse part: one entry per edge.
+	sLabels   []byte
+	sHasChild *succinct.BitVector
+	sLouds    *succinct.BitVector
+	sPrefix   *succinct.BitVector // per sparse node
+
+	// denseChildren = number of set bits in dHasChild (child-number base
+	// for sparse edges).
+	denseChildren int
+
+	// Suffixes, packed at fixed width.
+	mode       SuffixMode
+	suffixBits int
+	dSuffix    *succinct.BitVector // per dense leaf edge
+	dPfxSuffix *succinct.BitVector // per dense prefix-key node
+	sSuffix    *succinct.BitVector // per sparse leaf edge
+	sPfxSuffix *succinct.BitVector // per sparse prefix-key node
+
+	numKeys int
+	height  int
+}
+
+// builderNode is the in-memory trie used during construction.
+type builderNode struct {
+	labels     []byte
+	children   []*builderNode // nil entry = leaf edge
+	suffixes   [][]byte       // leaf edges: bytes after the label
+	fullKeys   [][]byte       // leaf edges: the full key (for hash suffixes)
+	prefixKey  bool
+	prefixFull []byte // full key terminating at this node
+}
+
+// Build constructs a SuRF over keys, which must be sorted lexicographically
+// (duplicates are skipped).
+func Build(keys [][]byte, opt Options) (*Filter, error) {
+	uniq := make([][]byte, 0, len(keys))
+	for i, k := range keys {
+		if i > 0 {
+			if c := bytes.Compare(keys[i-1], k); c > 0 {
+				return nil, fmt.Errorf("surf: keys not sorted at index %d", i)
+			} else if c == 0 {
+				continue
+			}
+		}
+		uniq = append(uniq, k)
+	}
+	if opt.SuffixBits < 0 || opt.SuffixBits > 32 {
+		return nil, fmt.Errorf("surf: SuffixBits %d out of range [0,32]", opt.SuffixBits)
+	}
+	if opt.Suffix == SuffixNone {
+		opt.SuffixBits = 0
+	} else if opt.SuffixBits == 0 {
+		opt.SuffixBits = 8
+	}
+	ratio := opt.DenseRatio
+	if ratio <= 0 {
+		ratio = 64
+	}
+
+	f := &Filter{mode: opt.Suffix, suffixBits: opt.SuffixBits, numKeys: len(uniq)}
+	if len(uniq) == 0 {
+		f.finishEmpty()
+		return f, nil
+	}
+	root := buildTrie(uniq, 0)
+
+	// Per-level node lists (BFS).
+	var levels [][]*builderNode
+	cur := []*builderNode{root}
+	for len(cur) > 0 {
+		levels = append(levels, cur)
+		var next []*builderNode
+		for _, n := range cur {
+			for _, c := range n.children {
+				if c != nil {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	f.height = len(levels)
+
+	// Dense cutoff: per-level dense/sparse costs, then the cumulative rule
+	// denseBits(0..c−1)·ratio ≤ sparseBits(c..bottom).
+	denseCost := make([]int, len(levels))
+	sparseCost := make([]int, len(levels))
+	sparseSuffix := 0
+	for l, nodes := range levels {
+		edges := 0
+		for _, n := range nodes {
+			edges += len(n.labels)
+		}
+		denseCost[l] = len(nodes) * (256 + 256 + 1)
+		sparseCost[l] = edges*10 + len(nodes)
+		sparseSuffix += sparseCost[l]
+	}
+	cutoff, denseSum := 0, 0
+	for l := 0; l < len(levels); l++ {
+		sparseSuffix -= sparseCost[l]
+		denseSum += denseCost[l]
+		if denseSum*ratio > sparseSuffix {
+			break
+		}
+		cutoff = l + 1
+	}
+	f.encode(levels, cutoff)
+	return f, nil
+}
+
+// buildTrie groups sorted keys by the byte at depth, recursing into groups
+// of two or more keys; single-key groups become truncated leaf edges.
+func buildTrie(keys [][]byte, depth int) *builderNode {
+	n := &builderNode{}
+	i := 0
+	if len(keys[0]) == depth {
+		n.prefixKey = true
+		n.prefixFull = keys[0]
+		i = 1
+	}
+	for i < len(keys) {
+		c := keys[i][depth]
+		j := i
+		for j < len(keys) && keys[j][depth] == c {
+			j++
+		}
+		n.labels = append(n.labels, c)
+		if j-i == 1 {
+			n.children = append(n.children, nil)
+			n.suffixes = append(n.suffixes, keys[i][depth+1:])
+			n.fullKeys = append(n.fullKeys, keys[i])
+		} else {
+			n.children = append(n.children, buildTrie(keys[i:j], depth+1))
+			n.suffixes = append(n.suffixes, nil)
+			n.fullKeys = append(n.fullKeys, nil)
+		}
+		i = j
+	}
+	return n
+}
+
+func (f *Filter) finishEmpty() {
+	var empty succinct.Builder
+	bv := empty.Build()
+	f.dLabels, f.dHasChild, f.dLeaf, f.dPrefix = bv, bv, bv, bv
+	f.sHasChild, f.sLouds, f.sPrefix = bv, bv, bv
+	f.dSuffix, f.dPfxSuffix, f.sSuffix, f.sPfxSuffix = bv, bv, bv, bv
+}
+
+// suffixValue computes the stored suffix for a leaf (fullKey, suffix bytes
+// after the leaf label) under the filter's mode.
+func (f *Filter) suffixValue(fullKey, suffix []byte) uint64 {
+	switch f.mode {
+	case SuffixHash:
+		return surfHash(fullKey) & (1<<f.suffixBits - 1)
+	case SuffixReal:
+		return realSuffixBits(suffix, f.suffixBits)
+	default:
+		return 0
+	}
+}
+
+// surfHash is the key hash feeding SuffixHash records.
+func surfHash(key []byte) uint64 { return hashutil.HashBytes(key, 0x5f) }
+
+// realSuffixBits packs the first w bits of the byte string MSB-first, so
+// numeric comparison of packed values matches lexicographic order of the
+// suffixes (for equal-length reads).
+func realSuffixBits(suffix []byte, w int) uint64 {
+	var v uint64
+	for i := 0; i < (w+7)/8; i++ {
+		var b byte
+		if i < len(suffix) {
+			b = suffix[i]
+		}
+		v = v<<8 | uint64(b)
+	}
+	// v now holds ceil(w/8) bytes; drop the excess low bits.
+	excess := ((w + 7) / 8 * 8) - w
+	return v >> excess
+}
+
+func (f *Filter) encode(levels [][]*builderNode, cutoff int) {
+	var dLabels, dHasChild, dLeaf, dPrefix succinct.Builder
+	var sHasChild, sLouds, sPrefix succinct.Builder
+	var sLabels []byte
+	var dSuffix, dPfxSuffix, sSuffix, sPfxSuffix succinct.Builder
+
+	for l, nodes := range levels {
+		dense := l < cutoff
+		for _, n := range nodes {
+			if dense {
+				f.numDense++
+				var labelBits, childBits [4]uint64
+				for i, c := range n.labels {
+					labelBits[c>>6] |= 1 << (c & 63)
+					if n.children[i] != nil {
+						childBits[c>>6] |= 1 << (c & 63)
+					} else {
+						dSuffix.AppendN(f.suffixValue(n.fullKeys[i], n.suffixes[i]), f.suffixBits)
+					}
+				}
+				for w := 0; w < 4; w++ {
+					dLabels.AppendN(labelBits[w], 64)
+					dHasChild.AppendN(childBits[w], 64)
+					dLeaf.AppendN(labelBits[w]&^childBits[w], 64)
+				}
+				dPrefix.Append(n.prefixKey)
+				if n.prefixKey {
+					dPfxSuffix.AppendN(f.suffixValue(n.prefixFull, nil), f.suffixBits)
+				}
+			} else {
+				for i, c := range n.labels {
+					sLabels = append(sLabels, c)
+					sHasChild.Append(n.children[i] != nil)
+					sLouds.Append(i == 0)
+					if n.children[i] == nil {
+						sSuffix.AppendN(f.suffixValue(n.fullKeys[i], n.suffixes[i]), f.suffixBits)
+					}
+				}
+				if len(n.labels) == 0 {
+					// A prefix-key-only node (single empty key): LOUDS
+					// needs at least one edge per node, so emit a dummy
+					// leaf edge — it can only add a false positive.
+					sLabels = append(sLabels, 0)
+					sHasChild.Append(false)
+					sLouds.Append(true)
+					sSuffix.AppendN(0, f.suffixBits)
+				}
+				sPrefix.Append(n.prefixKey)
+				if n.prefixKey {
+					sPfxSuffix.AppendN(f.suffixValue(n.prefixFull, nil), f.suffixBits)
+				}
+			}
+		}
+	}
+	f.dLabels = dLabels.Build()
+	f.dHasChild = dHasChild.Build()
+	f.dLeaf = dLeaf.Build()
+	f.dPrefix = dPrefix.Build()
+	f.sLabels = sLabels
+	f.sHasChild = sHasChild.Build()
+	f.sLouds = sLouds.Build()
+	f.sPrefix = sPrefix.Build()
+	f.dSuffix = dSuffix.Build()
+	f.dPfxSuffix = dPfxSuffix.Build()
+	f.sSuffix = sSuffix.Build()
+	f.sPfxSuffix = sPfxSuffix.Build()
+	f.denseChildren = f.dHasChild.Ones()
+}
+
+// NumKeys returns the number of stored keys.
+func (f *Filter) NumKeys() int { return f.numKeys }
+
+// Height returns the trie height (levels).
+func (f *Filter) Height() int { return f.height }
+
+// Mode returns the suffix configuration.
+func (f *Filter) Mode() (SuffixMode, int) { return f.mode, f.suffixBits }
+
+// SizeBits returns the encoded size, including rank/select overhead.
+func (f *Filter) SizeBits() uint64 {
+	return f.dLabels.SizeBits() + f.dHasChild.SizeBits() + f.dLeaf.SizeBits() +
+		f.dPrefix.SizeBits() + uint64(len(f.sLabels))*8 + f.sHasChild.SizeBits() +
+		f.sLouds.SizeBits() + f.sPrefix.SizeBits() + f.dSuffix.SizeBits() +
+		f.dPfxSuffix.SizeBits() + f.sSuffix.SizeBits() + f.sPfxSuffix.SizeBits()
+}
+
+// BuildBudget builds a SuRF aiming at a bits/key budget by choosing the
+// suffix width that fills (without exceeding, when possible) the budget —
+// the paper tunes SuRF the same way ("requires a suffix-length parameter
+// setting to tune itself to a space budget"). overBudget reports that even
+// the base trie exceeds the budget, the situation where the paper "was
+// unable to select" a SuRF configuration.
+func BuildBudget(keys [][]byte, bitsPerKey float64, mode SuffixMode) (f *Filter, overBudget bool, err error) {
+	base, err := Build(keys, Options{Suffix: SuffixNone})
+	if err != nil {
+		return nil, false, err
+	}
+	n := base.NumKeys()
+	if n == 0 {
+		return base, false, nil
+	}
+	budget := bitsPerKey * float64(n)
+	slack := budget - float64(base.SizeBits())
+	if slack < 0 {
+		return base, true, nil
+	}
+	if mode == SuffixNone {
+		return base, false, nil
+	}
+	// Suffix records cost ~1.5 bits per stored bit once the bitvector's
+	// rank directory is counted; start from that estimate and shrink until
+	// the build fits.
+	bits := int(slack / float64(n) / 1.6)
+	if bits <= 0 {
+		return base, false, nil
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	for ; bits >= 1; bits-- {
+		f, err = Build(keys, Options{Suffix: mode, SuffixBits: bits})
+		if err != nil {
+			return nil, false, err
+		}
+		if float64(f.SizeBits()) <= budget {
+			return f, false, nil
+		}
+	}
+	return base, false, nil
+}
+
+// EncodeUint64 returns the big-endian byte encoding used for integer keys.
+func EncodeUint64(x uint64) []byte {
+	return []byte{
+		byte(x >> 56), byte(x >> 48), byte(x >> 40), byte(x >> 32),
+		byte(x >> 24), byte(x >> 16), byte(x >> 8), byte(x),
+	}
+}
+
+// sparseNodeEdges returns the [first, end) edge range of sparse node s
+// (0-based sparse numbering).
+func (f *Filter) sparseNodeEdges(s int) (int, int) {
+	first := f.sLouds.Select1(s + 1)
+	end := f.sLouds.Select1(s + 2)
+	if end < 0 {
+		end = f.sLouds.Len()
+	}
+	return first, end
+}
+
+// sparseFindLabel locates label c within edge range [first, end); the
+// labels of a node are sorted.
+func (f *Filter) sparseFindLabel(first, end int, c byte) (int, bool) {
+	i := first + sort.Search(end-first, func(i int) bool { return f.sLabels[first+i] >= c })
+	if i < end && f.sLabels[i] == c {
+		return i, true
+	}
+	return i, false // i = first edge with label > c (may be end)
+}

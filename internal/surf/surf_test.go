@@ -1,0 +1,362 @@
+package surf
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func sortedKeys(ss ...string) [][]byte {
+	ks := make([][]byte, len(ss))
+	for i, s := range ss {
+		ks[i] = []byte(s)
+	}
+	sort.Slice(ks, func(i, j int) bool { return bytes.Compare(ks[i], ks[j]) < 0 })
+	return ks
+}
+
+func build(t *testing.T, keys [][]byte, opt Options) *Filter {
+	t.Helper()
+	f, err := Build(keys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPointNoFalseNegatives(t *testing.T) {
+	for _, opt := range []Options{
+		{Suffix: SuffixNone},
+		{Suffix: SuffixHash, SuffixBits: 8},
+		{Suffix: SuffixReal, SuffixBits: 8},
+	} {
+		t.Run(opt.Suffix.String(), func(t *testing.T) {
+			keys := sortedKeys("alpha", "alphabet", "beta", "bet", "b", "gamma", "gaz", "zzz")
+			f := build(t, keys, opt)
+			for _, k := range keys {
+				if !f.MayContain(k) {
+					t.Errorf("false negative for %q", k)
+				}
+			}
+		})
+	}
+}
+
+func TestPointRejectsDistinctKeys(t *testing.T) {
+	keys := sortedKeys("apple", "application", "banana", "cherry")
+	f := build(t, keys, Options{Suffix: SuffixReal, SuffixBits: 16})
+	for _, miss := range []string{"apricot", "berry", "cab", "zzz", ""} {
+		if f.MayContain([]byte(miss)) {
+			t.Errorf("unexpected positive for %q", miss)
+		}
+	}
+	// Truncation collision: "apq..." shares the stored prefix of "apple"
+	// ("app" splits at position 2: apple→appl?, application→appli...).
+	// With 16 real suffix bits the distinct continuation is refuted.
+	if f.MayContain([]byte("appze")) {
+		t.Errorf("real suffix failed to refute truncation collision")
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	// Keys that are prefixes of other keys must be found.
+	keys := sortedKeys("a", "ab", "abc", "abcd", "b")
+	for _, opt := range []Options{{Suffix: SuffixNone}, {Suffix: SuffixHash, SuffixBits: 8}} {
+		f := build(t, keys, opt)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				t.Errorf("%v: false negative for prefix key %q", opt.Suffix, k)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	f := build(t, nil, Options{})
+	if f.MayContain([]byte("x")) || f.MayContainRange([]byte("a"), []byte("z")) {
+		t.Error("empty filter must reject everything")
+	}
+	f1 := build(t, [][]byte{[]byte("only")}, Options{})
+	if !f1.MayContain([]byte("only")) {
+		t.Error("single key lost")
+	}
+	if !f1.MayContainRange([]byte("a"), []byte("z")) {
+		t.Error("range over single key must hit")
+	}
+	if f1.MayContainRange([]byte("p"), []byte("z")) {
+		t.Error("range after single key must miss")
+	}
+	fe := build(t, [][]byte{{}}, Options{})
+	if !fe.MayContain([]byte{}) {
+		t.Error("empty key lost")
+	}
+}
+
+func TestDuplicatesSkipped(t *testing.T) {
+	f := build(t, [][]byte{[]byte("a"), []byte("a"), []byte("b")}, Options{})
+	if f.NumKeys() != 2 {
+		t.Errorf("NumKeys = %d, want 2", f.NumKeys())
+	}
+}
+
+func TestUnsortedRejected(t *testing.T) {
+	if _, err := Build([][]byte{[]byte("b"), []byte("a")}, Options{}); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+	if _, err := Build(nil, Options{SuffixBits: 99}); err == nil {
+		t.Error("oversized suffix accepted")
+	}
+}
+
+// TestRangeAgainstNaive cross-checks range queries against brute force over
+// random integer key sets: no false negatives ever, and FPR sane.
+func TestRangeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]uint64, 2000)
+	for i := range raw {
+		raw[i] = rng.Uint64() >> 16 // cluster keys so ranges sometimes hit
+	}
+	slices.Sort(raw)
+	raw = slices.Compact(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	for _, opt := range []Options{
+		{Suffix: SuffixNone},
+		{Suffix: SuffixReal, SuffixBits: 12},
+	} {
+		t.Run(opt.Suffix.String(), func(t *testing.T) {
+			f := build(t, keys, opt)
+			falsePos, empty := 0, 0
+			for trial := 0; trial < 20000; trial++ {
+				lo := rng.Uint64() >> 16
+				span := rng.Uint64() % (1 << uint(4+rng.Intn(28)))
+				hi := lo + span
+				if hi < lo {
+					hi = ^uint64(0)
+				}
+				i := sort.Search(len(raw), func(i int) bool { return raw[i] >= lo })
+				truth := i < len(raw) && raw[i] <= hi
+				got := f.MayContainRangeUint64(lo, hi)
+				if truth && !got {
+					t.Fatalf("false negative for [%d,%d]", lo, hi)
+				}
+				if !truth {
+					empty++
+					if got {
+						falsePos++
+					}
+				}
+			}
+			if fpr := float64(falsePos) / float64(empty); fpr > 0.25 {
+				t.Errorf("range FPR %.3f unexpectedly high", fpr)
+			}
+		})
+	}
+}
+
+// TestPointAgainstNaive: dense+sparse navigation agrees with a map for
+// large random key sets (exercises multi-level dense cutoff).
+func TestPointAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	present := map[uint64]bool{}
+	var raw []uint64
+	for i := 0; i < 50000; i++ {
+		v := rng.Uint64()
+		if !present[v] {
+			present[v] = true
+			raw = append(raw, v)
+		}
+	}
+	slices.Sort(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	f := build(t, keys, Options{Suffix: SuffixHash, SuffixBits: 8})
+	for _, v := range raw[:5000] {
+		if !f.MayContainUint64(v) {
+			t.Fatalf("false negative for %d", v)
+		}
+	}
+	fp, probes := 0, 0
+	for i := 0; i < 50000; i++ {
+		y := rng.Uint64()
+		if present[y] {
+			continue
+		}
+		probes++
+		if f.MayContainUint64(y) {
+			fp++
+		}
+	}
+	// 8 hash-suffix bits refute truncation collisions with prob 255/256.
+	if fpr := float64(fp) / float64(probes); fpr > 0.02 {
+		t.Errorf("point FPR %.4f too high with 8 hash bits", fpr)
+	}
+}
+
+func TestLowerBoundOrdering(t *testing.T) {
+	keys := sortedKeys("bb", "dd", "ff")
+	// The keys truncate to "b","d","f". With SuRF-Base a query like
+	// [bc,cd] collides with the truncated "b" (the paper's short-range
+	// truncation weakness); SuRF-Real's suffix bits refute it.
+	base := build(t, keys, Options{})
+	real := build(t, keys, Options{Suffix: SuffixReal, SuffixBits: 8})
+	cases := []struct {
+		lo, hi   string
+		wantBase bool
+		wantReal bool
+	}{
+		{"aa", "ab", false, false},
+		{"aa", "bb", true, true},
+		{"bb", "bb", true, true},
+		{"bc", "cd", true, false}, // truncation FP in Base, refuted by Real
+		{"bc", "dd", true, true},
+		{"ee", "ez", false, false},
+		{"ff", "zz", true, true},
+		{"fg", "zz", true, false}, // same: "f" prefix of "fg"
+		{"aa", "zz", true, true},
+		{"ba", "bb", true, true}, // real suffix "b" ≥ "a" continuation
+	}
+	for _, c := range cases {
+		if got := base.MayContainRange([]byte(c.lo), []byte(c.hi)); got != c.wantBase {
+			t.Errorf("Base range [%q,%q] = %v, want %v", c.lo, c.hi, got, c.wantBase)
+		}
+		if got := real.MayContainRange([]byte(c.lo), []byte(c.hi)); got != c.wantReal {
+			t.Errorf("Real range [%q,%q] = %v, want %v", c.lo, c.hi, got, c.wantReal)
+		}
+	}
+}
+
+func TestRangeReversedBounds(t *testing.T) {
+	f := build(t, sortedKeys("mm"), Options{})
+	if !f.MayContainRange([]byte("zz"), []byte("aa")) {
+		t.Error("reversed bounds should behave as [aa,zz]")
+	}
+}
+
+func TestBuildBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	raw := make([]uint64, 5000)
+	for i := range raw {
+		raw[i] = rng.Uint64()
+	}
+	slices.Sort(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	f, over, err := BuildBudget(keys, 22, SuffixHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over {
+		t.Fatalf("22 b/k should fit a 5k-key SuRF (size %d bits)", f.SizeBits())
+	}
+	if got := float64(f.SizeBits()) / float64(len(keys)); got > 23 {
+		t.Errorf("budget build used %.1f b/k, want ≤ ~22", got)
+	}
+	// A starvation budget must flag overBudget but still work.
+	f2, over2, err := BuildBudget(keys, 1, SuffixHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over2 {
+		t.Errorf("1 b/k should be over budget (base needs %.1f)", float64(f2.SizeBits())/float64(len(keys)))
+	}
+	if !f2.MayContainUint64(raw[0]) {
+		t.Error("over-budget filter still must answer")
+	}
+	_, bits := f.Mode()
+	if bits < 1 {
+		t.Error("budget build should have picked suffix bits")
+	}
+}
+
+func TestDenseSparseCutover(t *testing.T) {
+	// Many keys force dense top levels; few keys force all-sparse. Both
+	// must answer identically to a reference.
+	rng := rand.New(rand.NewSource(4))
+	small := make([][]byte, 8)
+	vals := make([]uint64, 8)
+	for i := range small {
+		vals[i] = rng.Uint64()
+	}
+	slices.Sort(vals)
+	for i, v := range vals {
+		small[i] = EncodeUint64(v)
+	}
+	f := build(t, small, Options{})
+	for _, v := range vals {
+		if !f.MayContainUint64(v) {
+			t.Fatalf("small set false negative for %d", v)
+		}
+	}
+	if f.Height() == 0 {
+		t.Error("height not recorded")
+	}
+}
+
+func TestRealSuffixBitsOrdering(t *testing.T) {
+	// realSuffixBits must preserve lexicographic order for equal widths.
+	if realSuffixBits([]byte{0x80}, 8) <= realSuffixBits([]byte{0x7f}, 8) {
+		t.Error("order broken at byte boundary")
+	}
+	if realSuffixBits([]byte{0xAB, 0xCD}, 12) != 0xABC {
+		t.Errorf("12-bit extraction = %#x, want 0xABC", realSuffixBits([]byte{0xAB, 0xCD}, 12))
+	}
+	if realSuffixBits(nil, 8) != 0 {
+		t.Error("empty suffix must read as 0")
+	}
+}
+
+func BenchmarkPointLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	raw := make([]uint64, 100_000)
+	for i := range raw {
+		raw[i] = rng.Uint64()
+	}
+	slices.Sort(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	f, err := Build(keys, Options{Suffix: SuffixHash, SuffixBits: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	acc := false
+	for i := 0; i < b.N; i++ {
+		acc = acc != f.MayContainUint64(uint64(i)*0x9e3779b97f4a7c15)
+	}
+	_ = acc
+}
+
+func BenchmarkRangeLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	raw := make([]uint64, 100_000)
+	for i := range raw {
+		raw[i] = rng.Uint64()
+	}
+	slices.Sort(raw)
+	keys := make([][]byte, len(raw))
+	for i, v := range raw {
+		keys[i] = EncodeUint64(v)
+	}
+	f, err := Build(keys, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	acc := false
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9e3779b97f4a7c15
+		acc = acc != f.MayContainRangeUint64(lo, lo+1<<30)
+	}
+	_ = acc
+}

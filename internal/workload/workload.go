@@ -1,0 +1,202 @@
+// Package workload generates the key sets and query streams of the paper's
+// evaluation: uniform, normal and zipfian data and workload distributions
+// over the 64-bit integer domain, a YCSB-Workload-E derivative (range-scan
+// heavy), and empty point/range query generators representing the paper's
+// worst case ("All point- and range-queries in this workload are empty").
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+)
+
+// Distribution names a key or query-anchor distribution.
+type Distribution int
+
+const (
+	// Uniform draws uniformly over the full 64-bit domain.
+	Uniform Distribution = iota
+	// Normal draws from a Gaussian centered mid-domain with σ = 2^59.
+	Normal
+	// Zipfian draws rank-skewed values: a few hot regions, a long tail.
+	Zipfian
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Normal:
+		return "normal"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps a name to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "normal":
+		return Normal, nil
+	case "zipfian":
+		return Zipfian, nil
+	}
+	return 0, fmt.Errorf("workload: unknown distribution %q", s)
+}
+
+// Generator draws keys from a distribution.
+type Generator struct {
+	dist Distribution
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGenerator creates a deterministic generator.
+func NewGenerator(dist Distribution, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{dist: dist, rng: rng}
+	if dist == Zipfian {
+		// Skew parameter 1.2 over 2^40 distinct values: hot small values,
+		// heavy tail — the shape that stresses bloomRF's upper layers
+		// (paper Fig. 5.A: "strong zipfian skew affects layers 2 and 3").
+		g.zipf = rand.NewZipf(rng, 1.2, 1, 1<<40)
+	}
+	return g
+}
+
+const (
+	normalMean  = float64(1 << 63)
+	normalSigma = float64(1 << 59)
+)
+
+// Next draws one key.
+func (g *Generator) Next() uint64 {
+	switch g.dist {
+	case Normal:
+		v := g.rng.NormFloat64()*normalSigma + normalMean
+		if v < 0 {
+			return 0
+		}
+		if v >= math.MaxUint64 {
+			return math.MaxUint64
+		}
+		return uint64(v)
+	case Zipfian:
+		// Spread each zipf rank over a 2^20-wide stripe so clustered ranks
+		// produce clustered (but not identical) keys.
+		id := g.zipf.Uint64()
+		return id<<20 | uint64(g.rng.Int63n(1<<20))
+	default:
+		return g.rng.Uint64()
+	}
+}
+
+// Keys draws n distinct keys.
+func (g *Generator) Keys(n int) []uint64 {
+	seen := make(map[uint64]struct{}, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := g.Next()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys draws n distinct keys in ascending order.
+func (g *Generator) SortedKeys(n int) []uint64 {
+	ks := g.Keys(n)
+	slices.Sort(ks)
+	return ks
+}
+
+// RangeQuery is one [Lo, Hi] probe.
+type RangeQuery struct {
+	Lo, Hi uint64
+}
+
+// QueryGen draws query anchors from a workload distribution and shapes them
+// into empty or arbitrary point/range queries against a sorted key set.
+type QueryGen struct {
+	gen    *Generator
+	sorted []uint64
+}
+
+// NewQueryGen wraps a sorted key set; keys must be ascending.
+func NewQueryGen(dist Distribution, seed int64, sortedKeys []uint64) *QueryGen {
+	return &QueryGen{gen: NewGenerator(dist, seed), sorted: sortedKeys}
+}
+
+// hasKeyIn reports whether any key lies in [lo, hi].
+func (q *QueryGen) hasKeyIn(lo, hi uint64) bool {
+	i := sort.Search(len(q.sorted), func(i int) bool { return q.sorted[i] >= lo })
+	return i < len(q.sorted) && q.sorted[i] <= hi
+}
+
+// EmptyPointQueries returns n keys not present in the key set, drawn from
+// the workload distribution (rejection sampling).
+func (q *QueryGen) EmptyPointQueries(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		y := q.gen.Next()
+		if q.hasKeyIn(y, y) {
+			continue
+		}
+		out = append(out, y)
+	}
+	return out
+}
+
+// EmptyRangeQueries returns n ranges of exactly `size` keys' width that
+// contain no stored key — the paper's worst-case probe stream. Rejection
+// can stall when ranges of the requested size are almost always occupied;
+// after too many rejections the generator gives up and returns fewer
+// queries (callers should check the length).
+func (q *QueryGen) EmptyRangeQueries(n int, size uint64) []RangeQuery {
+	if size == 0 {
+		size = 1
+	}
+	out := make([]RangeQuery, 0, n)
+	attempts := 0
+	maxAttempts := 200 * n
+	for len(out) < n && attempts < maxAttempts {
+		attempts++
+		lo := q.gen.Next()
+		if lo > math.MaxUint64-size+1 {
+			continue
+		}
+		hi := lo + size - 1
+		if q.hasKeyIn(lo, hi) {
+			continue
+		}
+		out = append(out, RangeQuery{lo, hi})
+	}
+	return out
+}
+
+// MixedRangeQueries returns n ranges drawn without the emptiness filter
+// (for the non-empty workload variants).
+func (q *QueryGen) MixedRangeQueries(n int, size uint64) []RangeQuery {
+	if size == 0 {
+		size = 1
+	}
+	out := make([]RangeQuery, 0, n)
+	for len(out) < n {
+		lo := q.gen.Next()
+		if lo > math.MaxUint64-size+1 {
+			continue
+		}
+		out = append(out, RangeQuery{lo, lo + size - 1})
+	}
+	return out
+}

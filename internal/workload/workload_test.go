@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Normal, Zipfian} {
+		a := NewGenerator(d, 7).Keys(100)
+		b := NewGenerator(d, 7).Keys(100)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: not deterministic at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestKeysDistinct(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Normal, Zipfian} {
+		ks := NewGenerator(d, 8).Keys(5000)
+		seen := map[uint64]bool{}
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("%v: duplicate key %d", d, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestSortedKeysSorted(t *testing.T) {
+	ks := NewGenerator(Normal, 9).SortedKeys(1000)
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestNormalShape(t *testing.T) {
+	ks := NewGenerator(Normal, 10).Keys(20000)
+	within := 0
+	for _, k := range ks {
+		if math.Abs(float64(k)-normalMean) < 2*normalSigma {
+			within++
+		}
+	}
+	frac := float64(within) / float64(len(ks))
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("%.3f of normal keys within 2σ, want ≈0.95", frac)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	ks := NewGenerator(Zipfian, 11).Keys(20000)
+	low := 0
+	for _, k := range ks {
+		if k < 1<<25 { // ranks < 32 land below 2^25
+			low++
+		}
+	}
+	if frac := float64(low) / float64(len(ks)); frac < 0.3 {
+		t.Errorf("zipfian mass near origin %.3f, expected heavy head", frac)
+	}
+	// But the tail must exist too.
+	var max uint64
+	for _, k := range ks {
+		if k > max {
+			max = k
+		}
+	}
+	if max < 1<<40 {
+		t.Errorf("zipfian tail too short: max %d", max)
+	}
+}
+
+func TestEmptyQueriesAreEmpty(t *testing.T) {
+	keys := NewGenerator(Uniform, 12).SortedKeys(10000)
+	qg := NewQueryGen(Normal, 13, keys)
+	for _, y := range qg.EmptyPointQueries(2000) {
+		if qg.hasKeyIn(y, y) {
+			t.Fatalf("point query %d not empty", y)
+		}
+	}
+	for _, q := range qg.EmptyRangeQueries(2000, 1<<20) {
+		if qg.hasKeyIn(q.Lo, q.Hi) {
+			t.Fatalf("range query [%d,%d] not empty", q.Lo, q.Hi)
+		}
+		if q.Hi-q.Lo+1 != 1<<20 {
+			t.Fatalf("range width %d, want 2^20", q.Hi-q.Lo+1)
+		}
+	}
+}
+
+func TestEmptyRangeGivesUpGracefully(t *testing.T) {
+	// With keys at every 64th position, ranges of 2^40 are never empty:
+	// the generator must return fewer queries, not loop forever.
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i) << 54
+	}
+	qg := NewQueryGen(Uniform, 14, keys)
+	qs := qg.EmptyRangeQueries(50, 1<<60)
+	if len(qs) == 50 {
+		t.Log("unexpectedly found 50 empty huge ranges (possible but unlikely)")
+	}
+}
+
+func TestMixedRangeQueries(t *testing.T) {
+	keys := NewGenerator(Uniform, 15).SortedKeys(100)
+	qg := NewQueryGen(Uniform, 16, keys)
+	qs := qg.MixedRangeQueries(100, 256)
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Hi-q.Lo+1 != 256 {
+			t.Fatalf("width %d", q.Hi-q.Lo+1)
+		}
+	}
+}
+
+func TestWorkloadE(t *testing.T) {
+	w := DefaultWorkloadE(0.0002) // 10k keys, 100 queries (min floors)
+	keys, queries := w.Materialize()
+	if len(keys) != w.NumKeys {
+		t.Fatalf("keys = %d, want %d", len(keys), w.NumKeys)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no queries generated")
+	}
+	v := w.Value(12345)
+	if len(v) != 512 {
+		t.Fatalf("value size %d", len(v))
+	}
+	// Values are deterministic per key.
+	v2 := w.Value(12345)
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatal("value not deterministic")
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, name := range []string{"uniform", "normal", "zipfian"} {
+		d, err := ParseDistribution(name)
+		if err != nil || d.String() != name {
+			t.Errorf("ParseDistribution(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ParseDistribution("pareto"); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+// YCSB Workload E derivative (paper §9 "Workloads"): a range-scan-intensive
+// key-value workload. The dataset is uniformly distributed 64-bit integer
+// keys with fixed-size values; the query stream issues range scans of a
+// single fixed size whose anchors follow a configurable distribution, all
+// empty by default (the paper's worst case).
+
+// WorkloadE bundles the dataset and query parameters of the derivative.
+type WorkloadE struct {
+	// NumKeys is the dataset size (paper: 50M).
+	NumKeys int
+	// ValueSize is the value payload in bytes (paper: 512).
+	ValueSize int
+	// NumQueries is the probe count (paper: 10^5).
+	NumQueries int
+	// RangeSize is the fixed query range width.
+	RangeSize uint64
+	// QueryDist is the workload distribution (anchors).
+	QueryDist Distribution
+	// DataDist is the key distribution (paper default: uniform).
+	DataDist Distribution
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// DefaultWorkloadE returns the paper's configuration scaled by `scale`
+// (1.0 = paper scale: 50M keys, 10^5 queries).
+func DefaultWorkloadE(scale float64) WorkloadE {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(50_000_000 * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	q := int(100_000 * scale)
+	if q < 100 {
+		q = 100
+	}
+	return WorkloadE{
+		NumKeys:    n,
+		ValueSize:  512,
+		NumQueries: q,
+		RangeSize:  1 << 10,
+		QueryDist:  Uniform,
+		DataDist:   Uniform,
+		Seed:       42,
+	}
+}
+
+// Materialize draws the sorted dataset keys and the empty query stream.
+func (w WorkloadE) Materialize() (keys []uint64, queries []RangeQuery) {
+	keys = NewGenerator(w.DataDist, w.Seed).SortedKeys(w.NumKeys)
+	qg := NewQueryGen(w.QueryDist, w.Seed+1, keys)
+	queries = qg.EmptyRangeQueries(w.NumQueries, w.RangeSize)
+	return keys, queries
+}
+
+// Value returns the deterministic value payload for a key.
+func (w WorkloadE) Value(key uint64) []byte {
+	v := make([]byte, w.ValueSize)
+	for i := range v {
+		v[i] = byte(key >> (uint(i%8) * 8))
+	}
+	return v
+}
