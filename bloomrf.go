@@ -19,6 +19,18 @@
 //	f.MayContainRange(40, 100)                // true
 //	f.MayContainRange(1_000, 2_000)           // false (almost surely)
 //
+// Hot loops should use the batch variants. InsertBatch and MayContainBatch
+// return identical answers to single-key loops but run layer-major,
+// amortizing per-layer setup and per-key hashing overheads (roughly 2×
+// point-probe throughput on large batches; see BenchmarkBatchPointLookup);
+// MayContainRangeBatch is an equivalent-answer convenience for symmetric
+// call sites, with no per-range speedup:
+//
+//	keys := []uint64{42, 4711, 1_000_000}
+//	f.InsertBatch(keys)
+//	out := make([]bool, len(keys))
+//	f.MayContainBatch(keys, out)
+//
 // For workloads with large range queries, use NewTuned, which runs the
 // paper's §7 tuning advisor (variable level distances, replicated hash
 // functions, memory segments and an exact top layer):
@@ -33,10 +45,15 @@
 // encodings (EncodeFloat64, EncodeInt64, EncodeStringRange), and two-
 // attribute conjunctive filtering through MultiAttr. Filters serialize to
 // compact blocks (MarshalBinary/Unmarshal) for use as SSTable filter
-// blocks; see internal/lsm for a complete LSM integration.
+// blocks; see internal/lsm for a complete LSM integration, and
+// internal/server plus cmd/bloomrfd for serving sharded filters over HTTP.
 //
-// All filter methods are safe for concurrent use: bloomRF is an online,
-// parallel structure (paper Experiment 4).
+// All Filter and MultiAttr methods are safe for concurrent use without
+// external locking: bloomRF is an online, parallel structure (paper
+// Experiment 4), and inserts and probes go through atomic bit operations.
+// One caveat: MarshalBinary concurrent with inserts captures a consistent
+// but possibly lagging snapshot (bits set mid-serialization may be missed);
+// quiesce writers first if the serialized block must reflect every insert.
 package bloomrf
 
 import (

@@ -158,3 +158,69 @@ func TestNoFalseNegativesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBatchAPI checks the public batch wrappers: equivalence with the
+// single-key calls, the length-mismatch panic, and Stats plumbing.
+func TestBatchAPI(t *testing.T) {
+	f := New(10_000, 16)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 5_000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	f.InsertBatch(keys)
+
+	queries := make([]uint64, 2_000)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = keys[rng.Intn(len(keys))]
+		} else {
+			queries[i] = rng.Uint64()
+		}
+	}
+	out := make([]bool, len(queries))
+	f.MayContainBatch(queries, out)
+	for j, x := range queries {
+		if want := f.MayContain(x); out[j] != want {
+			t.Fatalf("MayContainBatch[%d] = %v, single = %v", j, out[j], want)
+		}
+	}
+
+	ranges := make([][2]uint64, 500)
+	for i := range ranges {
+		k := keys[rng.Intn(len(keys))]
+		ranges[i] = [2]uint64{k - min(k, 50), k}
+	}
+	rout := make([]bool, len(ranges))
+	f.MayContainRangeBatch(ranges, rout)
+	for j, r := range ranges {
+		if want := f.MayContainRange(r[0], r[1]); rout[j] != want {
+			t.Fatalf("MayContainRangeBatch[%d] = %v, single = %v", j, rout[j], want)
+		}
+		if !rout[j] {
+			t.Fatalf("range %v covers an inserted key but answered false", r)
+		}
+	}
+
+	// Empty batches are no-ops; mismatched lengths panic.
+	f.InsertBatch(nil)
+	f.MayContainBatch(nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MayContainBatch length mismatch should panic")
+		}
+	}()
+	f.MayContainBatch(queries, make([]bool, 1))
+}
+
+func TestStatsAPI(t *testing.T) {
+	f := New(1_000, 16)
+	if st := f.Stats(); st.SetBits != 0 || st.SizeBits == 0 || st.K == 0 {
+		t.Fatalf("empty-filter stats: %+v", st)
+	}
+	f.InsertBatch([]uint64{1, 2, 3})
+	st := f.Stats()
+	if st.SetBits == 0 || len(st.FillRatios) == 0 {
+		t.Fatalf("stats after insert: %+v", st)
+	}
+}

@@ -1,7 +1,7 @@
 // Command bloomrf-bench regenerates the tables and figures of the bloomRF
 // paper's evaluation (EDBT 2023). Each experiment prints the same rows or
-// series the paper reports; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured discussion.
+// series the paper reports; the experiment list below indexes them by the
+// paper's figure numbers.
 //
 // Usage:
 //

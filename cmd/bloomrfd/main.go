@@ -1,0 +1,70 @@
+// Command bloomrfd serves named, sharded bloomRF filters over an HTTP JSON
+// API: create filters, insert keys and run point/range queries (single or
+// batch) from any HTTP client. See docs/server.md for the API reference.
+//
+// Usage:
+//
+//	bloomrfd -addr :8077
+//
+// Quick check once it is running:
+//
+//	curl -s -XPOST localhost:8077/v1/filters \
+//	    -d '{"name":"users","expected_keys":1000000,"bits_per_key":16}'
+//	curl -s -XPOST localhost:8077/v1/filters/users/insert -d '{"keys":[42,4711]}'
+//	curl -s -XPOST localhost:8077/v1/filters/users/query-range -d '{"lo":4000,"hi":5000}'
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+// Filters live in memory only; persistence is a non-goal of this daemon
+// (filters marshal compactly via the library API if a caller needs that).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"how long to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	api := server.NewAPI(server.NewRegistry())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bloomrfd listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("bloomrfd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("bloomrfd: shutting down (draining for up to %s)", *shutdownTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("bloomrfd: shutdown: %v", err)
+	}
+	log.Printf("bloomrfd: bye")
+}

@@ -86,3 +86,39 @@ func ExampleUnmarshal() {
 	// Output:
 	// true
 }
+
+// Batch calls return exactly the same answers as single-key loops but
+// amortize per-layer work across the batch — use them on hot paths.
+func ExampleFilter_InsertBatch() {
+	f := bloomrf.New(100_000, 16)
+	f.InsertBatch([]uint64{42, 4711, 1_000_000})
+	fmt.Println(f.MayContain(4711))
+	// Output:
+	// true
+}
+
+// MayContainBatch writes one verdict per key into a caller-provided slice,
+// so steady-state query loops allocate nothing.
+func ExampleFilter_MayContainBatch() {
+	f := bloomrf.New(100_000, 16)
+	f.InsertBatch([]uint64{42, 4711, 1_000_000})
+	queries := []uint64{42, 99, 4711}
+	out := make([]bool, len(queries))
+	f.MayContainBatch(queries, out)
+	fmt.Println(out)
+	// Output:
+	// [true false true]
+}
+
+// MayContainRangeBatch answers many [lo, hi] probes in one call; false is
+// definitive for each range, as with MayContainRange.
+func ExampleFilter_MayContainRangeBatch() {
+	f := bloomrf.New(100_000, 16)
+	f.InsertBatch([]uint64{42, 4711, 1_000_000})
+	ranges := [][2]uint64{{40, 100}, {10_000, 20_000}}
+	out := make([]bool, len(ranges))
+	f.MayContainRangeBatch(ranges, out)
+	fmt.Println(out)
+	// Output:
+	// [true false]
+}

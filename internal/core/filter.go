@@ -23,10 +23,11 @@ type Filter struct {
 	domain uint
 
 	// Per-layer derived layout (index = layer, bottom-up).
-	levels   []uint   // ℓ_i
-	wshift   []uint   // Δ_i − 1: log2 of word size in bits
-	segID    []int    // probabilistic segment index
-	nwords   []uint64 // number of W_i-bit words in the layer's segment
+	levels   []uint    // ℓ_i
+	wshift   []uint    // Δ_i − 1: log2 of word size in bits
+	segID    []int     // probabilistic segment index
+	nwords   []uint64  // number of W_i-bit words in the layer's segment
+	mods     []modulus // precomputed h mod nwords reducers (batch paths)
 	replicas []int
 	seeds    [][]uint64 // seeds[layer][replica]
 
@@ -55,6 +56,7 @@ func New(cfg Config) (*Filter, error) {
 		wshift:   make([]uint, k),
 		segID:    make([]int, k),
 		nwords:   make([]uint64, k),
+		mods:     make([]modulus, k),
 		replicas: make([]int, k),
 		seeds:    make([][]uint64, k),
 		segs:     make([]bitArray, len(cfg.SegBits)),
@@ -76,6 +78,7 @@ func New(cfg Config) (*Filter, error) {
 			f.segID[i] = cfg.SegmentOf[i]
 		}
 		f.nwords[i] = cfg.SegBits[f.segID[i]] >> f.wshift[i]
+		f.mods[i] = newModulus(f.nwords[i])
 		f.replicas[i] = 1
 		if cfg.Replicas != nil {
 			f.replicas[i] = cfg.Replicas[i]

@@ -1,7 +1,7 @@
 // Package harness drives the paper's experiments: it adapts every filter
 // behind one point-range-filter interface, measures FPR and throughput on
 // generated workloads, and renders the tables and series that regenerate
-// the paper's figures (see DESIGN.md §3 for the experiment index).
+// the paper's figures (see cmd/bloomrf-bench for the experiment index).
 package harness
 
 import (

@@ -5,7 +5,7 @@ import "fmt"
 // Scale controls experiment sizes. The paper runs 50M keys and 10^5
 // queries on a Xeon server; the default scales keep every experiment in
 // laptop territory while preserving the comparative shape (who wins,
-// crossovers) — see EXPERIMENTS.md.
+// crossovers).
 type Scale struct {
 	Name string
 	// Keys is the standalone-filter key count (paper: 50M, or 2M for the

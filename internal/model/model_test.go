@@ -37,7 +37,7 @@ func TestPaperSect7Example(t *testing.T) {
 		12: 0.32,
 		// Tail levels; the paper prints rounded (0.04, 0.03, 0.02, 0.01).
 		// Our recursion yields 0.045/0.037/0.025/0.015 with the paper's
-		// tp_ℓ = min(n, 2^(d−ℓ)) estimator — same shape, see EXPERIMENTS.md.
+		// tp_ℓ = min(n, 2^(d−ℓ)) estimator — same shape as the paper’s.
 		3: 0.045,
 		2: 0.037,
 		1: 0.025,

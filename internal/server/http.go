@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// HTTP JSON API for the filter registry. Endpoint and schema reference:
+// docs/server.md. Every endpoint that takes keys has a single-key and a
+// batch shape in the same request body; batch shapes hit the filters'
+// zero-allocation batch paths.
+
+// MaxBatch bounds the number of keys or ranges in one request, as flood
+// protection; larger workloads should split into multiple requests.
+const MaxBatch = 1 << 20
+
+// maxBodyBytes bounds request bodies (a full MaxBatch of 20-digit keys).
+const maxBodyBytes = 64 << 20
+
+// U64 is a uint64 that unmarshals from a JSON number or a decimal string.
+// The string form exists for clients (JavaScript, jq) whose native numbers
+// lose precision above 2^53; responses always use JSON numbers.
+type U64 uint64
+
+// UnmarshalJSON accepts 4711 or "4711".
+func (u *U64) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("key %q is not an unsigned 64-bit integer", s)
+	}
+	*u = U64(v)
+	return nil
+}
+
+// API serves the filter registry over HTTP.
+type API struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// NewAPI builds the HTTP API around a registry.
+func NewAPI(reg *Registry) *API {
+	a := &API{reg: reg, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	a.mux.HandleFunc("POST /v1/filters", a.handleCreate)
+	a.mux.HandleFunc("GET /v1/filters", a.handleList)
+	a.mux.HandleFunc("GET /v1/filters/{name}", a.handleStats)
+	a.mux.HandleFunc("DELETE /v1/filters/{name}", a.handleDelete)
+	a.mux.HandleFunc("POST /v1/filters/{name}/insert", a.handleInsert)
+	a.mux.HandleFunc("POST /v1/filters/{name}/query", a.handleQuery)
+	a.mux.HandleFunc("POST /v1/filters/{name}/query-range", a.handleQueryRange)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decode reads the request body as JSON into v, rejecting unknown fields
+// and oversized bodies.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookup resolves the {name} path segment to a filter or writes a 404.
+func (a *API) lookup(w http.ResponseWriter, r *http.Request) (*ShardedFilter, bool) {
+	name := r.PathValue("name")
+	f, err := a.reg.Get(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "filter %q not found", name)
+		return nil, false
+	}
+	return f, true
+}
+
+type createReq struct {
+	Name         string  `json:"name"`
+	ExpectedKeys U64     `json:"expected_keys"`
+	BitsPerKey   float64 `json:"bits_per_key"`
+	MaxRange     float64 `json:"max_range"`
+	Shards       int     `json:"shards"`
+}
+
+func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createReq
+	if !decode(w, r, &req) {
+		return
+	}
+	f, err := a.reg.Create(req.Name, FilterOptions{
+		ExpectedKeys: uint64(req.ExpectedKeys),
+		BitsPerKey:   req.BitsPerKey,
+		MaxRange:     req.MaxRange,
+		Shards:       req.Shards,
+	})
+	switch {
+	case errors.Is(err, ErrExists):
+		writeErr(w, http.StatusConflict, "filter %q already exists", req.Name)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := f.Stats()
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "stats": st})
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"filters": a.reg.Names()})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	f, ok := a.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := a.reg.Delete(name); err != nil {
+		writeErr(w, http.StatusNotFound, "filter %q not found", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// keysReq is the shared single-or-batch key payload: exactly one of "key"
+// and "keys" must be present.
+type keysReq struct {
+	Key  *U64  `json:"key"`
+	Keys []U64 `json:"keys"`
+}
+
+// keys validates the shape and returns the key list plus whether the
+// request used the single-key form.
+func (kr *keysReq) keys(w http.ResponseWriter) ([]uint64, bool, bool) {
+	if (kr.Key == nil) == (kr.Keys == nil) {
+		writeErr(w, http.StatusBadRequest, `provide exactly one of "key" and "keys"`)
+		return nil, false, false
+	}
+	if kr.Key != nil {
+		return []uint64{uint64(*kr.Key)}, true, true
+	}
+	if len(kr.Keys) > MaxBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d keys exceeds limit %d", len(kr.Keys), MaxBatch)
+		return nil, false, false
+	}
+	out := make([]uint64, len(kr.Keys))
+	for i, k := range kr.Keys {
+		out[i] = uint64(k)
+	}
+	return out, false, true
+}
+
+func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
+	f, ok := a.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req keysReq
+	if !decode(w, r, &req) {
+		return
+	}
+	keys, _, ok := req.keys(w)
+	if !ok {
+		return
+	}
+	f.InsertBatch(keys)
+	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(keys)})
+}
+
+func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
+	f, ok := a.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req keysReq
+	if !decode(w, r, &req) {
+		return
+	}
+	keys, single, ok := req.keys(w)
+	if !ok {
+		return
+	}
+	out := make([]bool, len(keys))
+	f.MayContainBatch(keys, out)
+	if single {
+		writeJSON(w, http.StatusOK, map[string]any{"result": out[0]})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// rangeReq is one inclusive [lo, hi] interval; either bound order is
+// accepted.
+type rangeReq struct {
+	Lo U64 `json:"lo"`
+	Hi U64 `json:"hi"`
+}
+
+// rangesReq is the single-or-batch range payload: either "lo"+"hi" at the
+// top level, or "ranges".
+type rangesReq struct {
+	Lo     *U64       `json:"lo"`
+	Hi     *U64       `json:"hi"`
+	Ranges []rangeReq `json:"ranges"`
+}
+
+func (a *API) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	f, ok := a.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req rangesReq
+	if !decode(w, r, &req) {
+		return
+	}
+	single := req.Lo != nil || req.Hi != nil
+	if single == (req.Ranges != nil) {
+		writeErr(w, http.StatusBadRequest, `provide either "lo" and "hi", or "ranges"`)
+		return
+	}
+	if single {
+		if req.Lo == nil || req.Hi == nil {
+			writeErr(w, http.StatusBadRequest, `both "lo" and "hi" are required`)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"result": f.MayContainRange(uint64(*req.Lo), uint64(*req.Hi)),
+		})
+		return
+	}
+	if len(req.Ranges) > MaxBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d ranges exceeds limit %d", len(req.Ranges), MaxBatch)
+		return
+	}
+	ranges := make([][2]uint64, len(req.Ranges))
+	for i, rr := range req.Ranges {
+		ranges[i] = [2]uint64{uint64(rr.Lo), uint64(rr.Hi)}
+	}
+	out := make([]bool, len(ranges))
+	f.MayContainRangeBatch(ranges, out)
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}

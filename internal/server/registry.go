@@ -1,0 +1,89 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry errors, mapped to HTTP status codes by the API layer.
+var (
+	// ErrExists is returned when creating a filter under a taken name.
+	ErrExists = errors.New("server: filter already exists")
+	// ErrNotFound is returned when a named filter does not exist.
+	ErrNotFound = errors.New("server: filter not found")
+)
+
+// MaxNameLen bounds filter names; names are used in URL paths.
+const MaxNameLen = 128
+
+// Registry holds the server's named filters. The registry lock guards only
+// the name table — filter operations themselves are lock-free, so inserts
+// and queries on different (or the same) filters never serialize on the
+// registry.
+type Registry struct {
+	mu      sync.RWMutex
+	filters map[string]*ShardedFilter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{filters: make(map[string]*ShardedFilter)}
+}
+
+// Create builds a sharded filter and registers it under name. It returns
+// ErrExists if the name is taken and validation errors from NewSharded.
+func (r *Registry) Create(name string, opt FilterOptions) (*ShardedFilter, error) {
+	if name == "" || len(name) > MaxNameLen {
+		return nil, fmt.Errorf("server: filter name must be 1..%d characters", MaxNameLen)
+	}
+	// Build outside the lock: sizing large filters can take a while and
+	// must not block queries on existing filters. A racing duplicate
+	// create loses at registration time.
+	f, err := NewSharded(opt)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.filters[name]; ok {
+		return nil, ErrExists
+	}
+	r.filters[name] = f
+	return f, nil
+}
+
+// Get returns the filter registered under name, or ErrNotFound.
+func (r *Registry) Get(name string) (*ShardedFilter, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.filters[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return f, nil
+}
+
+// Delete unregisters name, or returns ErrNotFound.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.filters[name]; !ok {
+		return ErrNotFound
+	}
+	delete(r.filters, name)
+	return nil
+}
+
+// Names returns the registered filter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.filters))
+	for n := range r.filters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestShardedEquivalence checks that sharding is transparent: batch results
+// match per-key results, point queries find every inserted key, and range
+// queries never miss an inserted key's interval.
+func TestShardedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s, err := NewSharded(FilterOptions{ExpectedKeys: 50_000, BitsPerKey: 16, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			ins := make([]uint64, 20_000)
+			for i := range ins {
+				ins[i] = rng.Uint64()
+			}
+			s.InsertBatch(ins[:10_000])
+			for _, x := range ins[10_000:] {
+				s.Insert(x)
+			}
+			if got := s.Stats().InsertedKeys; got != uint64(len(ins)) {
+				t.Fatalf("InsertedKeys = %d, want %d", got, len(ins))
+			}
+
+			queries := make([]uint64, 5_000)
+			for i := range queries {
+				if i%2 == 0 {
+					queries[i] = ins[rng.Intn(len(ins))]
+				} else {
+					queries[i] = rng.Uint64()
+				}
+			}
+			out := make([]bool, len(queries))
+			s.MayContainBatch(queries, out)
+			for j, x := range queries {
+				if want := s.MayContain(x); out[j] != want {
+					t.Fatalf("batch[%d] = %v, single = %v", j, out[j], want)
+				}
+			}
+			for j := 0; j < len(queries); j += 2 {
+				if !out[j] {
+					t.Fatalf("inserted key %#x not found (false negative)", queries[j])
+				}
+			}
+
+			ranges := make([][2]uint64, 1_000)
+			for i := range ranges {
+				x := ins[rng.Intn(len(ins))]
+				lo := x - uint64(rng.Intn(100))
+				if lo > x {
+					lo = 0
+				}
+				ranges[i] = [2]uint64{lo, x}
+			}
+			rout := make([]bool, len(ranges))
+			s.MayContainRangeBatch(ranges, rout)
+			for j := range rout {
+				if !rout[j] {
+					t.Fatalf("range %v covering an inserted key answered false", ranges[j])
+				}
+			}
+		})
+	}
+}
+
+// TestShardedConcurrent hammers one sharded filter from many goroutines
+// mixing single and batch inserts with point and range queries; run under
+// -race this checks the lock-free claim end to end. Keys inserted before
+// the readers start must never be missed.
+func TestShardedConcurrent(t *testing.T) {
+	s, err := NewSharded(FilterOptions{ExpectedKeys: 200_000, BitsPerKey: 14, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	base := make([]uint64, 20_000)
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	s.InsertBatch(base)
+
+	const writers, readers, perG = 4, 4, 3_000
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			batch := make([]uint64, 64)
+			for i := 0; i < perG; i++ {
+				if i%10 == 0 {
+					for j := range batch {
+						batch[j] = r.Uint64()
+					}
+					s.InsertBatch(batch)
+				} else {
+					s.Insert(r.Uint64())
+				}
+			}
+		}(int64(100 + w))
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			keys := make([]uint64, 128)
+			out := make([]bool, 128)
+			for i := 0; i < perG/128; i++ {
+				for j := range keys {
+					keys[j] = base[r.Intn(len(base))]
+				}
+				s.MayContainBatch(keys, out)
+				for j := range out {
+					if !out[j] {
+						errCh <- fmt.Errorf("false negative for pre-inserted key %#x", keys[j])
+						return
+					}
+				}
+				if !s.MayContainRange(keys[0], keys[0]) {
+					errCh <- fmt.Errorf("range false negative for %#x", keys[0])
+					return
+				}
+			}
+		}(int64(200 + g))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestShardedValidation pins NewSharded's option validation.
+func TestShardedValidation(t *testing.T) {
+	bad := []FilterOptions{
+		{ExpectedKeys: 0},
+		{ExpectedKeys: 1000, Shards: -1},
+		{ExpectedKeys: 1000, Shards: MaxShards + 1},
+		{ExpectedKeys: 1000, BitsPerKey: 0.5},
+		{ExpectedKeys: 1000, BitsPerKey: 65},
+		{ExpectedKeys: 1000, MaxRange: -1},
+		{ExpectedKeys: 1 << 40, BitsPerKey: 64}, // over the 8 GiB memory cap
+	}
+	for i, opt := range bad {
+		if _, err := NewSharded(opt); err == nil {
+			t.Errorf("case %d: NewSharded(%+v) succeeded, want error", i, opt)
+		}
+	}
+	s, err := NewSharded(FilterOptions{ExpectedKeys: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Shards != DefaultShards || st.BitsPerKey != DefaultBitsPerKey {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+}
+
+// doJSON posts a JSON body and decodes the JSON response.
+func doJSON(t *testing.T, client *http.Client, method, url string, body string) (int, map[string]any) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = bytes.NewBufferString(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// TestHTTPEndToEnd drives the full create → insert → query → query-range →
+// stats → delete flow over a real HTTP server, single and batch shapes.
+func TestHTTPEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(NewAPI(NewRegistry()))
+	defer ts.Close()
+	c := ts.Client()
+	u := func(p string) string { return ts.URL + p }
+
+	code, body := doJSON(t, c, "POST", u("/v1/filters"),
+		`{"name":"users","expected_keys":100000,"bits_per_key":16,"max_range":1000000,"shards":4}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+
+	// Duplicate create → 409; invalid options → 400; unknown filter → 404.
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters"), `{"name":"users","expected_keys":1}`); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", code)
+	}
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters"), `{"name":"bad","expected_keys":0}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid create: %d", code)
+	}
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters/nope/query"), `{"key":1}`); code != http.StatusNotFound {
+		t.Fatalf("unknown filter: %d", code)
+	}
+
+	// Batch insert, with one key in string form (JS-safe shape).
+	code, body = doJSON(t, c, "POST", u("/v1/filters/users/insert"),
+		`{"keys":[42,4711,"18446744073709551615"]}`)
+	if code != http.StatusOK || body["inserted"] != float64(3) {
+		t.Fatalf("batch insert: %d %v", code, body)
+	}
+	// Single insert.
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters/users/insert"), `{"key":1000000}`); code != http.StatusOK {
+		t.Fatalf("single insert: %d", code)
+	}
+	// Malformed shapes → 400.
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters/users/insert"), `{"key":1,"keys":[2]}`); code != http.StatusBadRequest {
+		t.Fatalf("both key and keys: %d", code)
+	}
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters/users/insert"), `{}`); code != http.StatusBadRequest {
+		t.Fatalf("neither key nor keys: %d", code)
+	}
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters/users/insert"), `{"keys":[-1]}`); code != http.StatusBadRequest {
+		t.Fatalf("negative key: %d", code)
+	}
+
+	// Batch query: all inserted keys true; 2^64−1 round-trips exactly.
+	code, body = doJSON(t, c, "POST", u("/v1/filters/users/query"),
+		`{"keys":[42,4711,"18446744073709551615",1000000]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch query: %d %v", code, body)
+	}
+	for i, v := range body["results"].([]any) {
+		if v != true {
+			t.Fatalf("batch query result[%d] = %v, want true", i, v)
+		}
+	}
+	// Single query.
+	code, body = doJSON(t, c, "POST", u("/v1/filters/users/query"), `{"key":42}`)
+	if code != http.StatusOK || body["result"] != true {
+		t.Fatalf("single query: %d %v", code, body)
+	}
+
+	// Range queries: single and batch; a range covering 4711 must be true.
+	code, body = doJSON(t, c, "POST", u("/v1/filters/users/query-range"), `{"lo":4000,"hi":5000}`)
+	if code != http.StatusOK || body["result"] != true {
+		t.Fatalf("single query-range: %d %v", code, body)
+	}
+	code, body = doJSON(t, c, "POST", u("/v1/filters/users/query-range"),
+		`{"ranges":[{"lo":4000,"hi":5000},{"lo":10,"hi":20}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch query-range: %d %v", code, body)
+	}
+	res := body["results"].([]any)
+	if res[0] != true {
+		t.Fatalf("batch query-range[0] = %v, want true", res[0])
+	}
+	if code, _ = doJSON(t, c, "POST", u("/v1/filters/users/query-range"), `{"lo":1}`); code != http.StatusBadRequest {
+		t.Fatalf("half-open range shape: %d", code)
+	}
+
+	// Stats and listing.
+	code, body = doJSON(t, c, "GET", u("/v1/filters/users"), "")
+	if code != http.StatusOK || body["shards"] != float64(4) || body["inserted_keys"] != float64(4) {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+	code, body = doJSON(t, c, "GET", u("/v1/filters"), "")
+	if code != http.StatusOK || body["filters"].([]any)[0] != "users" {
+		t.Fatalf("list: %d %v", code, body)
+	}
+
+	// Delete, then 404.
+	if code, _ = doJSON(t, c, "DELETE", u("/v1/filters/users"), ""); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ = doJSON(t, c, "GET", u("/v1/filters/users"), ""); code != http.StatusNotFound {
+		t.Fatalf("stats after delete: %d", code)
+	}
+
+	// Health.
+	if code, _ = doJSON(t, c, "GET", u("/healthz"), ""); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+}
+
+// TestHTTPConcurrent drives the HTTP surface from parallel clients under
+// -race: concurrent creates on distinct names plus insert/query traffic on
+// a shared filter.
+func TestHTTPConcurrent(t *testing.T) {
+	ts := httptest.NewServer(NewAPI(NewRegistry()))
+	defer ts.Close()
+	c := ts.Client()
+	if code, _ := doJSON(t, c, "POST", ts.URL+"/v1/filters",
+		`{"name":"shared","expected_keys":100000,"shards":8}`); code != http.StatusCreated {
+		t.Fatal("create shared filter failed")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				k := g*1000 + i
+				if code, _ := doJSON(t, c, "POST", ts.URL+"/v1/filters/shared/insert",
+					fmt.Sprintf(`{"key":%d}`, k)); code != http.StatusOK {
+					t.Errorf("insert %d failed", k)
+					return
+				}
+				code, body := doJSON(t, c, "POST", ts.URL+"/v1/filters/shared/query",
+					fmt.Sprintf(`{"key":%d}`, k))
+				if code != http.StatusOK || body["result"] != true {
+					t.Errorf("query %d: %d %v", k, code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,271 @@
+// Package server implements the bloomrfd serving layer: a registry of named,
+// sharded bloomRF filters behind an HTTP JSON API (create / insert / query /
+// query-range / stats, with batch variants of each).
+//
+// Sharding model: a ShardedFilter splits one logical filter across N
+// independent bloomRF instances. Keys are routed by a hash of the key, so
+// concurrent inserts spread across N disjoint bit arrays instead of
+// contending for cache lines in one, and batch operations fan out shard-
+// local sub-batches through the zero-allocation batch APIs. Point queries
+// probe exactly one shard. Range queries cannot be routed — hashing
+// scatters a key interval across every shard — so they OR the per-shard
+// answers; the range false-positive rate therefore grows roughly N-fold,
+// which is the usual sharding trade-off and is documented in docs/server.md.
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	bloomrf "repro"
+	"repro/internal/hashutil"
+)
+
+// MaxShards bounds the fan-out of one logical filter. 256 shards is far
+// past the point of diminishing returns for insert parallelism and keeps
+// the N-fold range-FPR inflation bounded.
+const MaxShards = 256
+
+// MaxFilterBits bounds one filter's total memory (ExpectedKeys·BitsPerKey)
+// to 8 GiB, so a single unauthenticated create request cannot allocate the
+// host into the ground.
+const MaxFilterBits = 1 << 36
+
+// FilterOptions sizes a sharded filter. The per-shard filters divide
+// ExpectedKeys evenly; the total memory budget is ExpectedKeys·BitsPerKey
+// bits regardless of the shard count.
+type FilterOptions struct {
+	// ExpectedKeys is the anticipated total number of inserted keys.
+	ExpectedKeys uint64
+	// BitsPerKey is the space budget. 0 means DefaultBitsPerKey.
+	BitsPerKey float64
+	// MaxRange, when > 0, runs the paper's tuning advisor per shard for
+	// range queries up to this width; 0 builds basic (point-oriented)
+	// filters, which still answer ranges up to ~2^14 well.
+	MaxRange float64
+	// Shards is the fan-out N. 0 means DefaultShards.
+	Shards int
+}
+
+// Defaults applied by NewSharded for zero option fields.
+const (
+	DefaultBitsPerKey = 16.0
+	DefaultShards     = 8
+)
+
+// ShardedFilter is one logical bloomRF filter split across independent
+// shards. All methods are safe for concurrent use.
+type ShardedFilter struct {
+	shards []*bloomrf.Filter
+	n      uint64
+	keys   atomic.Uint64 // inserted-key count, for stats
+	opt    FilterOptions
+}
+
+// NewSharded builds a sharded filter. It validates and defaults opt.
+func NewSharded(opt FilterOptions) (*ShardedFilter, error) {
+	if opt.Shards == 0 {
+		opt.Shards = DefaultShards
+	}
+	if opt.Shards < 1 || opt.Shards > MaxShards {
+		return nil, fmt.Errorf("server: shards %d out of range [1,%d]", opt.Shards, MaxShards)
+	}
+	if opt.BitsPerKey == 0 {
+		opt.BitsPerKey = DefaultBitsPerKey
+	}
+	if opt.BitsPerKey < 1 || opt.BitsPerKey > 64 {
+		return nil, fmt.Errorf("server: bits per key %g out of range [1,64]", opt.BitsPerKey)
+	}
+	if opt.ExpectedKeys == 0 {
+		return nil, fmt.Errorf("server: expected keys must be > 0")
+	}
+	if opt.MaxRange < 0 {
+		return nil, fmt.Errorf("server: max range %g must be ≥ 0", opt.MaxRange)
+	}
+	if bits := float64(opt.ExpectedKeys) * opt.BitsPerKey; bits > MaxFilterBits {
+		return nil, fmt.Errorf("server: expected_keys·bits_per_key = %.0f bits exceeds limit %d (8 GiB)",
+			bits, uint64(MaxFilterBits))
+	}
+	perShard := opt.ExpectedKeys / uint64(opt.Shards)
+	if perShard == 0 {
+		perShard = 1
+	}
+	s := &ShardedFilter{
+		shards: make([]*bloomrf.Filter, opt.Shards),
+		n:      uint64(opt.Shards),
+		opt:    opt,
+	}
+	for i := range s.shards {
+		if opt.MaxRange > 0 {
+			f, _, err := bloomrf.NewTuned(bloomrf.Options{
+				ExpectedKeys: perShard,
+				BitsPerKey:   opt.BitsPerKey,
+				MaxRange:     opt.MaxRange,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: tuning shard %d: %w", i, err)
+			}
+			s.shards[i] = f
+		} else {
+			s.shards[i] = bloomrf.New(perShard, opt.BitsPerKey)
+		}
+	}
+	return s, nil
+}
+
+// shardOf routes a key to its shard. The routing hash is independent of the
+// filters' internal hashes so routing does not bias in-shard placement.
+func (s *ShardedFilter) shardOf(key uint64) uint64 {
+	return hashutil.Hash64(key, 0x5ead) % s.n
+}
+
+// Insert adds one key.
+func (s *ShardedFilter) Insert(key uint64) {
+	s.shards[s.shardOf(key)].Insert(key)
+	s.keys.Add(1)
+}
+
+// MayContain tests one key; false is definitive.
+func (s *ShardedFilter) MayContain(key uint64) bool {
+	return s.shards[s.shardOf(key)].MayContain(key)
+}
+
+// MayContainRange tests whether any key in [lo, hi] (inclusive, either
+// order) may have been inserted. Because keys are hash-routed, every shard
+// is consulted and the answers are ORed: false is still definitive, but the
+// false-positive rate is roughly the per-shard rate times the shard count.
+func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
+	for _, f := range s.shards {
+		if f.MayContainRange(lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// group partitions keys by shard, returning per-shard key slices and, when
+// track is true, the original batch positions of each sub-batch so results
+// can be scattered back in order. The routing hash is computed once per key
+// into a scratch id slice (shard ids fit uint8 since MaxShards = 256) and
+// reused by the distribution pass.
+func (s *ShardedFilter) group(keys []uint64, track bool) (bkeys [][]uint64, bpos [][]int) {
+	ids := make([]uint8, len(keys))
+	counts := make([]int, s.n)
+	for j, x := range keys {
+		sh := s.shardOf(x)
+		ids[j] = uint8(sh)
+		counts[sh]++
+	}
+	bkeys = make([][]uint64, s.n)
+	if track {
+		bpos = make([][]int, s.n)
+	}
+	for sh, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bkeys[sh] = make([]uint64, 0, c)
+		if track {
+			bpos[sh] = make([]int, 0, c)
+		}
+	}
+	for j, x := range keys {
+		sh := ids[j]
+		bkeys[sh] = append(bkeys[sh], x)
+		if track {
+			bpos[sh] = append(bpos[sh], j)
+		}
+	}
+	return bkeys, bpos
+}
+
+// InsertBatch adds every key, fanning shard-local sub-batches into the
+// filters' layer-major batch insert.
+func (s *ShardedFilter) InsertBatch(keys []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	if s.n == 1 {
+		s.shards[0].InsertBatch(keys)
+		s.keys.Add(uint64(len(keys)))
+		return
+	}
+	bkeys, _ := s.group(keys, false)
+	for sh, sub := range bkeys {
+		if len(sub) > 0 {
+			s.shards[sh].InsertBatch(sub)
+		}
+	}
+	s.keys.Add(uint64(len(keys)))
+}
+
+// MayContainBatch tests every key and stores the verdicts in out, which
+// must have the same length as keys (it panics otherwise).
+func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
+	if len(out) != len(keys) {
+		panic("server: MayContainBatch len(out) != len(keys)")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if s.n == 1 {
+		s.shards[0].MayContainBatch(keys, out)
+		return
+	}
+	bkeys, bpos := s.group(keys, true)
+	for sh, sub := range bkeys {
+		if len(sub) == 0 {
+			continue
+		}
+		sout := make([]bool, len(sub))
+		s.shards[sh].MayContainBatch(sub, sout)
+		for i, j := range bpos[sh] {
+			out[j] = sout[i]
+		}
+	}
+}
+
+// MayContainRangeBatch tests every [lo, hi] pair and stores the verdicts in
+// out, which must have the same length as ranges (it panics otherwise).
+func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
+	if len(out) != len(ranges) {
+		panic("server: MayContainRangeBatch len(out) != len(ranges)")
+	}
+	for j, r := range ranges {
+		out[j] = s.MayContainRange(r[0], r[1])
+	}
+}
+
+// ShardedStats aggregates occupancy across shards.
+type ShardedStats struct {
+	Shards       int     `json:"shards"`
+	ExpectedKeys uint64  `json:"expected_keys"`
+	InsertedKeys uint64  `json:"inserted_keys"`
+	BitsPerKey   float64 `json:"bits_per_key"`
+	MaxRange     float64 `json:"max_range"`
+	SizeBits     uint64  `json:"size_bits"`
+	SetBits      uint64  `json:"set_bits"`
+	K            int     `json:"k"`
+	FillRatio    float64 `json:"fill_ratio"`
+}
+
+// Stats returns aggregate occupancy statistics.
+func (s *ShardedFilter) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:       int(s.n),
+		ExpectedKeys: s.opt.ExpectedKeys,
+		InsertedKeys: s.keys.Load(),
+		BitsPerKey:   s.opt.BitsPerKey,
+		MaxRange:     s.opt.MaxRange,
+	}
+	for _, f := range s.shards {
+		fst := f.Stats()
+		st.SizeBits += fst.SizeBits
+		st.SetBits += fst.SetBits
+		st.K = fst.K
+	}
+	if st.SizeBits > 0 {
+		st.FillRatio = float64(st.SetBits) / float64(st.SizeBits)
+	}
+	return st
+}
