@@ -46,14 +46,24 @@
 // attribute conjunctive filtering through MultiAttr. Filters serialize to
 // compact blocks (MarshalBinary/Unmarshal) for use as SSTable filter
 // blocks; see internal/lsm for a complete LSM integration, and
-// internal/server plus cmd/bloomrfd for serving sharded filters over HTTP.
+// internal/server plus cmd/bloomrfd for serving sharded filters over HTTP
+// with durable snapshot/restore.
 //
 // All Filter and MultiAttr methods are safe for concurrent use without
 // external locking: bloomRF is an online, parallel structure (paper
 // Experiment 4), and inserts and probes go through atomic bit operations.
-// One caveat: MarshalBinary concurrent with inserts captures a consistent
-// but possibly lagging snapshot (bits set mid-serialization may be missed);
-// quiesce writers first if the serialized block must reflect every insert.
+// MarshalBinary concurrent with inserts is also safe and never loses an
+// insert that completed before the call (the happens-before order of the
+// atomic bit writes matches the serialization order), but an insert still
+// in flight may be captured partially — some of its layers' bits in the
+// block, others not. Such a torn insert never produces a false negative
+// for completed inserts, yet the block is not a point-in-time image.
+// Callers that need insert-atomic snapshots must make inserts and
+// MarshalBinary mutually exclusive; internal/server does exactly this with
+// a per-shard reader–writer lock (inserts share the read side, so they
+// still run in parallel; snapshotting a shard takes the write side), which
+// is how the bloomrfd persistence layer guarantees consistent on-disk
+// snapshots under live write traffic.
 package bloomrf
 
 import (

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bloomrfd -addr :8077
+//	bloomrfd -addr :8077 -data-dir /var/lib/bloomrfd -snapshot-interval 1m
 //
 // Quick check once it is running:
 //
@@ -12,10 +12,14 @@
 //	    -d '{"name":"users","expected_keys":1000000,"bits_per_key":16}'
 //	curl -s -XPOST localhost:8077/v1/filters/users/insert -d '{"keys":[42,4711]}'
 //	curl -s -XPOST localhost:8077/v1/filters/users/query-range -d '{"lo":4000,"hi":5000}'
+//	curl -s -XPOST localhost:8077/v1/filters/users/snapshot -d ''
 //
-// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
-// Filters live in memory only; persistence is a non-goal of this daemon
-// (filters marshal compactly via the library API if a caller needs that).
+// With -data-dir set, every filter is snapshotted to disk — on demand via
+// the snapshot endpoint, every -snapshot-interval in the background, and
+// once more on graceful shutdown — and the whole registry is restored from
+// the newest intact snapshots at startup. Without it, filters live in
+// memory only. The server drains in-flight requests on SIGINT/SIGTERM
+// before exiting.
 package main
 
 import (
@@ -36,9 +40,36 @@ func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"how long to wait for in-flight requests on shutdown")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable filter snapshots; empty disables persistence")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute,
+		"how often to snapshot all filters in the background (requires -data-dir; 0 disables)")
 	flag.Parse()
 
-	api := server.NewAPI(server.NewRegistry())
+	reg := server.NewRegistry()
+	var store *server.Store
+	var snapshotter *server.Snapshotter
+	if *dataDir != "" {
+		var err error
+		store, err = server.OpenStore(*dataDir)
+		if err != nil {
+			log.Fatalf("bloomrfd: %v", err)
+		}
+		restored, skipped, err := store.RestoreAll(reg)
+		if err != nil {
+			log.Fatalf("bloomrfd: restoring filters: %v", err)
+		}
+		for name, serr := range skipped {
+			log.Printf("bloomrfd: skipping filter %q: %v", name, serr)
+		}
+		log.Printf("bloomrfd: restored %d filter(s) from %s", len(restored), *dataDir)
+		if *snapshotInterval > 0 {
+			snapshotter = server.NewSnapshotter(reg, store, *snapshotInterval)
+			snapshotter.Start()
+		}
+	}
+
+	api := server.NewPersistentAPI(reg, store)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
@@ -65,6 +96,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("bloomrfd: shutdown: %v", err)
+	}
+	if snapshotter != nil {
+		snapshotter.Stop()
+	}
+	if store != nil {
+		ok, failed := server.SnapshotAll(reg, store, log.Printf)
+		log.Printf("bloomrfd: final snapshot: %d ok, %d failed", ok, failed)
 	}
 	log.Printf("bloomrfd: bye")
 }

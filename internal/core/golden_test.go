@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden blob pins the on-wire filter-block format across processes
+// and releases: testdata/golden-basic-v1.bin was produced by a past run of
+// goldenFilter and is checked in. If the format ever changes, this test
+// fails; the fix is a new format version plus a new golden file, never a
+// silent rewrite — deserialized SSTable filter blocks and bloomrfd
+// snapshots in the field must stay readable.
+//
+// Regenerate (only alongside a deliberate version bump) with:
+//
+//	go test ./internal/core -run TestGoldenBlob -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden blobs")
+
+const goldenPath = "testdata/golden-basic-v1.bin"
+
+// goldenFilter deterministically builds the filter the golden blob encodes:
+// basic config, 512 keys on a multiplicative-hash progression, plus word
+// permutation off so the blob exercises the default layout.
+func goldenFilter() *Filter {
+	f := NewBasic(512, 16)
+	for i := uint64(0); i < 512; i++ {
+		f.Insert(i * 0x9e3779b97f4a7c15)
+	}
+	return f
+}
+
+func TestGoldenBlob(t *testing.T) {
+	f := goldenFilter()
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(blob))
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden blob (generate with -update-golden): %v", err)
+	}
+
+	// Format stability: today's encoder reproduces the checked-in bytes.
+	if !bytes.Equal(blob, golden) {
+		t.Fatalf("MarshalBinary output diverged from golden blob (%d vs %d bytes): "+
+			"the serialization format changed; bump serVersion and add a new golden file",
+			len(blob), len(golden))
+	}
+
+	// Decode stability: the checked-in bytes restore a filter that answers
+	// exactly like the freshly built one.
+	g, err := UnmarshalFilter(golden)
+	if err != nil {
+		t.Fatalf("unmarshal golden blob: %v", err)
+	}
+	for i := uint64(0); i < 512; i++ {
+		if !g.MayContain(i * 0x9e3779b97f4a7c15) {
+			t.Fatalf("golden filter lost key %d", i)
+		}
+	}
+	for i := uint64(0); i < 4096; i++ {
+		y := i * 0x2545f4914f6cdd1d
+		if f.MayContain(y) != g.MayContain(y) {
+			t.Fatalf("golden filter diverges on point %d", y)
+		}
+		lo := y
+		hi := lo + (i%64)*1024
+		if hi < lo {
+			hi = ^uint64(0)
+		}
+		if f.MayContainRange(lo, hi) != g.MayContainRange(lo, hi) {
+			t.Fatalf("golden filter diverges on range [%d,%d]", lo, hi)
+		}
+	}
+}

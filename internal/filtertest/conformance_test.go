@@ -16,42 +16,53 @@ import (
 // filter is adapted to the PRF interface the same way the harness adapts
 // it for the experiments.
 
+// coreMarshal adapts core.Filter serialization to the suite's PRF hooks.
+func coreMarshal(f PRF) ([]byte, error) { return f.(*core.Filter).MarshalBinary() }
+
+func coreUnmarshal(data []byte) (PRF, error) { return core.UnmarshalFilter(data) }
+
 func TestBloomRFBasicConformance(t *testing.T) {
-	Run(t, Options{Build: func(keys []uint64) PRF {
-		f := core.NewBasic(uint64(len(keys)), 16)
-		for _, k := range keys {
-			f.Insert(k)
-		}
-		return f
-	}})
+	Run(t, Options{
+		Marshal: coreMarshal, Unmarshal: coreUnmarshal,
+		Build: func(keys []uint64) PRF {
+			f := core.NewBasic(uint64(len(keys)), 16)
+			for _, k := range keys {
+				f.Insert(k)
+			}
+			return f
+		}})
 }
 
 func TestBloomRFTunedConformance(t *testing.T) {
-	Run(t, Options{Build: func(keys []uint64) PRF {
-		f, _, err := core.NewTuned(core.TuneOptions{N: uint64(len(keys)), BitsPerKey: 18, MaxRange: 1 << 30})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, k := range keys {
-			f.Insert(k)
-		}
-		return f
-	}})
+	Run(t, Options{
+		Marshal: coreMarshal, Unmarshal: coreUnmarshal,
+		Build: func(keys []uint64) PRF {
+			f, _, err := core.NewTuned(core.TuneOptions{N: uint64(len(keys)), BitsPerKey: 18, MaxRange: 1 << 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				f.Insert(k)
+			}
+			return f
+		}})
 }
 
 func TestBloomRFPermutedConformance(t *testing.T) {
-	Run(t, Options{Build: func(keys []uint64) PRF {
-		cfg := core.BasicConfig(uint64(len(keys)), 16)
-		cfg.PermuteWords = true
-		f, err := core.New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, k := range keys {
-			f.Insert(k)
-		}
-		return f
-	}})
+	Run(t, Options{
+		Marshal: coreMarshal, Unmarshal: coreUnmarshal,
+		Build: func(keys []uint64) PRF {
+			cfg := core.BasicConfig(uint64(len(keys)), 16)
+			cfg.PermuteWords = true
+			f, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				f.Insert(k)
+			}
+			return f
+		}})
 }
 
 func TestBloomRFSerializedConformance(t *testing.T) {
@@ -77,7 +88,9 @@ func TestRosettaConformance(t *testing.T) {
 	for _, v := range []rosetta.Variant{rosetta.VariantF, rosetta.VariantS, rosetta.VariantO, rosetta.VariantV} {
 		t.Run(v.String(), func(t *testing.T) {
 			Run(t, Options{
-				MaxSpan: 1 << 10, // within the tuned range envelope
+				MaxSpan:   1 << 10, // within the tuned range envelope
+				Marshal:   func(f PRF) ([]byte, error) { return f.(*rosetta.Filter).MarshalBinary() },
+				Unmarshal: func(data []byte) (PRF, error) { return rosetta.Unmarshal(data) },
 				Build: func(keys []uint64) PRF {
 					f, err := rosetta.New(rosetta.Options{
 						N: uint64(len(keys)), BitsPerKey: 20, MaxRange: 1 << 10, Variant: v,
@@ -103,17 +116,26 @@ func (s surfAdapter) MayContainRange(lo, hi uint64) bool { return s.f.MayContain
 func TestSuRFConformance(t *testing.T) {
 	for _, mode := range []surf.SuffixMode{surf.SuffixNone, surf.SuffixHash, surf.SuffixReal} {
 		t.Run(mode.String(), func(t *testing.T) {
-			Run(t, Options{Build: func(keys []uint64) PRF {
-				enc := make([][]byte, len(keys))
-				for i, k := range keys {
-					enc[i] = surf.EncodeUint64(k)
-				}
-				f, err := surf.Build(enc, surf.Options{Suffix: mode, SuffixBits: 8})
-				if err != nil {
-					t.Fatal(err)
-				}
-				return surfAdapter{f}
-			}})
+			Run(t, Options{
+				Marshal: func(f PRF) ([]byte, error) { return f.(surfAdapter).f.MarshalBinary() },
+				Unmarshal: func(data []byte) (PRF, error) {
+					f, err := surf.Unmarshal(data)
+					if err != nil {
+						return nil, err
+					}
+					return surfAdapter{f}, nil
+				},
+				Build: func(keys []uint64) PRF {
+					enc := make([][]byte, len(keys))
+					for i, k := range keys {
+						enc[i] = surf.EncodeUint64(k)
+					}
+					f, err := surf.Build(enc, surf.Options{Suffix: mode, SuffixBits: 8})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return surfAdapter{f}
+				}})
 		})
 	}
 }

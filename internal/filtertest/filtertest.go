@@ -41,6 +41,14 @@ type Options struct {
 	MaxPointFPR float64
 	// Seed randomizes the run deterministically (0 = 1).
 	Seed int64
+	// Marshal and Unmarshal, when both set, declare that the filter type
+	// supports serialization, and Run additionally checks the round-trip
+	// contract: insert → marshal → unmarshal must answer every point and
+	// range probe identically to the original (not merely without false
+	// negatives), and truncated blobs must fail to unmarshal rather than
+	// silently produce a filter.
+	Marshal   func(f PRF) ([]byte, error)
+	Unmarshal func(data []byte) (PRF, error)
 }
 
 // Run executes the conformance suite.
@@ -125,6 +133,53 @@ func Run(t *testing.T, opt Options) {
 			hi := lo + minU64(opt.KeyMask-lo, rng.Uint64()%opt.MaxSpan)
 			if f.MayContainRange(lo, hi) != g.MayContainRange(lo, hi) {
 				t.Fatalf("rebuild diverges on range [%d,%d]", lo, hi)
+			}
+		}
+	})
+
+	t.Run("MarshalRoundTrip", func(t *testing.T) {
+		if opt.Marshal == nil || opt.Unmarshal == nil {
+			t.Skip("filter type does not declare serialization")
+		}
+		blob, err := opt.Marshal(f)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		g, err := opt.Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		for _, k := range keys {
+			if !g.MayContain(k) {
+				t.Fatalf("restored filter lost stored key %d", k)
+			}
+		}
+		for trial := 0; trial < 2000; trial++ {
+			y := rng.Uint64() & opt.KeyMask
+			if f.MayContain(y) != g.MayContain(y) {
+				t.Fatalf("restored filter diverges on point %d", y)
+			}
+			lo := rng.Uint64() & opt.KeyMask
+			hi := lo + minU64(opt.KeyMask-lo, rng.Uint64()%opt.MaxSpan)
+			if f.MayContainRange(lo, hi) != g.MayContainRange(lo, hi) {
+				t.Fatalf("restored filter diverges on range [%d,%d]", lo, hi)
+			}
+		}
+		// A second round-trip must be byte-stable: marshaling the restored
+		// filter reproduces the blob, so the format carries complete state.
+		blob2, err := opt.Marshal(g)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !slices.Equal(blob, blob2) {
+			t.Fatalf("re-marshal differs: %d vs %d bytes (or contents)", len(blob), len(blob2))
+		}
+		for _, cut := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+			if cut >= len(blob) {
+				continue
+			}
+			if _, err := opt.Unmarshal(blob[:cut]); err == nil {
+				t.Fatalf("unmarshal accepted a %d-byte truncation of a %d-byte blob", cut, len(blob))
 			}
 		}
 	})

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// BenchmarkBatch* for the sharded serving path, comparing the PR 1 serial
+// per-shard loop against the per-shard goroutine fan-out the batch
+// endpoints now use for large batches. Run with the family:
+//
+//	go test ./internal/server -run xxx -bench Batch
+//
+// Expectation: serial and fanout match at shards=1 (fan-out is bypassed),
+// and fanout wins increasingly from 4 shards up on multi-core hosts.
+
+// benchFilter builds a filter preloaded with half the benchmark keys so
+// lookups see a mix of hits and misses.
+func benchFilter(b *testing.B, shards int) (*ShardedFilter, []uint64) {
+	b.Helper()
+	s, err := NewSharded(FilterOptions{ExpectedKeys: 1 << 20, BitsPerKey: 16, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	s.InsertBatch(keys[: len(keys)/2 : len(keys)/2])
+	return s, keys
+}
+
+// insertBatchSerial is the PR 1 request path: group, then shard sub-batches
+// one after another on the caller's goroutine.
+func (s *ShardedFilter) insertBatchSerial(keys []uint64) {
+	bkeys, _ := s.group(keys, false)
+	for sh, sub := range bkeys {
+		if len(sub) > 0 {
+			s.insertShard(sh, sub)
+		}
+	}
+}
+
+// queryBatchSerial is the PR 1 lookup path.
+func (s *ShardedFilter) queryBatchSerial(keys []uint64, out []bool) {
+	bkeys, bpos := s.group(keys, true)
+	for sh, sub := range bkeys {
+		if len(sub) > 0 {
+			s.queryShard(sh, sub, bpos[sh], out)
+		}
+	}
+}
+
+// rangeBatchSerial is the PR 1 range path: per range, OR across shards.
+func (s *ShardedFilter) rangeBatchSerial(ranges [][2]uint64, out []bool) {
+	for j, r := range ranges {
+		out[j] = s.rangeOne(r[0], r[1])
+	}
+}
+
+var shardCounts = []int{1, 4, 8}
+
+func BenchmarkBatchShardedInsert(b *testing.B) {
+	for _, shards := range shardCounts {
+		s, keys := benchFilter(b, shards)
+		b.Run(fmt.Sprintf("serial/shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(keys)) * 8)
+			for i := 0; i < b.N; i++ {
+				s.insertBatchSerial(keys)
+			}
+		})
+		s, keys = benchFilter(b, shards)
+		b.Run(fmt.Sprintf("fanout/shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(keys)) * 8)
+			for i := 0; i < b.N; i++ {
+				s.InsertBatch(keys)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchShardedPointLookup(b *testing.B) {
+	for _, shards := range shardCounts {
+		s, keys := benchFilter(b, shards)
+		out := make([]bool, len(keys))
+		b.Run(fmt.Sprintf("serial/shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(keys)) * 8)
+			for i := 0; i < b.N; i++ {
+				s.queryBatchSerial(keys, out)
+			}
+		})
+		b.Run(fmt.Sprintf("fanout/shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(keys)) * 8)
+			for i := 0; i < b.N; i++ {
+				s.MayContainBatch(keys, out)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchShardedRangeLookup(b *testing.B) {
+	for _, shards := range shardCounts {
+		s, keys := benchFilter(b, shards)
+		rng := rand.New(rand.NewSource(72))
+		ranges := make([][2]uint64, 1024)
+		for i := range ranges {
+			x := keys[rng.Intn(len(keys))]
+			ranges[i] = [2]uint64{x, x + 1<<12}
+		}
+		out := make([]bool, len(ranges))
+		b.Run(fmt.Sprintf("serial/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.rangeBatchSerial(ranges, out)
+			}
+		})
+		b.Run(fmt.Sprintf("fanout/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.MayContainRangeBatch(ranges, out)
+			}
+		})
+	}
+}
+
+// TestBatchFanOutEquivalence pins that the fan-out paths return the same
+// answers as the serial paths on the same filter, above and below the
+// fan-out thresholds.
+func TestBatchFanOutEquivalence(t *testing.T) {
+	s, keys := func() (*ShardedFilter, []uint64) {
+		s, err := NewSharded(FilterOptions{ExpectedKeys: 100_000, BitsPerKey: 16, Shards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(73))
+		keys := make([]uint64, 3*fanOutMinKeys)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		s.InsertBatch(keys[:len(keys)/2])
+		return s, keys
+	}()
+	for _, n := range []int{fanOutMinKeys / 2, 3 * fanOutMinKeys} {
+		serial := make([]bool, n)
+		fan := make([]bool, n)
+		s.queryBatchSerial(keys[:n], serial)
+		s.MayContainBatch(keys[:n], fan)
+		for i := range serial {
+			if serial[i] != fan[i] {
+				t.Fatalf("n=%d: fan-out diverges at %d", n, i)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(74))
+	for _, n := range []int{fanOutMinRanges / 2, 16 * fanOutMinRanges} {
+		ranges := make([][2]uint64, n)
+		for i := range ranges {
+			x := keys[rng.Intn(len(keys))]
+			ranges[i] = [2]uint64{x - 100, x + 100}
+		}
+		serial := make([]bool, n)
+		fan := make([]bool, n)
+		s.rangeBatchSerial(ranges, serial)
+		s.MayContainRangeBatch(ranges, fan)
+		for i := range serial {
+			if serial[i] != fan[i] {
+				t.Fatalf("ranges n=%d: fan-out diverges at %d", n, i)
+			}
+		}
+	}
+
+	// Insert equivalence: keys batch-inserted through the fan-out path are
+	// all found, and the key counter is exact.
+	before := s.Stats().InsertedKeys
+	extra := make([]uint64, 2*fanOutMinKeys)
+	for i := range extra {
+		extra[i] = rng.Uint64()
+	}
+	var wg sync.WaitGroup // concurrent with queries, to mimic the server
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]bool, len(keys))
+		s.MayContainBatch(keys, out)
+	}()
+	s.InsertBatch(extra)
+	wg.Wait()
+	if got := s.Stats().InsertedKeys; got != before+uint64(len(extra)) {
+		t.Fatalf("InsertedKeys = %d, want %d", got, before+uint64(len(extra)))
+	}
+	out := make([]bool, len(extra))
+	s.MayContainBatch(extra, out)
+	for i, ok := range out {
+		if !ok {
+			t.Fatalf("fan-out insert lost key %#x", extra[i])
+		}
+	}
+}

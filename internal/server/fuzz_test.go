@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// fuzzAPI lazily builds one API with one small sharded filter ("fz") per
+// fuzz worker process; every fuzz iteration reuses it, so iterations stay
+// microseconds instead of re-sizing filters.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *API
+)
+
+func fuzzAPI(tb testing.TB) *API {
+	fuzzOnce.Do(func() {
+		reg := NewRegistry()
+		if _, err := reg.Create("fz", FilterOptions{ExpectedKeys: 10_000, Shards: 4}); err != nil {
+			tb.Fatal(err)
+		}
+		fuzzSrv = NewAPI(reg)
+	})
+	return fuzzSrv
+}
+
+// FuzzServerBatchJSON throws arbitrary request bodies at the three
+// key-bearing endpoints and checks the documented error matrix: the server
+// answers 200 with the endpoint's success field or 400 with {"error": ...},
+// always valid JSON, and never panics (a panic would surface as a failed
+// iteration via the recorder's 500 or a crash of the fuzz worker).
+func FuzzServerBatchJSON(f *testing.F) {
+	seeds := []string{
+		`{"key":42}`,
+		`{"keys":[1,2,3]}`,
+		`{"keys":["18446744073709551615","0"]}`,
+		`{"key":1,"keys":[2]}`,
+		`{}`,
+		`{"keys":[-1]}`,
+		`{"keys":[1.5]}`,
+		`{"lo":1,"hi":9}`,
+		`{"ranges":[{"lo":1,"hi":9},{"lo":9,"hi":1}]}`,
+		`{"lo":1}`,
+		`{"ranges":[]}`,
+		`{"unknown":true}`,
+		`not json at all`,
+		`[1,2,3]`,
+		`{"keys":`,
+	}
+	for _, body := range seeds {
+		for ep := uint8(0); ep < 3; ep++ {
+			f.Add(ep, []byte(body))
+		}
+	}
+	f.Fuzz(func(t *testing.T, endpoint uint8, body []byte) {
+		a := fuzzAPI(t)
+		path := map[uint8]string{
+			0: "/v1/filters/fz/insert",
+			1: "/v1/filters/fz/query",
+			2: "/v1/filters/fz/query-range",
+		}[endpoint%3]
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, req)
+		code := rec.Code
+		if code != 200 && code != 400 {
+			t.Fatalf("%s %q: status %d outside the documented matrix {200,400}", path, body, code)
+		}
+		var resp map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s %q: non-JSON response %q: %v", path, body, rec.Body.String(), err)
+		}
+		if code == 400 {
+			msg, ok := resp["error"].(string)
+			if !ok || msg == "" {
+				t.Fatalf("%s %q: 400 without error message: %v", path, body, resp)
+			}
+			return
+		}
+		// 200: the success field for the endpoint must be present.
+		switch endpoint % 3 {
+		case 0:
+			if _, ok := resp["inserted"]; !ok {
+				t.Fatalf("insert 200 without inserted count: %v", resp)
+			}
+		default:
+			_, single := resp["result"]
+			_, batch := resp["results"]
+			if !single && !batch {
+				t.Fatalf("%s 200 without result(s): %v", path, resp)
+			}
+		}
+	})
+}

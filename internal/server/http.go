@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // HTTP JSON API for the filter registry. Endpoint and schema reference:
@@ -41,16 +42,25 @@ func (u *U64) UnmarshalJSON(b []byte) error {
 
 // API serves the filter registry over HTTP.
 type API struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg   *Registry
+	store *Store // nil when persistence is disabled
+	start time.Time
+	mux   *http.ServeMux
 }
 
-// NewAPI builds the HTTP API around a registry.
-func NewAPI(reg *Registry) *API {
-	a := &API{reg: reg, mux: http.NewServeMux()}
+// NewAPI builds the HTTP API around a registry, without persistence: the
+// snapshot endpoint answers 400 and restarts lose all filters.
+func NewAPI(reg *Registry) *API { return NewPersistentAPI(reg, nil) }
+
+// NewPersistentAPI builds the HTTP API with a snapshot store attached:
+// creates and deletes are mirrored to disk and the snapshot endpoint is
+// live. A nil store degrades to NewAPI behaviour.
+func NewPersistentAPI(reg *Registry, store *Store) *API {
+	a := &API{reg: reg, store: store, start: time.Now(), mux: http.NewServeMux()}
 	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	a.mux.HandleFunc("GET /metrics", a.handleMetrics)
 	a.mux.HandleFunc("POST /v1/filters", a.handleCreate)
 	a.mux.HandleFunc("GET /v1/filters", a.handleList)
 	a.mux.HandleFunc("GET /v1/filters/{name}", a.handleStats)
@@ -58,6 +68,7 @@ func NewAPI(reg *Registry) *API {
 	a.mux.HandleFunc("POST /v1/filters/{name}/insert", a.handleInsert)
 	a.mux.HandleFunc("POST /v1/filters/{name}/query", a.handleQuery)
 	a.mux.HandleFunc("POST /v1/filters/{name}/query-range", a.handleQueryRange)
+	a.mux.HandleFunc("POST /v1/filters/{name}/snapshot", a.handleSnapshot)
 	return a
 }
 
@@ -124,8 +135,48 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if a.store != nil {
+		// Persist the (empty) filter immediately so its existence survives
+		// a restart even before the first periodic or explicit snapshot.
+		if _, err := snapshotRegistered(a.reg, a.store, req.Name, f); err != nil && !errors.Is(err, ErrSuperseded) {
+			_ = a.reg.Delete(req.Name)
+			writeErr(w, http.StatusInternalServerError, "persisting new filter: %v", err)
+			return
+		}
+	}
 	st := f.Stats()
 	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "stats": st})
+}
+
+// handleSnapshot persists one filter on demand, returning the committed
+// manifest's summary.
+func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if a.store == nil {
+		writeErr(w, http.StatusBadRequest, "persistence is disabled (start bloomrfd with -data-dir)")
+		return
+	}
+	name := r.PathValue("name")
+	f, err := a.reg.Get(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "filter %q not found", name)
+		return
+	}
+	man, err := snapshotRegistered(a.reg, a.store, name, f)
+	if errors.Is(err, ErrSuperseded) {
+		writeErr(w, http.StatusNotFound, "filter %q deleted during snapshot", name)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "snapshot failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":          name,
+		"seq":           man.Seq,
+		"bytes":         man.totalBytes(),
+		"shards":        len(man.Shards),
+		"inserted_keys": man.InsertedKeys,
+	})
 }
 
 func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
@@ -142,7 +193,18 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if err := a.reg.Delete(name); err != nil {
+	regErr := a.reg.Delete(name)
+	if a.store != nil {
+		// Drop the on-disk snapshots too, or a restart resurrects the
+		// filter. This runs even when the registry entry is already gone,
+		// so a retried DELETE after a failed removal still cleans up the
+		// orphaned snapshots instead of 404ing past them.
+		if err := a.store.Remove(name); err != nil {
+			writeErr(w, http.StatusInternalServerError, "removing snapshots failed (retry DELETE): %v", err)
+			return
+		}
+	}
+	if regErr != nil {
 		writeErr(w, http.StatusNotFound, "filter %q not found", name)
 		return
 	}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GET /metrics renders the registry's counters in the Prometheus text
+// exposition format, hand-rolled so the server stays dependency-free. The
+// field set is documented in docs/server.md; counters come from each
+// filter's ShardedStats, snapshot gauges from its LastSnapshot.
+
+// labelEscaper escapes a label value per the Prometheus text format; a
+// Replacer is safe for concurrent use, so one instance serves all scrapes.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// metricsWriter accumulates one exposition payload, emitting each metric's
+// HELP/TYPE header once before its first sample.
+type metricsWriter struct {
+	b      strings.Builder
+	headed map[string]bool
+}
+
+func (m *metricsWriter) sample(name, help, typ, filter string, value float64) {
+	if !m.headed[name] {
+		fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		m.headed[name] = true
+	}
+	if filter == "" {
+		fmt.Fprintf(&m.b, "%s %g\n", name, value)
+		return
+	}
+	// escapeLabel already produces the exact quoted form; %q would escape
+	// the escapes and corrupt names containing \ or ".
+	fmt.Fprintf(&m.b, "%s{filter=\"%s\"} %g\n", name, escapeLabel(filter), value)
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	m := &metricsWriter{headed: make(map[string]bool)}
+	names := a.reg.Names()
+	m.sample("bloomrfd_filters", "Number of registered filters.", "gauge", "", float64(len(names)))
+	m.sample("bloomrfd_uptime_seconds", "Seconds since the API was created.", "gauge", "",
+		now.Sub(a.start).Seconds())
+	m.sample("bloomrfd_persistence_enabled", "1 when a -data-dir snapshot store is attached.", "gauge", "",
+		boolGauge(a.store != nil))
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := a.reg.Get(name)
+		if err != nil {
+			continue // deleted between Names and Get
+		}
+		st := f.Stats()
+		m.sample("bloomrfd_filter_inserted_keys_total", "Keys inserted (duplicates count).", "counter", name, float64(st.InsertedKeys))
+		m.sample("bloomrfd_filter_point_queries_total", "Point-membership probes served.", "counter", name, float64(st.PointQueries))
+		m.sample("bloomrfd_filter_point_positives_total", "Point probes answered maybe.", "counter", name, float64(st.PointPositives))
+		m.sample("bloomrfd_filter_range_queries_total", "Range-membership probes served.", "counter", name, float64(st.RangeQueries))
+		m.sample("bloomrfd_filter_range_positives_total", "Range probes answered maybe.", "counter", name, float64(st.RangePositives))
+		m.sample("bloomrfd_filter_shards", "Shard fan-out of the filter.", "gauge", name, float64(st.Shards))
+		m.sample("bloomrfd_filter_size_bits", "Total bit-array capacity.", "gauge", name, float64(st.SizeBits))
+		m.sample("bloomrfd_filter_set_bits", "Bits currently set.", "gauge", name, float64(st.SetBits))
+		m.sample("bloomrfd_filter_fill_ratio", "set_bits / size_bits.", "gauge", name, st.FillRatio)
+		if snap := st.Snapshot; snap != nil {
+			m.sample("bloomrfd_filter_snapshot_seq", "Sequence number of the last durable snapshot.", "gauge", name, float64(snap.Seq))
+			m.sample("bloomrfd_filter_snapshot_age_seconds", "Seconds since the last durable snapshot.", "gauge", name,
+				now.Sub(time.Unix(0, snap.UnixNano)).Seconds())
+			m.sample("bloomrfd_filter_snapshot_bytes", "Total shard-blob bytes of the last durable snapshot.", "gauge", name, float64(snap.Bytes))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(m.b.String()))
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

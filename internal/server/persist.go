@@ -1,0 +1,467 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	bloomrf "repro"
+)
+
+// Durable snapshots. On-disk layout under the store's root directory:
+//
+//	<root>/<escaped filter name>/snap-<seq>/shard-NNNN.bin   one MarshalBinary blob per shard
+//	<root>/<escaped filter name>/snap-<seq>/manifest.json    written last; its presence commits the snapshot
+//
+// A snapshot is written shard blobs first (each fsynced), manifest last via
+// temp-file + rename + directory fsync. The manifest is the commit point: a
+// crash mid-write leaves a snap directory without a valid manifest, which
+// restore ignores and the next successful snapshot prunes. Sequence numbers
+// grow monotonically per filter; restore picks the highest sequence whose
+// manifest parses and whose shard blobs match their recorded size and
+// CRC-32C, falling back to older snapshots otherwise. Format evolution
+// policy: manifestVersion guards the manifest schema, and each shard blob
+// carries the library's own versioned filter-block header, so either layer
+// can evolve independently; readers reject versions they do not know.
+
+// manifestVersion is the snapshot manifest schema version.
+const manifestVersion = 1
+
+// manifestName is the per-snapshot manifest file; its atomic rename into
+// place commits the snapshot.
+const manifestName = "manifest.json"
+
+// defaultKeepSnapshots is how many complete snapshots Store retains per
+// filter. Two, so the previous snapshot survives until the next one commits
+// and a torn write never leaves a filter with no restorable state.
+const defaultKeepSnapshots = 2
+
+// ErrNoSnapshot is returned by restore when a filter directory holds no
+// complete, intact snapshot.
+var ErrNoSnapshot = errors.New("server: no usable snapshot")
+
+// ErrSuperseded is returned by SnapshotGuarded when the guard reports the
+// filter is no longer current (deleted or replaced mid-flight).
+var ErrSuperseded = errors.New("server: filter deleted or replaced during snapshot")
+
+// castagnoli is the CRC-32C table used for shard blob checksums (the same
+// polynomial storage engines use for block checksums).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ShardEntry records one shard blob in a manifest.
+type ShardEntry struct {
+	File   string `json:"file"`
+	Bytes  int64  `json:"bytes"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// Manifest is the snapshot's JSON descriptor: everything needed to rebuild
+// the sharded filter plus integrity data for each shard blob.
+type Manifest struct {
+	FormatVersion int           `json:"format_version"`
+	Name          string        `json:"name"`
+	Seq           uint64        `json:"seq"`
+	CreatedUnix   int64         `json:"created_unix_nano"`
+	Options       FilterOptions `json:"options"`
+	InsertedKeys  uint64        `json:"inserted_keys"`
+	Shards        []ShardEntry  `json:"shards"`
+}
+
+// totalBytes sums the shard blob sizes.
+func (m *Manifest) totalBytes() int64 {
+	var t int64
+	for _, sh := range m.Shards {
+		t += sh.Bytes
+	}
+	return t
+}
+
+// Store reads and writes filter snapshots under a root directory. All
+// methods are safe for concurrent use: writes to the same filter (Snapshot,
+// Remove) serialize on a per-name lock so racing snapshot triggers — the
+// HTTP endpoint, the background Snapshotter, the shutdown flush — cannot
+// collide on a sequence number.
+type Store struct {
+	root string
+	keep int
+
+	mu        sync.Mutex
+	nameLocks map[string]*sync.Mutex
+
+	// afterShardWrite, when non-nil, runs after each shard blob is written
+	// and before the manifest commits. Tests inject failures here to
+	// simulate a crash mid-snapshot.
+	afterShardWrite func(shard int) error
+}
+
+// nameLock returns the write lock for one filter's directory.
+func (st *Store) nameLock(name string) *sync.Mutex {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	l, ok := st.nameLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		st.nameLocks[name] = l
+	}
+	return l
+}
+
+// OpenStore opens (creating if needed) a snapshot store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("server: store directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating store root: %w", err)
+	}
+	return &Store{root: dir, keep: defaultKeepSnapshots, nameLocks: make(map[string]*sync.Mutex)}, nil
+}
+
+// Root returns the store's root directory.
+func (st *Store) Root() string { return st.root }
+
+// escapeName maps a filter name to a directory name: URL-path escaping,
+// which is deterministic, collision-free and filesystem-safe — except that
+// "." and ".." pass through PathEscape unchanged and would alias the store
+// root's self/parent, so they are forced into percent form. The registry
+// rejects those names anyway; this is the store defending itself against
+// callers that bypass it.
+func escapeName(name string) string {
+	switch esc := url.PathEscape(name); esc {
+	case ".":
+		return "%2E"
+	case "..":
+		return "%2E%2E"
+	default:
+		return esc
+	}
+}
+
+// filterDir maps a filter name to its directory.
+func (st *Store) filterDir(name string) string {
+	return filepath.Join(st.root, escapeName(name))
+}
+
+// snapDirName formats a snapshot directory name; the fixed width keeps
+// lexical and numeric order identical for the sequences a server will ever
+// reach, though restore parses the number rather than trusting sort order.
+func snapDirName(seq uint64) string { return fmt.Sprintf("snap-%010d", seq) }
+
+// parseSnapDir extracts the sequence from a snapshot directory name.
+func parseSnapDir(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, "snap-")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSnaps returns the snapshot sequence numbers present for a filter,
+// descending (newest first), complete or not.
+func (st *Store) listSnaps(name string) ([]uint64, error) {
+	ents, err := os.ReadDir(st.filterDir(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSnapDir(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Snapshot writes a new durable snapshot of f and prunes old ones. On
+// success it records the snapshot on the filter (LastSnapshot) and returns
+// the committed manifest.
+func (st *Store) Snapshot(name string, f *ShardedFilter) (Manifest, error) {
+	return st.SnapshotGuarded(name, f, nil)
+}
+
+// SnapshotGuarded is Snapshot with a liveness guard evaluated under the
+// per-name write lock: if current returns false the snapshot is abandoned
+// with ErrSuperseded before touching disk. The registry-facing callers use
+// it to close the delete race — without the guard, a snapshot pass that
+// fetched the filter just before DELETE removed it would re-create the
+// on-disk state after Remove, resurrecting the filter on restart.
+func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() bool) (Manifest, error) {
+	l := st.nameLock(name)
+	l.Lock()
+	defer l.Unlock()
+	if current != nil && !current() {
+		return Manifest{}, ErrSuperseded
+	}
+	dir := st.filterDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
+	}
+	seqs, err := st.listSnaps(name)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
+	}
+	var seq uint64 = 1
+	if len(seqs) > 0 {
+		seq = seqs[0] + 1
+	}
+	snapDir := filepath.Join(dir, snapDirName(seq))
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
+	}
+	man := Manifest{
+		FormatVersion: manifestVersion,
+		Name:          name,
+		Seq:           seq,
+		CreatedUnix:   time.Now().UnixNano(),
+		Options:       f.Options(),
+		Shards:        make([]ShardEntry, f.NumShards()),
+	}
+	for i := 0; i < f.NumShards(); i++ {
+		blob, err := f.MarshalShard(i)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
+		}
+		file := fmt.Sprintf("shard-%04d.bin", i)
+		if err := writeFileSync(filepath.Join(snapDir, file), blob); err != nil {
+			return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
+		}
+		man.Shards[i] = ShardEntry{File: file, Bytes: int64(len(blob)), CRC32C: crc32.Checksum(blob, castagnoli)}
+		if st.afterShardWrite != nil {
+			if err := st.afterShardWrite(i); err != nil {
+				return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
+			}
+		}
+	}
+	// Read after the last shard blob: every key in any blob was counted
+	// under its shard lock before that shard's marshal acquired the write
+	// side, so the count never undercounts the blobs' contents. It may
+	// overcount keys that raced in after their shard was marshaled; the
+	// count is stats-only either way.
+	man.InsertedKeys = f.keys.Load()
+	body, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q manifest: %w", name, err)
+	}
+	tmp := filepath.Join(snapDir, manifestName+".tmp")
+	if err := writeFileSync(tmp, body); err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q manifest: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(snapDir, manifestName)); err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q manifest: %w", name, err)
+	}
+	if err := syncDir(snapDir); err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
+	}
+	st.prune(name, seq)
+	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes()})
+	return man, nil
+}
+
+// prune removes snapshot directories other than the newest keep complete
+// ones, including incomplete (crashed) attempts older than the newest
+// committed snapshot. Errors are ignored: pruning is best-effort and the
+// next snapshot retries.
+func (st *Store) prune(name string, newest uint64) {
+	seqs, err := st.listSnaps(name)
+	if err != nil {
+		return
+	}
+	kept := 0
+	for _, seq := range seqs {
+		if seq > newest {
+			continue // a racing newer snapshot; not ours to judge
+		}
+		if kept < st.keep && st.loadManifest(name, seq) != nil {
+			kept++
+			continue
+		}
+		os.RemoveAll(filepath.Join(st.filterDir(name), snapDirName(seq)))
+	}
+}
+
+// loadManifest parses and structurally validates the manifest of one
+// snapshot, returning nil if absent or invalid.
+func (st *Store) loadManifest(name string, seq uint64) *Manifest {
+	body, err := os.ReadFile(filepath.Join(st.filterDir(name), snapDirName(seq), manifestName))
+	if err != nil {
+		return nil
+	}
+	var man Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		return nil
+	}
+	if man.FormatVersion != manifestVersion || man.Seq != seq || man.Name != name ||
+		len(man.Shards) == 0 || len(man.Shards) != man.Options.Shards {
+		return nil
+	}
+	return &man
+}
+
+// restoreSnap rebuilds a filter from one snapshot, verifying every shard
+// blob against the manifest's size and CRC before trusting it.
+func (st *Store) restoreSnap(name string, man *Manifest) (*ShardedFilter, error) {
+	snapDir := filepath.Join(st.filterDir(name), snapDirName(man.Seq))
+	shards := make([]*bloomrf.Filter, len(man.Shards))
+	for i, ent := range man.Shards {
+		if ent.File != filepath.Base(ent.File) {
+			return nil, fmt.Errorf("shard %d: path %q escapes snapshot directory", i, ent.File)
+		}
+		blob, err := os.ReadFile(filepath.Join(snapDir, ent.File))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if int64(len(blob)) != ent.Bytes {
+			return nil, fmt.Errorf("shard %d: %d bytes, manifest says %d", i, len(blob), ent.Bytes)
+		}
+		if crc := crc32.Checksum(blob, castagnoli); crc != ent.CRC32C {
+			return nil, fmt.Errorf("shard %d: CRC mismatch %08x != %08x", i, crc, ent.CRC32C)
+		}
+		f, err := bloomrf.Unmarshal(blob)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		shards[i] = f
+	}
+	f, err := RestoreSharded(man.Options, shards, man.InsertedKeys)
+	if err != nil {
+		return nil, err
+	}
+	f.setSnapshotInfo(SnapshotInfo{Seq: man.Seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes()})
+	return f, nil
+}
+
+// Restore rebuilds a filter from its newest intact snapshot, falling back
+// to older snapshots when the newest is incomplete (crash mid-write) or
+// fails verification. It returns ErrNoSnapshot when nothing restorable
+// exists.
+func (st *Store) Restore(name string) (*ShardedFilter, Manifest, error) {
+	seqs, err := st.listSnaps(name)
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("server: restore %q: %w", name, err)
+	}
+	var lastErr error
+	for _, seq := range seqs {
+		man := st.loadManifest(name, seq)
+		if man == nil {
+			continue // incomplete or foreign directory
+		}
+		f, err := st.restoreSnap(name, man)
+		if err != nil {
+			lastErr = fmt.Errorf("server: restore %q snap %d: %w", name, seq, err)
+			continue
+		}
+		return f, *man, nil
+	}
+	if lastErr != nil {
+		return nil, Manifest{}, fmt.Errorf("%w (%v)", ErrNoSnapshot, lastErr)
+	}
+	return nil, Manifest{}, ErrNoSnapshot
+}
+
+// Names lists the filter names with a directory in the store (restorable
+// or not), sorted.
+func (st *Store) Names() ([]string, error) {
+	ents, err := os.ReadDir(st.root)
+	if err != nil {
+		return nil, fmt.Errorf("server: listing store: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // not a directory this store wrote
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// RestoreAll restores every filter in the store into reg. Filters without
+// a usable snapshot are skipped and reported in skipped; other errors
+// abort. Names already registered are skipped as already-live.
+func (st *Store) RestoreAll(reg *Registry) (restored []string, skipped map[string]error, err error) {
+	names, err := st.Names()
+	if err != nil {
+		return nil, nil, err
+	}
+	skipped = make(map[string]error)
+	for _, name := range names {
+		f, _, err := st.Restore(name)
+		if err != nil {
+			skipped[name] = err
+			continue
+		}
+		if err := reg.Register(name, f); err != nil {
+			skipped[name] = err
+			continue
+		}
+		restored = append(restored, name)
+	}
+	return restored, skipped, nil
+}
+
+// Remove deletes every snapshot of name from disk (used when a filter is
+// deleted, so a restart does not resurrect it).
+func (st *Store) Remove(name string) error {
+	l := st.nameLock(name)
+	l.Lock()
+	defer l.Unlock()
+	if err := os.RemoveAll(st.filterDir(name)); err != nil {
+		return fmt.Errorf("server: removing snapshots of %q: %w", name, err)
+	}
+	return syncDir(st.root)
+}

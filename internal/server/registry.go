@@ -18,6 +18,21 @@ var (
 // MaxNameLen bounds filter names; names are used in URL paths.
 const MaxNameLen = 128
 
+// validateName enforces the filter-name rules shared by Create and
+// Register. "." and ".." are rejected because they survive URL-path
+// escaping unchanged and would alias filesystem parent/self directories in
+// the snapshot store (the store also defends itself, but the name is
+// useless anyway: HTTP path cleaning makes such filters unreachable).
+func validateName(name string) error {
+	if name == "" || len(name) > MaxNameLen {
+		return fmt.Errorf("server: filter name must be 1..%d characters", MaxNameLen)
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("server: filter name %q is reserved", name)
+	}
+	return nil
+}
+
 // Registry holds the server's named filters. The registry lock guards only
 // the name table — filter operations themselves are lock-free, so inserts
 // and queries on different (or the same) filters never serialize on the
@@ -35,8 +50,8 @@ func NewRegistry() *Registry {
 // Create builds a sharded filter and registers it under name. It returns
 // ErrExists if the name is taken and validation errors from NewSharded.
 func (r *Registry) Create(name string, opt FilterOptions) (*ShardedFilter, error) {
-	if name == "" || len(name) > MaxNameLen {
-		return nil, fmt.Errorf("server: filter name must be 1..%d characters", MaxNameLen)
+	if err := validateName(name); err != nil {
+		return nil, err
 	}
 	// Build outside the lock: sizing large filters can take a while and
 	// must not block queries on existing filters. A racing duplicate
@@ -45,13 +60,26 @@ func (r *Registry) Create(name string, opt FilterOptions) (*ShardedFilter, error
 	if err != nil {
 		return nil, err
 	}
+	if err := r.Register(name, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Register adds an already-built filter under name (the restore path uses
+// it to attach filters rebuilt from snapshots). It returns ErrExists if the
+// name is taken and the same name-validation errors as Create.
+func (r *Registry) Register(name string, f *ShardedFilter) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.filters[name]; ok {
-		return nil, ErrExists
+		return ErrExists
 	}
 	r.filters[name] = f
-	return f, nil
+	return nil
 }
 
 // Get returns the filter registered under name, or ErrNotFound.

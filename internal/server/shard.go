@@ -1,20 +1,24 @@
 // Package server implements the bloomrfd serving layer: a registry of named,
 // sharded bloomRF filters behind an HTTP JSON API (create / insert / query /
-// query-range / stats, with batch variants of each).
+// query-range / stats / snapshot, with batch variants of each), durable
+// snapshots on disk (persist.go, snapshot.go) and a Prometheus-style
+// /metrics endpoint (metrics.go).
 //
 // Sharding model: a ShardedFilter splits one logical filter across N
 // independent bloomRF instances. Keys are routed by a hash of the key, so
 // concurrent inserts spread across N disjoint bit arrays instead of
 // contending for cache lines in one, and batch operations fan out shard-
-// local sub-batches through the zero-allocation batch APIs. Point queries
-// probe exactly one shard. Range queries cannot be routed — hashing
-// scatters a key interval across every shard — so they OR the per-shard
-// answers; the range false-positive rate therefore grows roughly N-fold,
-// which is the usual sharding trade-off and is documented in docs/server.md.
+// local sub-batches — one goroutine per shard for large batches — through
+// the zero-allocation batch APIs. Point queries probe exactly one shard.
+// Range queries cannot be routed — hashing scatters a key interval across
+// every shard — so they OR the per-shard answers; the range false-positive
+// rate therefore grows roughly N-fold, which is the usual sharding trade-off
+// and is documented in docs/server.md.
 package server
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	bloomrf "repro"
@@ -31,20 +35,30 @@ const MaxShards = 256
 // host into the ground.
 const MaxFilterBits = 1 << 36
 
+// Fan-out thresholds: batches below these sizes run the serial per-shard
+// loop, because spawning goroutines costs more than the work they would
+// parallelize. Keys are cheap (tens of ns per key), ranges are expensive
+// (a dyadic decomposition per shard), hence the asymmetric cutoffs.
+const (
+	fanOutMinKeys   = 2048
+	fanOutMinRanges = 16
+)
+
 // FilterOptions sizes a sharded filter. The per-shard filters divide
 // ExpectedKeys evenly; the total memory budget is ExpectedKeys·BitsPerKey
-// bits regardless of the shard count.
+// bits regardless of the shard count. The JSON tags are the wire schema of
+// both the create endpoint and the snapshot manifest (persist.go).
 type FilterOptions struct {
 	// ExpectedKeys is the anticipated total number of inserted keys.
-	ExpectedKeys uint64
+	ExpectedKeys uint64 `json:"expected_keys"`
 	// BitsPerKey is the space budget. 0 means DefaultBitsPerKey.
-	BitsPerKey float64
+	BitsPerKey float64 `json:"bits_per_key"`
 	// MaxRange, when > 0, runs the paper's tuning advisor per shard for
 	// range queries up to this width; 0 builds basic (point-oriented)
 	// filters, which still answer ranges up to ~2^14 well.
-	MaxRange float64
+	MaxRange float64 `json:"max_range"`
 	// Shards is the fan-out N. 0 means DefaultShards.
-	Shards int
+	Shards int `json:"shards"`
 }
 
 // Defaults applied by NewSharded for zero option fields.
@@ -53,47 +67,46 @@ const (
 	DefaultShards     = 8
 )
 
+// SnapshotInfo describes the most recent durable snapshot of a filter.
+type SnapshotInfo struct {
+	// Seq is the snapshot sequence number (monotonic per filter).
+	Seq uint64 `json:"seq"`
+	// UnixNano is the manifest creation time.
+	UnixNano int64 `json:"unix_nano"`
+	// Bytes is the total size of the snapshot's shard blobs.
+	Bytes int64 `json:"bytes"`
+}
+
 // ShardedFilter is one logical bloomRF filter split across independent
 // shards. All methods are safe for concurrent use.
+//
+// Each shard pairs its filter with a reader–writer lock: insert paths hold
+// the read side (shared, so inserts still run in parallel) and MarshalShard
+// holds the write side, so a snapshot of a shard contains every insert that
+// completed before it and no torn half-applied insert — the consistency the
+// durability layer needs (see persist.go).
 type ShardedFilter struct {
 	shards []*bloomrf.Filter
+	locks  []sync.RWMutex
 	n      uint64
 	keys   atomic.Uint64 // inserted-key count, for stats
 	opt    FilterOptions
+
+	// Query counters for /metrics; positives count "maybe" answers, so
+	// positives/queries approximates the observed hit + false-positive rate.
+	pointQueries   atomic.Uint64
+	pointPositives atomic.Uint64
+	rangeQueries   atomic.Uint64
+	rangePositives atomic.Uint64
+
+	snap atomic.Pointer[SnapshotInfo] // last durable snapshot, nil if none
 }
 
 // NewSharded builds a sharded filter. It validates and defaults opt.
 func NewSharded(opt FilterOptions) (*ShardedFilter, error) {
-	if opt.Shards == 0 {
-		opt.Shards = DefaultShards
-	}
-	if opt.Shards < 1 || opt.Shards > MaxShards {
-		return nil, fmt.Errorf("server: shards %d out of range [1,%d]", opt.Shards, MaxShards)
-	}
-	if opt.BitsPerKey == 0 {
-		opt.BitsPerKey = DefaultBitsPerKey
-	}
-	if opt.BitsPerKey < 1 || opt.BitsPerKey > 64 {
-		return nil, fmt.Errorf("server: bits per key %g out of range [1,64]", opt.BitsPerKey)
-	}
-	if opt.ExpectedKeys == 0 {
-		return nil, fmt.Errorf("server: expected keys must be > 0")
-	}
-	if opt.MaxRange < 0 {
-		return nil, fmt.Errorf("server: max range %g must be ≥ 0", opt.MaxRange)
-	}
-	if bits := float64(opt.ExpectedKeys) * opt.BitsPerKey; bits > MaxFilterBits {
-		return nil, fmt.Errorf("server: expected_keys·bits_per_key = %.0f bits exceeds limit %d (8 GiB)",
-			bits, uint64(MaxFilterBits))
-	}
-	perShard := opt.ExpectedKeys / uint64(opt.Shards)
-	if perShard == 0 {
-		perShard = 1
-	}
-	s := &ShardedFilter{
-		shards: make([]*bloomrf.Filter, opt.Shards),
-		n:      uint64(opt.Shards),
-		opt:    opt,
+	s, perShard, err := newShardedShell(&opt)
+	if err != nil {
+		return nil, err
 	}
 	for i := range s.shards {
 		if opt.MaxRange > 0 {
@@ -113,21 +126,123 @@ func NewSharded(opt FilterOptions) (*ShardedFilter, error) {
 	return s, nil
 }
 
+// newShardedShell validates and defaults opt and allocates a ShardedFilter
+// with empty shard slots, returning the per-shard key budget. Shared by
+// NewSharded (which builds fresh filters) and RestoreSharded (which fills
+// the slots from snapshot blobs).
+func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
+	if opt.Shards == 0 {
+		opt.Shards = DefaultShards
+	}
+	if opt.Shards < 1 || opt.Shards > MaxShards {
+		return nil, 0, fmt.Errorf("server: shards %d out of range [1,%d]", opt.Shards, MaxShards)
+	}
+	if opt.BitsPerKey == 0 {
+		opt.BitsPerKey = DefaultBitsPerKey
+	}
+	if opt.BitsPerKey < 1 || opt.BitsPerKey > 64 {
+		return nil, 0, fmt.Errorf("server: bits per key %g out of range [1,64]", opt.BitsPerKey)
+	}
+	if opt.ExpectedKeys == 0 {
+		return nil, 0, fmt.Errorf("server: expected keys must be > 0")
+	}
+	if opt.MaxRange < 0 {
+		return nil, 0, fmt.Errorf("server: max range %g must be ≥ 0", opt.MaxRange)
+	}
+	if bits := float64(opt.ExpectedKeys) * opt.BitsPerKey; bits > MaxFilterBits {
+		return nil, 0, fmt.Errorf("server: expected_keys·bits_per_key = %.0f bits exceeds limit %d (8 GiB)",
+			bits, uint64(MaxFilterBits))
+	}
+	perShard := opt.ExpectedKeys / uint64(opt.Shards)
+	if perShard == 0 {
+		perShard = 1
+	}
+	s := &ShardedFilter{
+		shards: make([]*bloomrf.Filter, opt.Shards),
+		locks:  make([]sync.RWMutex, opt.Shards),
+		n:      uint64(opt.Shards),
+		opt:    *opt,
+	}
+	return s, perShard, nil
+}
+
+// RestoreSharded rebuilds a sharded filter from deserialized shards (one
+// per shard, in shard order) and the options and inserted-key count
+// recorded in a snapshot manifest. The shard count must match opt.Shards.
+func RestoreSharded(opt FilterOptions, shards []*bloomrf.Filter, insertedKeys uint64) (*ShardedFilter, error) {
+	s, _, err := newShardedShell(&opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) != len(s.shards) {
+		return nil, fmt.Errorf("server: restore has %d shards, options say %d", len(shards), len(s.shards))
+	}
+	copy(s.shards, shards)
+	s.keys.Store(insertedKeys)
+	return s, nil
+}
+
+// Options returns the validated, defaulted options the filter was built
+// with; the snapshot manifest persists them so a restore rebuilds an
+// identically-routed filter.
+func (s *ShardedFilter) Options() FilterOptions { return s.opt }
+
+// NumShards returns the shard count.
+func (s *ShardedFilter) NumShards() int { return int(s.n) }
+
+// MarshalShard serializes shard i under the shard's write lock, so the blob
+// reflects a point between fully applied inserts on that shard (inserts
+// hold the read side for their duration). Consistency is per shard: a batch
+// spanning shards may land in some shards' blobs and not others.
+func (s *ShardedFilter) MarshalShard(i int) ([]byte, error) {
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return s.shards[i].MarshalBinary()
+}
+
+// setSnapshotInfo records the filter's latest durable snapshot for stats
+// and /metrics. The persistence layer calls it after a successful commit.
+func (s *ShardedFilter) setSnapshotInfo(info SnapshotInfo) { s.snap.Store(&info) }
+
+// LastSnapshot returns the most recent durable snapshot's metadata, or nil
+// if the filter has never been snapshotted.
+func (s *ShardedFilter) LastSnapshot() *SnapshotInfo { return s.snap.Load() }
+
 // shardOf routes a key to its shard. The routing hash is independent of the
 // filters' internal hashes so routing does not bias in-shard placement.
 func (s *ShardedFilter) shardOf(key uint64) uint64 {
 	return hashutil.Hash64(key, 0x5ead) % s.n
 }
 
-// Insert adds one key.
+// Insert adds one key. The counter bumps inside the shard lock so a
+// snapshot's manifest never undercounts the keys its blobs contain.
 func (s *ShardedFilter) Insert(key uint64) {
-	s.shards[s.shardOf(key)].Insert(key)
+	sh := s.shardOf(key)
+	s.locks[sh].RLock()
+	s.shards[sh].Insert(key)
 	s.keys.Add(1)
+	s.locks[sh].RUnlock()
 }
 
 // MayContain tests one key; false is definitive.
 func (s *ShardedFilter) MayContain(key uint64) bool {
-	return s.shards[s.shardOf(key)].MayContain(key)
+	ok := s.shards[s.shardOf(key)].MayContain(key)
+	s.pointQueries.Add(1)
+	if ok {
+		s.pointPositives.Add(1)
+	}
+	return ok
+}
+
+// rangeOne ORs one [lo, hi] probe across every shard, early-exiting on the
+// first positive. Callers account metrics.
+func (s *ShardedFilter) rangeOne(lo, hi uint64) bool {
+	for _, f := range s.shards {
+		if f.MayContainRange(lo, hi) {
+			return true
+		}
+	}
+	return false
 }
 
 // MayContainRange tests whether any key in [lo, hi] (inclusive, either
@@ -135,12 +250,12 @@ func (s *ShardedFilter) MayContain(key uint64) bool {
 // is consulted and the answers are ORed: false is still definitive, but the
 // false-positive rate is roughly the per-shard rate times the shard count.
 func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
-	for _, f := range s.shards {
-		if f.MayContainRange(lo, hi) {
-			return true
-		}
+	ok := s.rangeOne(lo, hi)
+	s.rangeQueries.Add(1)
+	if ok {
+		s.rangePositives.Add(1)
 	}
-	return false
+	return ok
 }
 
 // group partitions keys by shard, returning per-shard key slices and, when
@@ -179,28 +294,68 @@ func (s *ShardedFilter) group(keys []uint64, track bool) (bkeys [][]uint64, bpos
 	return bkeys, bpos
 }
 
+// insertShard runs one shard's sub-batch under the shard's read lock,
+// counting the keys before the lock drops (see Insert).
+func (s *ShardedFilter) insertShard(sh int, sub []uint64) {
+	s.locks[sh].RLock()
+	s.shards[sh].InsertBatch(sub)
+	s.keys.Add(uint64(len(sub)))
+	s.locks[sh].RUnlock()
+}
+
 // InsertBatch adds every key, fanning shard-local sub-batches into the
-// filters' layer-major batch insert.
+// filters' layer-major batch insert — serially for small batches, one
+// goroutine per shard once the batch is large enough to amortize the spawn.
 func (s *ShardedFilter) InsertBatch(keys []uint64) {
 	if len(keys) == 0 {
 		return
 	}
 	if s.n == 1 {
-		s.shards[0].InsertBatch(keys)
-		s.keys.Add(uint64(len(keys)))
+		s.insertShard(0, keys)
 		return
 	}
 	bkeys, _ := s.group(keys, false)
-	for sh, sub := range bkeys {
-		if len(sub) > 0 {
-			s.shards[sh].InsertBatch(sub)
+	if len(keys) >= fanOutMinKeys {
+		var wg sync.WaitGroup
+		for sh, sub := range bkeys {
+			if len(sub) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sh int, sub []uint64) {
+				defer wg.Done()
+				s.insertShard(sh, sub)
+			}(sh, sub)
+		}
+		wg.Wait()
+	} else {
+		for sh, sub := range bkeys {
+			if len(sub) > 0 {
+				s.insertShard(sh, sub)
+			}
 		}
 	}
-	s.keys.Add(uint64(len(keys)))
+}
+
+// queryShard probes one shard's sub-batch and scatters the verdicts back to
+// their original batch positions (disjoint across shards, so concurrent
+// scatters are race-free). It returns the shard's positive count.
+func (s *ShardedFilter) queryShard(sh int, sub []uint64, pos []int, out []bool) uint64 {
+	sout := make([]bool, len(sub))
+	s.shards[sh].MayContainBatch(sub, sout)
+	var hits uint64
+	for i, j := range pos {
+		out[j] = sout[i]
+		if sout[i] {
+			hits++
+		}
+	}
+	return hits
 }
 
 // MayContainBatch tests every key and stores the verdicts in out, which
-// must have the same length as keys (it panics otherwise).
+// must have the same length as keys (it panics otherwise). Large batches
+// probe shards in parallel.
 func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
 	if len(out) != len(keys) {
 		panic("server: MayContainBatch len(out) != len(keys)")
@@ -208,55 +363,130 @@ func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
 	if len(keys) == 0 {
 		return
 	}
+	s.pointQueries.Add(uint64(len(keys)))
 	if s.n == 1 {
 		s.shards[0].MayContainBatch(keys, out)
+		var hits uint64
+		for _, ok := range out {
+			if ok {
+				hits++
+			}
+		}
+		s.pointPositives.Add(hits)
 		return
 	}
 	bkeys, bpos := s.group(keys, true)
-	for sh, sub := range bkeys {
-		if len(sub) == 0 {
-			continue
+	if len(keys) >= fanOutMinKeys {
+		var wg sync.WaitGroup
+		var hits atomic.Uint64
+		for sh, sub := range bkeys {
+			if len(sub) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sh int, sub []uint64, pos []int) {
+				defer wg.Done()
+				hits.Add(s.queryShard(sh, sub, pos, out))
+			}(sh, sub, bpos[sh])
 		}
-		sout := make([]bool, len(sub))
-		s.shards[sh].MayContainBatch(sub, sout)
-		for i, j := range bpos[sh] {
-			out[j] = sout[i]
+		wg.Wait()
+		s.pointPositives.Add(hits.Load())
+		return
+	}
+	var hits uint64
+	for sh, sub := range bkeys {
+		if len(sub) > 0 {
+			hits += s.queryShard(sh, sub, bpos[sh], out)
 		}
 	}
+	s.pointPositives.Add(hits)
 }
 
 // MayContainRangeBatch tests every [lo, hi] pair and stores the verdicts in
 // out, which must have the same length as ranges (it panics otherwise).
+// Every range consults every shard, so large batches flip the loop order:
+// one goroutine per shard answers the whole batch against its shard, and
+// the per-shard verdict vectors are ORed — same answers, 1/N wall clock.
 func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
 	if len(out) != len(ranges) {
 		panic("server: MayContainRangeBatch len(out) != len(ranges)")
 	}
+	if len(ranges) == 0 {
+		return
+	}
+	s.rangeQueries.Add(uint64(len(ranges)))
+	defer func() {
+		var hits uint64
+		for _, ok := range out {
+			if ok {
+				hits++
+			}
+		}
+		s.rangePositives.Add(hits)
+	}()
+	if s.n == 1 {
+		s.shards[0].MayContainRangeBatch(ranges, out)
+		return
+	}
+	if len(ranges) >= fanOutMinRanges {
+		souts := make([][]bool, s.n)
+		var wg sync.WaitGroup
+		for sh := range s.shards {
+			souts[sh] = make([]bool, len(ranges))
+			wg.Add(1)
+			go func(sh int) {
+				defer wg.Done()
+				s.shards[sh].MayContainRangeBatch(ranges, souts[sh])
+			}(sh)
+		}
+		wg.Wait()
+		for j := range out {
+			out[j] = false
+			for sh := range souts {
+				if souts[sh][j] {
+					out[j] = true
+					break
+				}
+			}
+		}
+		return
+	}
 	for j, r := range ranges {
-		out[j] = s.MayContainRange(r[0], r[1])
+		out[j] = s.rangeOne(r[0], r[1])
 	}
 }
 
-// ShardedStats aggregates occupancy across shards.
+// ShardedStats aggregates occupancy and traffic counters across shards.
 type ShardedStats struct {
-	Shards       int     `json:"shards"`
-	ExpectedKeys uint64  `json:"expected_keys"`
-	InsertedKeys uint64  `json:"inserted_keys"`
-	BitsPerKey   float64 `json:"bits_per_key"`
-	MaxRange     float64 `json:"max_range"`
-	SizeBits     uint64  `json:"size_bits"`
-	SetBits      uint64  `json:"set_bits"`
-	K            int     `json:"k"`
-	FillRatio    float64 `json:"fill_ratio"`
+	Shards         int           `json:"shards"`
+	ExpectedKeys   uint64        `json:"expected_keys"`
+	InsertedKeys   uint64        `json:"inserted_keys"`
+	BitsPerKey     float64       `json:"bits_per_key"`
+	MaxRange       float64       `json:"max_range"`
+	SizeBits       uint64        `json:"size_bits"`
+	SetBits        uint64        `json:"set_bits"`
+	K              int           `json:"k"`
+	FillRatio      float64       `json:"fill_ratio"`
+	PointQueries   uint64        `json:"point_queries"`
+	PointPositives uint64        `json:"point_positives"`
+	RangeQueries   uint64        `json:"range_queries"`
+	RangePositives uint64        `json:"range_positives"`
+	Snapshot       *SnapshotInfo `json:"snapshot,omitempty"`
 }
 
 // Stats returns aggregate occupancy statistics.
 func (s *ShardedFilter) Stats() ShardedStats {
 	st := ShardedStats{
-		Shards:       int(s.n),
-		ExpectedKeys: s.opt.ExpectedKeys,
-		InsertedKeys: s.keys.Load(),
-		BitsPerKey:   s.opt.BitsPerKey,
-		MaxRange:     s.opt.MaxRange,
+		Shards:         int(s.n),
+		ExpectedKeys:   s.opt.ExpectedKeys,
+		InsertedKeys:   s.keys.Load(),
+		BitsPerKey:     s.opt.BitsPerKey,
+		MaxRange:       s.opt.MaxRange,
+		PointQueries:   s.pointQueries.Load(),
+		PointPositives: s.pointPositives.Load(),
+		RangeQueries:   s.rangeQueries.Load(),
+		RangePositives: s.rangePositives.Load(),
+		Snapshot:       s.snap.Load(),
 	}
 	for _, f := range s.shards {
 		fst := f.Stats()

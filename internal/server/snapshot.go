@@ -1,0 +1,104 @@
+package server
+
+import (
+	"errors"
+	"log"
+	"sync"
+	"time"
+)
+
+// Snapshotter periodically snapshots every registered filter to a Store.
+// bloomrfd runs one when both -data-dir and -snapshot-interval are set; the
+// POST /v1/filters/{name}/snapshot endpoint remains available for on-demand
+// snapshots either way.
+type Snapshotter struct {
+	reg      *Registry
+	store    *Store
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSnapshotter builds a snapshotter; Start launches it. interval must be
+// positive.
+func NewSnapshotter(reg *Registry, store *Store, interval time.Duration) *Snapshotter {
+	return &Snapshotter{
+		reg:      reg,
+		store:    store,
+		interval: interval,
+		logf:     log.Printf,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background loop. It snapshots all filters every
+// interval until Stop.
+func (s *Snapshotter) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SnapshotAll()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for an in-flight pass to finish. It does
+// not take a final snapshot; callers that want one (bloomrfd does, on
+// graceful shutdown) call SnapshotAll afterwards.
+func (s *Snapshotter) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// SnapshotAll snapshots every currently registered filter through the
+// package-level helper, logging failures.
+func (s *Snapshotter) SnapshotAll() (ok, failed int) {
+	return SnapshotAll(s.reg, s.store, s.logf)
+}
+
+// SnapshotAll snapshots every filter in reg to store, logging and counting
+// failures rather than aborting: one filter's broken disk state must not
+// stop the others from persisting. logf may be nil. bloomrfd also calls it
+// once on graceful shutdown so the last pre-exit state is restorable.
+func SnapshotAll(reg *Registry, store *Store, logf func(format string, args ...any)) (ok, failed int) {
+	for _, name := range reg.Names() {
+		f, err := reg.Get(name)
+		if err != nil {
+			continue // deleted since Names; its on-disk state is handled by Delete
+		}
+		switch _, err := snapshotRegistered(reg, store, name, f); {
+		case errors.Is(err, ErrSuperseded):
+			// Deleted (or replaced) between Get and the write lock; the
+			// delete path owns the on-disk cleanup.
+		case err != nil:
+			if logf != nil {
+				logf("server: snapshot of %q failed: %v", name, err)
+			}
+			failed++
+		default:
+			ok++
+		}
+	}
+	return ok, failed
+}
+
+// snapshotRegistered snapshots f guarded by "f is still the filter
+// registered under name", so a concurrent delete (or delete + recreate)
+// cannot be overwritten by a stale snapshot.
+func snapshotRegistered(reg *Registry, store *Store, name string, f *ShardedFilter) (Manifest, error) {
+	return store.SnapshotGuarded(name, f, func() bool {
+		g, err := reg.Get(name)
+		return err == nil && g == f
+	})
+}
