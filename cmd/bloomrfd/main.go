@@ -44,7 +44,15 @@ func main() {
 		"directory for durable filter snapshots; empty disables persistence")
 	snapshotInterval := flag.Duration("snapshot-interval", time.Minute,
 		"how often to snapshot all filters in the background (requires -data-dir; 0 disables)")
+	partitioning := flag.String("partitioning", string(server.PartitionHash),
+		`default partitioning for creates that omit "partitioning": hash (uniform load) or range (range queries probe one shard)`)
 	flag.Parse()
+
+	defaultPart := server.Partitioning(*partitioning)
+	if !defaultPart.Valid() {
+		log.Fatalf("bloomrfd: -partitioning %q must be %q or %q",
+			*partitioning, server.PartitionHash, server.PartitionRange)
+	}
 
 	reg := server.NewRegistry()
 	var store *server.Store
@@ -69,7 +77,7 @@ func main() {
 		}
 	}
 
-	api := server.NewPersistentAPI(reg, store)
+	api := server.NewConfiguredAPI(reg, store, server.Config{DefaultPartitioning: defaultPart})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,

@@ -1,0 +1,57 @@
+package bloomrf_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches the target of an inline markdown link: ](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks walks the repo's markdown (README, ROADMAP, docs/)
+// and checks that every relative link target exists, so renames and doc
+// moves cannot silently strand cross-references. External URLs and pure
+// anchors are skipped; a #fragment on a file link is stripped (anchor
+// validity is not checked, only file existence). CI runs this as the docs
+// link-check step.
+func TestDocsRelativeLinks(t *testing.T) {
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found — test running from the wrong directory?")
+	}
+	checked := 0
+	for _, file := range files {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // optional top-level files
+			}
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found — the matcher is broken or the docs lost their cross-references")
+	}
+	t.Logf("checked %d relative links across %d files", checked, len(files))
+}

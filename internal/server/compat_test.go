@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenV1Keys mirrors scripts/gen_golden_v1: the deterministic key set
+// inside the checked-in v1 snapshot fixture.
+func goldenV1Keys() []uint64 {
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	return keys
+}
+
+// TestGoldenV1SnapshotRestore restores the checked-in hash-era snapshot
+// (manifest format_version 1, written before the partitioning record and
+// per-shard key counts existed) into the current code: the filter must come
+// back hash-partitioned with every key intact, and re-snapshotting it must
+// produce a current-version manifest that carries the routing forward.
+func TestGoldenV1SnapshotRestore(t *testing.T) {
+	st, err := OpenStore(filepath.Join("testdata", "golden-v1-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, man, err := st.Restore("users")
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer restores: %v", err)
+	}
+	if man.FormatVersion != 1 || man.Seq != 1 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if man.Options.Partitioning != PartitionHash {
+		t.Fatalf("v1 manifest normalized to partitioning %q, want hash", man.Options.Partitioning)
+	}
+	if f.Partitioning() != PartitionHash || f.NumShards() != 2 {
+		t.Fatalf("restored filter: partitioning %q, shards %d", f.Partitioning(), f.NumShards())
+	}
+	st2 := f.Stats()
+	if st2.InsertedKeys != 1024 {
+		t.Fatalf("restored inserted_keys = %d, want 1024", st2.InsertedKeys)
+	}
+	for _, sk := range st2.ShardKeys {
+		if sk != 0 { // v1 manifests predate per-shard counts
+			t.Fatalf("v1 restore invented shard key counts: %v", st2.ShardKeys)
+		}
+	}
+	for _, k := range goldenV1Keys() {
+		if !f.MayContain(k) {
+			t.Fatalf("v1 snapshot lost key %#x", k)
+		}
+		if !f.MayContainRange(k, k) {
+			t.Fatalf("v1 snapshot lost key %#x for range probes", k)
+		}
+	}
+
+	// RestoreAll sees the fixture too (the startup path bloomrfd takes).
+	reg := NewRegistry()
+	restored, skipped, err := st.RestoreAll(reg)
+	if err != nil || len(restored) != 1 || len(skipped) != 0 {
+		t.Fatalf("RestoreAll: %v %v %v", restored, skipped, err)
+	}
+
+	// A new snapshot of the restored filter is written in the current
+	// format with the partitioning recorded — v1 is read-compatible, not
+	// write-preserved.
+	st3, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, err := st3.Snapshot("users", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.FormatVersion != manifestVersion || man2.Options.Partitioning != PartitionHash {
+		t.Fatalf("re-snapshot manifest = %+v", man2)
+	}
+	g, _, err := st3.Restore("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 94)
+}
+
+// TestManifestVersionRejection pins the reader's version policy: future
+// manifest versions and v1 manifests claiming non-hash routing (which the
+// v1 era could not have written) are rejected rather than guessed at, and
+// restore falls through to ErrNoSnapshot.
+func TestManifestVersionRejection(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewSharded(FilterOptions{ExpectedKeys: 1000, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot("users", f); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(st.filterDir("users"), snapDirName(1), manifestName)
+
+	rewrite := func(mutate func(m map[string]any)) {
+		t.Helper()
+		body, err := os.ReadFile(manPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		body, err = json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sanity: untouched manifest restores.
+	if _, _, err := st.Restore("users"); err != nil {
+		t.Fatal(err)
+	}
+	// A future version is not guessed at.
+	rewrite(func(m map[string]any) { m["format_version"] = float64(manifestVersion + 1) })
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("future manifest version restored")
+	}
+	// A v1 manifest claiming range routing is corrupt: that era had none.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(1)
+		m["options"].(map[string]any)["partitioning"] = "range"
+	})
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("v1 manifest with range partitioning restored")
+	}
+	// Current version with garbage partitioning is rejected too.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(manifestVersion)
+		m["options"].(map[string]any)["partitioning"] = "zigzag"
+	})
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("invalid partitioning restored")
+	}
+	// And back to a faithful v1 shape (no partitioning key at all): restores
+	// as hash.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(1)
+		delete(m["options"].(map[string]any), "partitioning")
+	})
+	g, man, err := st.Restore("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != 1 || g.Partitioning() != PartitionHash {
+		t.Fatalf("v1-shaped manifest: version %d, partitioning %q", man.FormatVersion, g.Partitioning())
+	}
+}

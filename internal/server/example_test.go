@@ -1,0 +1,38 @@
+package server_test
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// Batch range queries against a range-partitioned filter: keys cluster in
+// the low quarter of the keyspace, so the covering range probes only shard
+// 0 and the probe into the untouched upper half of the keyspace is answered
+// definitively false by its (empty) owning shard — no other shard is
+// consulted in either case.
+func ExampleShardedFilter_MayContainRangeBatch() {
+	f, err := server.NewSharded(server.FilterOptions{
+		ExpectedKeys: 4096,
+		Shards:       4,
+		Partitioning: server.PartitionRange,
+	})
+	if err != nil {
+		panic(err)
+	}
+	f.InsertBatch([]uint64{100, 200, 300})
+
+	ranges := [][2]uint64{
+		{50, 150},               // covers the inserted key 100
+		{1 << 63, 1<<63 + 1000}, // upper keyspace: its owning shard is empty
+	}
+	out := make([]bool, len(ranges))
+	f.MayContainRangeBatch(ranges, out)
+	fmt.Println(out)
+
+	stats := f.Stats()
+	fmt.Println(stats.Partitioning, stats.ShardRangeProbes)
+	// Output:
+	// [true false]
+	// range [1 0 1 0]
+}

@@ -40,10 +40,19 @@ func (u *U64) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// Config carries optional API behaviour; the zero value is valid.
+type Config struct {
+	// DefaultPartitioning applies to create requests that omit the
+	// "partitioning" field. Empty means PartitionHash. bloomrfd wires its
+	// -partitioning flag here.
+	DefaultPartitioning Partitioning
+}
+
 // API serves the filter registry over HTTP.
 type API struct {
 	reg   *Registry
 	store *Store // nil when persistence is disabled
+	cfg   Config
 	start time.Time
 	mux   *http.ServeMux
 }
@@ -56,7 +65,12 @@ func NewAPI(reg *Registry) *API { return NewPersistentAPI(reg, nil) }
 // creates and deletes are mirrored to disk and the snapshot endpoint is
 // live. A nil store degrades to NewAPI behaviour.
 func NewPersistentAPI(reg *Registry, store *Store) *API {
-	a := &API{reg: reg, store: store, start: time.Now(), mux: http.NewServeMux()}
+	return NewConfiguredAPI(reg, store, Config{})
+}
+
+// NewConfiguredAPI is NewPersistentAPI with explicit Config.
+func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
+	a := &API{reg: reg, store: store, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
 	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -109,11 +123,12 @@ func (a *API) lookup(w http.ResponseWriter, r *http.Request) (*ShardedFilter, bo
 }
 
 type createReq struct {
-	Name         string  `json:"name"`
-	ExpectedKeys U64     `json:"expected_keys"`
-	BitsPerKey   float64 `json:"bits_per_key"`
-	MaxRange     float64 `json:"max_range"`
-	Shards       int     `json:"shards"`
+	Name         string       `json:"name"`
+	ExpectedKeys U64          `json:"expected_keys"`
+	BitsPerKey   float64      `json:"bits_per_key"`
+	MaxRange     float64      `json:"max_range"`
+	Shards       int          `json:"shards"`
+	Partitioning Partitioning `json:"partitioning"`
 }
 
 func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -121,11 +136,15 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	if req.Partitioning == "" {
+		req.Partitioning = a.cfg.DefaultPartitioning
+	}
 	f, err := a.reg.Create(req.Name, FilterOptions{
 		ExpectedKeys: uint64(req.ExpectedKeys),
 		BitsPerKey:   req.BitsPerKey,
 		MaxRange:     req.MaxRange,
 		Shards:       req.Shards,
+		Partitioning: req.Partitioning,
 	})
 	switch {
 	case errors.Is(err, ErrExists):

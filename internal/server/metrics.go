@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -11,13 +12,17 @@ import (
 // GET /metrics renders the registry's counters in the Prometheus text
 // exposition format, hand-rolled so the server stays dependency-free. The
 // field set is documented in docs/server.md; counters come from each
-// filter's ShardedStats, snapshot gauges from its LastSnapshot.
+// filter's ShardedStats, snapshot gauges from its LastSnapshot, and the
+// per-partition traffic/skew series from the per-shard counters.
 
 // labelEscaper escapes a label value per the Prometheus text format; a
 // Replacer is safe for concurrent use, so one instance serves all scrapes.
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// label is one name="value" pair of a sample.
+type label struct{ name, value string }
 
 // metricsWriter accumulates one exposition payload, emitting each metric's
 // HELP/TYPE header once before its first sample.
@@ -26,28 +31,39 @@ type metricsWriter struct {
 	headed map[string]bool
 }
 
-func (m *metricsWriter) sample(name, help, typ, filter string, value float64) {
+// sample appends one sample line, with the metric's HELP/TYPE header before
+// the first. labels may be nil; values are escaped here, so callers pass
+// them raw.
+func (m *metricsWriter) sample(name, help, typ string, labels []label, value float64) {
 	if !m.headed[name] {
 		fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		m.headed[name] = true
 	}
-	if filter == "" {
+	if len(labels) == 0 {
 		fmt.Fprintf(&m.b, "%s %g\n", name, value)
 		return
 	}
-	// escapeLabel already produces the exact quoted form; %q would escape
-	// the escapes and corrupt names containing \ or ".
-	fmt.Fprintf(&m.b, "%s{filter=\"%s\"} %g\n", name, escapeLabel(filter), value)
+	m.b.WriteString(name)
+	m.b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			m.b.WriteByte(',')
+		}
+		// escapeLabel already produces the exact quoted form; %q would
+		// escape the escapes and corrupt values containing \ or ".
+		fmt.Fprintf(&m.b, "%s=\"%s\"", l.name, escapeLabel(l.value))
+	}
+	fmt.Fprintf(&m.b, "} %g\n", value)
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	m := &metricsWriter{headed: make(map[string]bool)}
 	names := a.reg.Names()
-	m.sample("bloomrfd_filters", "Number of registered filters.", "gauge", "", float64(len(names)))
-	m.sample("bloomrfd_uptime_seconds", "Seconds since the API was created.", "gauge", "",
+	m.sample("bloomrfd_filters", "Number of registered filters.", "gauge", nil, float64(len(names)))
+	m.sample("bloomrfd_uptime_seconds", "Seconds since the API was created.", "gauge", nil,
 		now.Sub(a.start).Seconds())
-	m.sample("bloomrfd_persistence_enabled", "1 when a -data-dir snapshot store is attached.", "gauge", "",
+	m.sample("bloomrfd_persistence_enabled", "1 when a -data-dir snapshot store is attached.", "gauge", nil,
 		boolGauge(a.store != nil))
 	sort.Strings(names)
 	for _, name := range names {
@@ -56,20 +72,30 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			continue // deleted between Names and Get
 		}
 		st := f.Stats()
-		m.sample("bloomrfd_filter_inserted_keys_total", "Keys inserted (duplicates count).", "counter", name, float64(st.InsertedKeys))
-		m.sample("bloomrfd_filter_point_queries_total", "Point-membership probes served.", "counter", name, float64(st.PointQueries))
-		m.sample("bloomrfd_filter_point_positives_total", "Point probes answered maybe.", "counter", name, float64(st.PointPositives))
-		m.sample("bloomrfd_filter_range_queries_total", "Range-membership probes served.", "counter", name, float64(st.RangeQueries))
-		m.sample("bloomrfd_filter_range_positives_total", "Range probes answered maybe.", "counter", name, float64(st.RangePositives))
-		m.sample("bloomrfd_filter_shards", "Shard fan-out of the filter.", "gauge", name, float64(st.Shards))
-		m.sample("bloomrfd_filter_size_bits", "Total bit-array capacity.", "gauge", name, float64(st.SizeBits))
-		m.sample("bloomrfd_filter_set_bits", "Bits currently set.", "gauge", name, float64(st.SetBits))
-		m.sample("bloomrfd_filter_fill_ratio", "set_bits / size_bits.", "gauge", name, st.FillRatio)
+		fl := []label{{"filter", name}}
+		m.sample("bloomrfd_filter_inserted_keys_total", "Keys inserted (duplicates count).", "counter", fl, float64(st.InsertedKeys))
+		m.sample("bloomrfd_filter_point_queries_total", "Point-membership probes served.", "counter", fl, float64(st.PointQueries))
+		m.sample("bloomrfd_filter_point_positives_total", "Point probes answered maybe.", "counter", fl, float64(st.PointPositives))
+		m.sample("bloomrfd_filter_range_queries_total", "Range-membership probes served.", "counter", fl, float64(st.RangeQueries))
+		m.sample("bloomrfd_filter_range_positives_total", "Range probes answered maybe.", "counter", fl, float64(st.RangePositives))
+		m.sample("bloomrfd_filter_shards", "Shard fan-out of the filter.", "gauge", fl, float64(st.Shards))
+		m.sample("bloomrfd_filter_partitioning_mode", "1 for the filter's key-routing mode (hash or range).", "gauge",
+			[]label{{"filter", name}, {"mode", string(st.Partitioning)}}, 1)
+		m.sample("bloomrfd_filter_size_bits", "Total bit-array capacity.", "gauge", fl, float64(st.SizeBits))
+		m.sample("bloomrfd_filter_set_bits", "Bits currently set.", "gauge", fl, float64(st.SetBits))
+		m.sample("bloomrfd_filter_fill_ratio", "set_bits / size_bits.", "gauge", fl, st.FillRatio)
+		m.sample("bloomrfd_filter_key_skew", "max/mean of per-shard resident keys (1 = even, 0 = empty).", "gauge", fl, st.KeySkew)
+		for sh := range st.ShardKeys {
+			sl := []label{{"filter", name}, {"shard", strconv.Itoa(sh)}}
+			m.sample("bloomrfd_filter_shard_keys", "Keys resident in the shard (placement skew).", "gauge", sl, float64(st.ShardKeys[sh]))
+			m.sample("bloomrfd_filter_shard_point_probes_total", "Point probes routed to the shard.", "counter", sl, float64(st.ShardPointProbes[sh]))
+			m.sample("bloomrfd_filter_shard_range_probes_total", "Range probes routed to the shard (range partitioning routes narrow queries to one shard).", "counter", sl, float64(st.ShardRangeProbes[sh]))
+		}
 		if snap := st.Snapshot; snap != nil {
-			m.sample("bloomrfd_filter_snapshot_seq", "Sequence number of the last durable snapshot.", "gauge", name, float64(snap.Seq))
-			m.sample("bloomrfd_filter_snapshot_age_seconds", "Seconds since the last durable snapshot.", "gauge", name,
+			m.sample("bloomrfd_filter_snapshot_seq", "Sequence number of the last durable snapshot.", "gauge", fl, float64(snap.Seq))
+			m.sample("bloomrfd_filter_snapshot_age_seconds", "Seconds since the last durable snapshot.", "gauge", fl,
 				now.Sub(time.Unix(0, snap.UnixNano)).Seconds())
-			m.sample("bloomrfd_filter_snapshot_bytes", "Total shard-blob bytes of the last durable snapshot.", "gauge", name, float64(snap.Bytes))
+			m.sample("bloomrfd_filter_snapshot_bytes", "Total shard-blob bytes of the last durable snapshot.", "gauge", fl, float64(snap.Bytes))
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

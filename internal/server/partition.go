@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hashutil"
+)
+
+// Partitioning selects how a sharded filter routes keys to shards. It is
+// chosen per filter at create time (the "partitioning" field of the create
+// request, defaulted by bloomrfd's -partitioning flag) and recorded in the
+// snapshot manifest so a restored filter keeps its routing.
+type Partitioning string
+
+const (
+	// PartitionHash routes each key by an independent hash of the key.
+	// Inserts and point queries spread uniformly across shards regardless
+	// of the key distribution, but a key interval scatters across every
+	// shard, so range queries must OR all N shard answers (≈N× the
+	// per-shard range false-positive rate).
+	PartitionHash Partitioning = "hash"
+	// PartitionRange splits the uint64 keyspace into N contiguous,
+	// equal-width spans; shard i owns keys k with floor(k·N / 2^64) == i.
+	// Point ops still touch exactly one shard, and a range query probes
+	// only the shards whose span intersects the interval — typically one —
+	// so the range false-positive rate stays near the single-filter rate.
+	// Skewed key distributions concentrate load on few shards.
+	PartitionRange Partitioning = "range"
+)
+
+// Valid reports whether p is a known partitioning mode.
+func (p Partitioning) Valid() bool { return p == PartitionHash || p == PartitionRange }
+
+// partitioner is the routing strategy of one sharded filter: which shard
+// owns a key, and which contiguous run of shards a range query must probe.
+// Implementations are stateless values; all methods are safe for concurrent
+// use.
+type partitioner interface {
+	mode() Partitioning
+	// shardOf returns the shard owning key, in [0, n).
+	shardOf(key uint64) uint64
+	// rangeShards returns the inclusive shard-index interval [first, last]
+	// that may hold keys of [lo, hi] (either bound order). first ≤ last
+	// always holds.
+	rangeShards(lo, hi uint64) (first, last int)
+}
+
+// newPartitioner builds the partitioner for a validated mode and shard
+// count n ≥ 1.
+func newPartitioner(mode Partitioning, n uint64) (partitioner, error) {
+	switch mode {
+	case PartitionHash:
+		return hashPartitioner{n: n}, nil
+	case PartitionRange:
+		return rangePartitioner{n: n}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown partitioning %q (want %q or %q)",
+			mode, PartitionHash, PartitionRange)
+	}
+}
+
+// hashPartitioner routes by a seeded hash of the key. The routing hash is
+// independent of the filters' internal hashes so routing does not bias
+// in-shard placement.
+type hashPartitioner struct{ n uint64 }
+
+func (p hashPartitioner) mode() Partitioning { return PartitionHash }
+
+func (p hashPartitioner) shardOf(key uint64) uint64 {
+	return hashutil.Hash64(key, 0x5ead) % p.n
+}
+
+// rangeShards for hash routing is always every shard: hashing scatters any
+// key interval across the whole fleet.
+func (p hashPartitioner) rangeShards(lo, hi uint64) (int, int) { return 0, int(p.n) - 1 }
+
+// rangePartitioner owns the fixed-point mapping shard = floor(key·n / 2^64),
+// which splits the keyspace into n contiguous spans of near-equal width
+// (within one key) with no divisions on the routing path. The mapping is
+// monotone, so a key interval maps to a contiguous shard interval.
+type rangePartitioner struct{ n uint64 }
+
+func (p rangePartitioner) mode() Partitioning { return PartitionRange }
+
+func (p rangePartitioner) shardOf(key uint64) uint64 {
+	hi, _ := bits.Mul64(key, p.n)
+	return hi
+}
+
+func (p rangePartitioner) rangeShards(lo, hi uint64) (int, int) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return int(p.shardOf(lo)), int(p.shardOf(hi))
+}
+
+// spanOf returns the inclusive key span [lo, hi] owned by shard i.
+func (p rangePartitioner) spanOf(i int) (lo, hi uint64) {
+	lo = spanStart(uint64(i), p.n)
+	if uint64(i)+1 == p.n {
+		return lo, ^uint64(0)
+	}
+	return lo, spanStart(uint64(i)+1, p.n) - 1
+}
+
+// spanStart returns ceil(i·2^64 / n): the smallest key owned by shard i
+// under the floor(key·n / 2^64) mapping. Valid for 0 ≤ i < n (i·2^64/n is
+// then < 2^64, so the 128-by-64-bit division cannot overflow).
+func spanStart(i, n uint64) uint64 {
+	q, r := bits.Div64(i, 0, n)
+	if r > 0 {
+		q++
+	}
+	return q
+}

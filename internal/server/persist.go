@@ -32,9 +32,20 @@ import (
 // policy: manifestVersion guards the manifest schema, and each shard blob
 // carries the library's own versioned filter-block header, so either layer
 // can evolve independently; readers reject versions they do not know.
+//
+// Manifest history:
+//
+//	v1 — hash-era: options without a partitioning record, shard entries
+//	     without per-shard key counts. Still restorable: restore defaults
+//	     the partitioning to hash (the only routing that existed when v1
+//	     was written) and leaves per-shard key counters at zero.
+//	v2 — options carry "partitioning" so a restored filter keeps its
+//	     routing, and each shard entry records its resident key count so
+//	     the skew gauges survive a restart.
 
-// manifestVersion is the snapshot manifest schema version.
-const manifestVersion = 1
+// manifestVersion is the snapshot manifest schema version written by this
+// build. Older versions named in loadManifest remain readable.
+const manifestVersion = 2
 
 // manifestName is the per-snapshot manifest file; its atomic rename into
 // place commits the snapshot.
@@ -62,6 +73,9 @@ type ShardEntry struct {
 	File   string `json:"file"`
 	Bytes  int64  `json:"bytes"`
 	CRC32C uint32 `json:"crc32c"`
+	// Keys is the shard's resident key count at snapshot time (v2+;
+	// absent — zero — in v1 manifests). Stats-only, like InsertedKeys.
+	Keys uint64 `json:"keys,omitempty"`
 }
 
 // Manifest is the snapshot's JSON descriptor: everything needed to rebuild
@@ -272,7 +286,15 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 		if err := writeFileSync(filepath.Join(snapDir, file), blob); err != nil {
 			return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
 		}
-		man.Shards[i] = ShardEntry{File: file, Bytes: int64(len(blob)), CRC32C: crc32.Checksum(blob, castagnoli)}
+		// The key count is read after the marshal, so like InsertedKeys it
+		// never undercounts the blob's contents (counters bump under the
+		// shard lock the marshal just held); racing inserts may overcount.
+		man.Shards[i] = ShardEntry{
+			File:   file,
+			Bytes:  int64(len(blob)),
+			CRC32C: crc32.Checksum(blob, castagnoli),
+			Keys:   f.shardKeys[i].Load(),
+		}
 		if st.afterShardWrite != nil {
 			if err := st.afterShardWrite(i); err != nil {
 				return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
@@ -330,7 +352,8 @@ func (st *Store) prune(name string, newest uint64) {
 }
 
 // loadManifest parses and structurally validates the manifest of one
-// snapshot, returning nil if absent or invalid.
+// snapshot, returning nil if absent or invalid. Both manifest versions are
+// accepted; v1 (hash-era) manifests are normalized to the current schema.
 func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 	body, err := os.ReadFile(filepath.Join(st.filterDir(name), snapDirName(seq), manifestName))
 	if err != nil {
@@ -340,8 +363,26 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 	if err := json.Unmarshal(body, &man); err != nil {
 		return nil
 	}
-	if man.FormatVersion != manifestVersion || man.Seq != seq || man.Name != name ||
+	if man.Seq != seq || man.Name != name ||
 		len(man.Shards) == 0 || len(man.Shards) != man.Options.Shards {
+		return nil
+	}
+	switch man.FormatVersion {
+	case 1:
+		// v1 predates the partitioning record; hash routing is the only
+		// mode such snapshots can have been written under. A v1 manifest
+		// claiming anything else is corrupt.
+		if man.Options.Partitioning == "" {
+			man.Options.Partitioning = PartitionHash
+		}
+		if man.Options.Partitioning != PartitionHash {
+			return nil
+		}
+	case manifestVersion:
+		if !man.Options.Partitioning.Valid() {
+			return nil
+		}
+	default:
 		return nil
 	}
 	return &man
@@ -372,7 +413,11 @@ func (st *Store) restoreSnap(name string, man *Manifest) (*ShardedFilter, error)
 		}
 		shards[i] = f
 	}
-	f, err := RestoreSharded(man.Options, shards, man.InsertedKeys)
+	shardKeys := make([]uint64, len(man.Shards))
+	for i, ent := range man.Shards {
+		shardKeys[i] = ent.Keys
+	}
+	f, err := RestoreSharded(man.Options, shards, man.InsertedKeys, shardKeys)
 	if err != nil {
 		return nil, err
 	}

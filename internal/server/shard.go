@@ -4,16 +4,31 @@
 // snapshots on disk (persist.go, snapshot.go) and a Prometheus-style
 // /metrics endpoint (metrics.go).
 //
-// Sharding model: a ShardedFilter splits one logical filter across N
-// independent bloomRF instances. Keys are routed by a hash of the key, so
-// concurrent inserts spread across N disjoint bit arrays instead of
-// contending for cache lines in one, and batch operations fan out shard-
-// local sub-batches — one goroutine per shard for large batches — through
-// the zero-allocation batch APIs. Point queries probe exactly one shard.
-// Range queries cannot be routed — hashing scatters a key interval across
-// every shard — so they OR the per-shard answers; the range false-positive
-// rate therefore grows roughly N-fold, which is the usual sharding trade-off
-// and is documented in docs/server.md.
+// The package splits into three layers:
+//
+//   - Registry (registry.go) maps names to filters. Its lock guards only
+//     the name table; filter operations never serialize on it.
+//   - ShardedFilter (this file) splits one logical filter across N
+//     independent bloomRF instances so concurrent inserts land on disjoint
+//     bit arrays, and fans batch operations out one goroutine per shard
+//     through the zero-allocation batch APIs.
+//   - partitioner (partition.go) is the routing strategy between them:
+//     which shard owns a key, and which shards a range query must probe.
+//
+// Two partitioning modes exist, chosen per filter at create time:
+//
+//   - hash (default): keys route by an independent hash. Inserts and point
+//     queries spread uniformly whatever the key distribution, but a key
+//     interval scatters across every shard, so a range query ORs all N
+//     shard answers and the range false-positive rate grows roughly N-fold.
+//   - range: the uint64 keyspace splits into N contiguous equal-width
+//     spans. Point ops still touch exactly one shard, and a range query
+//     probes only the shards whose span intersects the interval — typically
+//     one — keeping the range FPR near the single-filter rate, at the cost
+//     of load skew under non-uniform key distributions.
+//
+// The trade-off table and guidance live in docs/server.md; the layer map in
+// docs/architecture.md.
 package server
 
 import (
@@ -22,12 +37,11 @@ import (
 	"sync/atomic"
 
 	bloomrf "repro"
-	"repro/internal/hashutil"
 )
 
 // MaxShards bounds the fan-out of one logical filter. 256 shards is far
 // past the point of diminishing returns for insert parallelism and keeps
-// the N-fold range-FPR inflation bounded.
+// the N-fold range-FPR inflation of hash partitioning bounded.
 const MaxShards = 256
 
 // MaxFilterBits bounds one filter's total memory (ExpectedKeys·BitsPerKey)
@@ -59,6 +73,10 @@ type FilterOptions struct {
 	MaxRange float64 `json:"max_range"`
 	// Shards is the fan-out N. 0 means DefaultShards.
 	Shards int `json:"shards"`
+	// Partitioning is the key-routing mode, PartitionHash or
+	// PartitionRange. Empty means PartitionHash (also what snapshot
+	// manifests from before the field existed restore as).
+	Partitioning Partitioning `json:"partitioning"`
 }
 
 // Defaults applied by NewSharded for zero option fields.
@@ -78,7 +96,8 @@ type SnapshotInfo struct {
 }
 
 // ShardedFilter is one logical bloomRF filter split across independent
-// shards. All methods are safe for concurrent use.
+// shards, with key routing delegated to its partitioner. All methods are
+// safe for concurrent use.
 //
 // Each shard pairs its filter with a reader–writer lock: insert paths hold
 // the read side (shared, so inserts still run in parallel) and MarshalShard
@@ -88,6 +107,7 @@ type SnapshotInfo struct {
 type ShardedFilter struct {
 	shards []*bloomrf.Filter
 	locks  []sync.RWMutex
+	part   partitioner
 	n      uint64
 	keys   atomic.Uint64 // inserted-key count, for stats
 	opt    FilterOptions
@@ -98,6 +118,15 @@ type ShardedFilter struct {
 	pointPositives atomic.Uint64
 	rangeQueries   atomic.Uint64
 	rangePositives atomic.Uint64
+
+	// Per-shard traffic counters, the raw data behind the partition-skew
+	// gauges in /metrics: keys resident per shard (placement skew, the
+	// range mode's risk under non-uniform keys) and probes actually routed
+	// to each shard (the routing proof — range mode sends a narrow range
+	// query to one shard, hash mode to all of them).
+	shardKeys        []atomic.Uint64
+	shardPointProbes []atomic.Uint64
+	shardRangeProbes []atomic.Uint64
 
 	snap atomic.Pointer[SnapshotInfo] // last durable snapshot, nil if none
 }
@@ -153,23 +182,36 @@ func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 		return nil, 0, fmt.Errorf("server: expected_keys·bits_per_key = %.0f bits exceeds limit %d (8 GiB)",
 			bits, uint64(MaxFilterBits))
 	}
+	if opt.Partitioning == "" {
+		opt.Partitioning = PartitionHash
+	}
+	part, err := newPartitioner(opt.Partitioning, uint64(opt.Shards))
+	if err != nil {
+		return nil, 0, err
+	}
 	perShard := opt.ExpectedKeys / uint64(opt.Shards)
 	if perShard == 0 {
 		perShard = 1
 	}
 	s := &ShardedFilter{
-		shards: make([]*bloomrf.Filter, opt.Shards),
-		locks:  make([]sync.RWMutex, opt.Shards),
-		n:      uint64(opt.Shards),
-		opt:    *opt,
+		shards:           make([]*bloomrf.Filter, opt.Shards),
+		locks:            make([]sync.RWMutex, opt.Shards),
+		part:             part,
+		n:                uint64(opt.Shards),
+		opt:              *opt,
+		shardKeys:        make([]atomic.Uint64, opt.Shards),
+		shardPointProbes: make([]atomic.Uint64, opt.Shards),
+		shardRangeProbes: make([]atomic.Uint64, opt.Shards),
 	}
 	return s, perShard, nil
 }
 
 // RestoreSharded rebuilds a sharded filter from deserialized shards (one
-// per shard, in shard order) and the options and inserted-key count
-// recorded in a snapshot manifest. The shard count must match opt.Shards.
-func RestoreSharded(opt FilterOptions, shards []*bloomrf.Filter, insertedKeys uint64) (*ShardedFilter, error) {
+// per shard, in shard order) and the options and key counts recorded in a
+// snapshot manifest. The shard count must match opt.Shards. shardKeys is
+// the per-shard inserted-key counts; nil (v1 manifests predate them) leaves
+// the per-shard counters at zero, which only dims the skew gauges.
+func RestoreSharded(opt FilterOptions, shards []*bloomrf.Filter, insertedKeys uint64, shardKeys []uint64) (*ShardedFilter, error) {
 	s, _, err := newShardedShell(&opt)
 	if err != nil {
 		return nil, err
@@ -177,8 +219,14 @@ func RestoreSharded(opt FilterOptions, shards []*bloomrf.Filter, insertedKeys ui
 	if len(shards) != len(s.shards) {
 		return nil, fmt.Errorf("server: restore has %d shards, options say %d", len(shards), len(s.shards))
 	}
+	if shardKeys != nil && len(shardKeys) != len(s.shards) {
+		return nil, fmt.Errorf("server: restore has %d shard key counts, options say %d shards", len(shardKeys), len(s.shards))
+	}
 	copy(s.shards, shards)
 	s.keys.Store(insertedKeys)
+	for i, k := range shardKeys {
+		s.shardKeys[i].Store(k)
+	}
 	return s, nil
 }
 
@@ -189,6 +237,9 @@ func (s *ShardedFilter) Options() FilterOptions { return s.opt }
 
 // NumShards returns the shard count.
 func (s *ShardedFilter) NumShards() int { return int(s.n) }
+
+// Partitioning returns the filter's routing mode.
+func (s *ShardedFilter) Partitioning() Partitioning { return s.part.mode() }
 
 // MarshalShard serializes shard i under the shard's write lock, so the blob
 // reflects a point between fully applied inserts on that shard (inserts
@@ -208,25 +259,26 @@ func (s *ShardedFilter) setSnapshotInfo(info SnapshotInfo) { s.snap.Store(&info)
 // if the filter has never been snapshotted.
 func (s *ShardedFilter) LastSnapshot() *SnapshotInfo { return s.snap.Load() }
 
-// shardOf routes a key to its shard. The routing hash is independent of the
-// filters' internal hashes so routing does not bias in-shard placement.
-func (s *ShardedFilter) shardOf(key uint64) uint64 {
-	return hashutil.Hash64(key, 0x5ead) % s.n
-}
+// shardOf routes a key to its shard through the filter's partitioner.
+func (s *ShardedFilter) shardOf(key uint64) uint64 { return s.part.shardOf(key) }
 
-// Insert adds one key. The counter bumps inside the shard lock so a
+// Insert adds one key. The counters bump inside the shard lock so a
 // snapshot's manifest never undercounts the keys its blobs contain.
 func (s *ShardedFilter) Insert(key uint64) {
 	sh := s.shardOf(key)
 	s.locks[sh].RLock()
 	s.shards[sh].Insert(key)
 	s.keys.Add(1)
+	s.shardKeys[sh].Add(1)
 	s.locks[sh].RUnlock()
 }
 
-// MayContain tests one key; false is definitive.
+// MayContain tests one key; false is definitive. Both partitioning modes
+// probe exactly the one shard owning the key.
 func (s *ShardedFilter) MayContain(key uint64) bool {
-	ok := s.shards[s.shardOf(key)].MayContain(key)
+	sh := s.shardOf(key)
+	s.shardPointProbes[sh].Add(1)
+	ok := s.shards[sh].MayContain(key)
 	s.pointQueries.Add(1)
 	if ok {
 		s.pointPositives.Add(1)
@@ -234,11 +286,15 @@ func (s *ShardedFilter) MayContain(key uint64) bool {
 	return ok
 }
 
-// rangeOne ORs one [lo, hi] probe across every shard, early-exiting on the
-// first positive. Callers account metrics.
+// rangeOne probes one [lo, hi] query against the shards the partitioner
+// routes it to — every shard under hash partitioning, only span-overlapping
+// shards under range partitioning — ORing the answers and early-exiting on
+// the first positive. Callers account the query-level metrics.
 func (s *ShardedFilter) rangeOne(lo, hi uint64) bool {
-	for _, f := range s.shards {
-		if f.MayContainRange(lo, hi) {
+	first, last := s.part.rangeShards(lo, hi)
+	for sh := first; sh <= last; sh++ {
+		s.shardRangeProbes[sh].Add(1)
+		if s.shards[sh].MayContainRange(lo, hi) {
 			return true
 		}
 	}
@@ -246,9 +302,11 @@ func (s *ShardedFilter) rangeOne(lo, hi uint64) bool {
 }
 
 // MayContainRange tests whether any key in [lo, hi] (inclusive, either
-// order) may have been inserted. Because keys are hash-routed, every shard
-// is consulted and the answers are ORed: false is still definitive, but the
-// false-positive rate is roughly the per-shard rate times the shard count.
+// order) may have been inserted; false is definitive. Under hash
+// partitioning every shard is consulted and the answers ORed, so the
+// false-positive rate is roughly the per-shard rate times the shard count;
+// under range partitioning only shards whose span intersects [lo, hi] are
+// probed — one shard, when the interval sits inside a single span.
 func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
 	ok := s.rangeOne(lo, hi)
 	s.rangeQueries.Add(1)
@@ -260,7 +318,7 @@ func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
 
 // group partitions keys by shard, returning per-shard key slices and, when
 // track is true, the original batch positions of each sub-batch so results
-// can be scattered back in order. The routing hash is computed once per key
+// can be scattered back in order. The routing is computed once per key
 // into a scratch id slice (shard ids fit uint8 since MaxShards = 256) and
 // reused by the distribution pass.
 func (s *ShardedFilter) group(keys []uint64, track bool) (bkeys [][]uint64, bpos [][]int) {
@@ -300,6 +358,7 @@ func (s *ShardedFilter) insertShard(sh int, sub []uint64) {
 	s.locks[sh].RLock()
 	s.shards[sh].InsertBatch(sub)
 	s.keys.Add(uint64(len(sub)))
+	s.shardKeys[sh].Add(uint64(len(sub)))
 	s.locks[sh].RUnlock()
 }
 
@@ -341,6 +400,7 @@ func (s *ShardedFilter) InsertBatch(keys []uint64) {
 // their original batch positions (disjoint across shards, so concurrent
 // scatters are race-free). It returns the shard's positive count.
 func (s *ShardedFilter) queryShard(sh int, sub []uint64, pos []int, out []bool) uint64 {
+	s.shardPointProbes[sh].Add(uint64(len(sub)))
 	sout := make([]bool, len(sub))
 	s.shards[sh].MayContainBatch(sub, sout)
 	var hits uint64
@@ -365,6 +425,7 @@ func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
 	}
 	s.pointQueries.Add(uint64(len(keys)))
 	if s.n == 1 {
+		s.shardPointProbes[0].Add(uint64(len(keys)))
 		s.shards[0].MayContainBatch(keys, out)
 		var hits uint64
 		for _, ok := range out {
@@ -402,11 +463,33 @@ func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
 	s.pointPositives.Add(hits)
 }
 
+// groupRanges partitions a range batch by owning shard under range
+// partitioning: each range lands in the sub-batch of every shard whose span
+// it intersects (rangeShards — usually exactly one), with original batch
+// positions tracked so per-shard verdicts can be OR-scattered back.
+func (s *ShardedFilter) groupRanges(ranges [][2]uint64) (branges [][][2]uint64, bpos [][]int) {
+	branges = make([][][2]uint64, s.n)
+	bpos = make([][]int, s.n)
+	for j, r := range ranges {
+		first, last := s.part.rangeShards(r[0], r[1])
+		for sh := first; sh <= last; sh++ {
+			branges[sh] = append(branges[sh], r)
+			bpos[sh] = append(bpos[sh], j)
+		}
+	}
+	return branges, bpos
+}
+
 // MayContainRangeBatch tests every [lo, hi] pair and stores the verdicts in
 // out, which must have the same length as ranges (it panics otherwise).
-// Every range consults every shard, so large batches flip the loop order:
-// one goroutine per shard answers the whole batch against its shard, and
-// the per-shard verdict vectors are ORed — same answers, 1/N wall clock.
+//
+// Under hash partitioning every range consults every shard, so large
+// batches flip the loop order: one goroutine per shard answers the whole
+// batch against its shard, and the per-shard verdict vectors are ORed —
+// same answers, 1/N wall clock. Under range partitioning the batch is
+// instead grouped per owning shard (each range routes to the shards whose
+// span it intersects, typically one), so the total probe work is near 1/N
+// of the hash mode's before any parallelism.
 func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
 	if len(out) != len(ranges) {
 		panic("server: MayContainRangeBatch len(out) != len(ranges)")
@@ -425,77 +508,146 @@ func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
 		s.rangePositives.Add(hits)
 	}()
 	if s.n == 1 {
+		s.shardRangeProbes[0].Add(uint64(len(ranges)))
 		s.shards[0].MayContainRangeBatch(ranges, out)
 		return
 	}
-	if len(ranges) >= fanOutMinRanges {
-		souts := make([][]bool, s.n)
-		var wg sync.WaitGroup
-		for sh := range s.shards {
-			souts[sh] = make([]bool, len(ranges))
-			wg.Add(1)
-			go func(sh int) {
-				defer wg.Done()
-				s.shards[sh].MayContainRangeBatch(ranges, souts[sh])
-			}(sh)
-		}
-		wg.Wait()
-		for j := range out {
-			out[j] = false
-			for sh := range souts {
-				if souts[sh][j] {
-					out[j] = true
-					break
-				}
-			}
+	if len(ranges) < fanOutMinRanges {
+		for j, r := range ranges {
+			out[j] = s.rangeOne(r[0], r[1])
 		}
 		return
 	}
-	for j, r := range ranges {
-		out[j] = s.rangeOne(r[0], r[1])
+	if s.part.mode() == PartitionRange {
+		s.rangeBatchPartitioned(ranges, out)
+		return
+	}
+	// Hash mode: all shards see all ranges; transpose the loops.
+	souts := make([][]bool, s.n)
+	var wg sync.WaitGroup
+	for sh := range s.shards {
+		souts[sh] = make([]bool, len(ranges))
+		s.shardRangeProbes[sh].Add(uint64(len(ranges)))
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			s.shards[sh].MayContainRangeBatch(ranges, souts[sh])
+		}(sh)
+	}
+	wg.Wait()
+	for j := range out {
+		out[j] = false
+		for sh := range souts {
+			if souts[sh][j] {
+				out[j] = true
+				break
+			}
+		}
+	}
+}
+
+// rangeBatchPartitioned is the large-batch range-mode path: group ranges
+// per owning shard, answer each shard's sub-batch on its own goroutine, and
+// OR-scatter the verdicts back (serially — a span-straddling range may have
+// verdicts from two shards).
+func (s *ShardedFilter) rangeBatchPartitioned(ranges [][2]uint64, out []bool) {
+	branges, bpos := s.groupRanges(ranges)
+	for j := range out {
+		out[j] = false
+	}
+	souts := make([][]bool, s.n)
+	var wg sync.WaitGroup
+	for sh := range branges {
+		if len(branges[sh]) == 0 {
+			continue
+		}
+		souts[sh] = make([]bool, len(branges[sh]))
+		s.shardRangeProbes[sh].Add(uint64(len(branges[sh])))
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			s.shards[sh].MayContainRangeBatch(branges[sh], souts[sh])
+		}(sh)
+	}
+	wg.Wait()
+	for sh, pos := range bpos {
+		for i, j := range pos {
+			if souts[sh][i] {
+				out[j] = true
+			}
+		}
 	}
 }
 
 // ShardedStats aggregates occupancy and traffic counters across shards.
+// The per-shard slices are indexed by shard id and feed the partition
+// traffic/skew gauges in /metrics.
 type ShardedStats struct {
-	Shards         int           `json:"shards"`
-	ExpectedKeys   uint64        `json:"expected_keys"`
-	InsertedKeys   uint64        `json:"inserted_keys"`
-	BitsPerKey     float64       `json:"bits_per_key"`
-	MaxRange       float64       `json:"max_range"`
-	SizeBits       uint64        `json:"size_bits"`
-	SetBits        uint64        `json:"set_bits"`
-	K              int           `json:"k"`
-	FillRatio      float64       `json:"fill_ratio"`
-	PointQueries   uint64        `json:"point_queries"`
-	PointPositives uint64        `json:"point_positives"`
-	RangeQueries   uint64        `json:"range_queries"`
-	RangePositives uint64        `json:"range_positives"`
-	Snapshot       *SnapshotInfo `json:"snapshot,omitempty"`
+	Shards         int          `json:"shards"`
+	Partitioning   Partitioning `json:"partitioning"`
+	ExpectedKeys   uint64       `json:"expected_keys"`
+	InsertedKeys   uint64       `json:"inserted_keys"`
+	BitsPerKey     float64      `json:"bits_per_key"`
+	MaxRange       float64      `json:"max_range"`
+	SizeBits       uint64       `json:"size_bits"`
+	SetBits        uint64       `json:"set_bits"`
+	K              int          `json:"k"`
+	FillRatio      float64      `json:"fill_ratio"`
+	PointQueries   uint64       `json:"point_queries"`
+	PointPositives uint64       `json:"point_positives"`
+	RangeQueries   uint64       `json:"range_queries"`
+	RangePositives uint64       `json:"range_positives"`
+	// ShardKeys is the number of keys resident per shard; its spread is
+	// the placement skew (KeySkew summarizes it as max/mean).
+	ShardKeys []uint64 `json:"shard_keys"`
+	// ShardPointProbes / ShardRangeProbes count probes routed to each
+	// shard; under range partitioning a narrow range query advances
+	// exactly one entry.
+	ShardPointProbes []uint64 `json:"shard_point_probes"`
+	ShardRangeProbes []uint64 `json:"shard_range_probes"`
+	// KeySkew is max(ShardKeys)/mean(ShardKeys), 1.0 for a perfectly even
+	// spread and 0 while the filter is empty.
+	KeySkew  float64       `json:"key_skew"`
+	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 }
 
 // Stats returns aggregate occupancy statistics.
 func (s *ShardedFilter) Stats() ShardedStats {
 	st := ShardedStats{
-		Shards:         int(s.n),
-		ExpectedKeys:   s.opt.ExpectedKeys,
-		InsertedKeys:   s.keys.Load(),
-		BitsPerKey:     s.opt.BitsPerKey,
-		MaxRange:       s.opt.MaxRange,
-		PointQueries:   s.pointQueries.Load(),
-		PointPositives: s.pointPositives.Load(),
-		RangeQueries:   s.rangeQueries.Load(),
-		RangePositives: s.rangePositives.Load(),
-		Snapshot:       s.snap.Load(),
+		Shards:           int(s.n),
+		Partitioning:     s.part.mode(),
+		ExpectedKeys:     s.opt.ExpectedKeys,
+		InsertedKeys:     s.keys.Load(),
+		BitsPerKey:       s.opt.BitsPerKey,
+		MaxRange:         s.opt.MaxRange,
+		PointQueries:     s.pointQueries.Load(),
+		PointPositives:   s.pointPositives.Load(),
+		RangeQueries:     s.rangeQueries.Load(),
+		RangePositives:   s.rangePositives.Load(),
+		ShardKeys:        make([]uint64, s.n),
+		ShardPointProbes: make([]uint64, s.n),
+		ShardRangeProbes: make([]uint64, s.n),
+		Snapshot:         s.snap.Load(),
 	}
-	for _, f := range s.shards {
+	var maxKeys, sumKeys uint64
+	for i, f := range s.shards {
 		fst := f.Stats()
 		st.SizeBits += fst.SizeBits
 		st.SetBits += fst.SetBits
 		st.K = fst.K
+		st.ShardKeys[i] = s.shardKeys[i].Load()
+		st.ShardPointProbes[i] = s.shardPointProbes[i].Load()
+		st.ShardRangeProbes[i] = s.shardRangeProbes[i].Load()
+		sumKeys += st.ShardKeys[i]
+		if st.ShardKeys[i] > maxKeys {
+			maxKeys = st.ShardKeys[i]
+		}
 	}
 	if st.SizeBits > 0 {
 		st.FillRatio = float64(st.SetBits) / float64(st.SizeBits)
+	}
+	if sumKeys > 0 {
+		st.KeySkew = float64(maxKeys) * float64(s.n) / float64(sumKeys)
 	}
 	return st
 }
