@@ -1,6 +1,7 @@
 // Command bloomrfd serves named, sharded bloomRF filters over an HTTP JSON
 // API: create filters, insert keys and run point/range queries (single or
-// batch) from any HTTP client. See docs/server.md for the API reference.
+// batch) from any HTTP client. See docs/server.md for the API reference and
+// docs/replication.md for durability and standby setup.
 //
 // Usage:
 //
@@ -14,12 +15,21 @@
 //	curl -s -XPOST localhost:8077/v1/filters/users/query-range -d '{"lo":4000,"hi":5000}'
 //	curl -s -XPOST localhost:8077/v1/filters/users/snapshot -d ''
 //
-// With -data-dir set, every filter is snapshotted to disk — on demand via
-// the snapshot endpoint, every -snapshot-interval in the background, and
-// once more on graceful shutdown — and the whole registry is restored from
-// the newest intact snapshots at startup. Without it, filters live in
-// memory only. The server drains in-flight requests on SIGINT/SIGTERM
-// before exiting.
+// With -data-dir set, every mutation is committed to a write-ahead log
+// (fsync policy under -wal-sync) and every filter is snapshotted to disk —
+// on demand via the snapshot endpoint, every -snapshot-interval in the
+// background, and once more on graceful shutdown. Startup restores the
+// newest intact snapshots and replays the WAL tail on top, so an unclean
+// crash loses at most the un-fsynced log tail. Without -data-dir, filters
+// live in memory only.
+//
+// With -follow set, bloomrfd runs as a read-only warm standby instead: it
+// bootstraps from the primary's replication stream, tails the primary's
+// WAL, answers queries from the replicated state, and rejects mutations
+// with 403. Replication lag is visible in /metrics and
+// GET /v1/replication/status.
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (
@@ -30,10 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -41,11 +53,23 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"how long to wait for in-flight requests on shutdown")
 	dataDir := flag.String("data-dir", "",
-		"directory for durable filter snapshots; empty disables persistence")
+		"directory for durable state (snapshots + write-ahead log); empty disables persistence")
 	snapshotInterval := flag.Duration("snapshot-interval", time.Minute,
 		"how often to snapshot all filters in the background (requires -data-dir; 0 disables)")
 	partitioning := flag.String("partitioning", string(server.PartitionHash),
 		`default partitioning for creates that omit "partitioning": hash (uniform load) or range (range queries probe one shard)`)
+	walSync := flag.String("wal-sync", string(wal.SyncInterval),
+		"WAL fsync policy: always (no acked write is ever lost), interval (fsync every -wal-sync-interval), none (OS decides)")
+	walSyncInterval := flag.Duration("wal-sync-interval", wal.DefaultSyncInterval,
+		"fsync period under -wal-sync=interval; an unclean crash loses at most this much acked data")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes,
+		"rotate WAL segments at this size; old segments are truncated once snapshots cover them")
+	authToken := flag.String("auth-token", "",
+		"bearer token required on mutating endpoints (create/insert/snapshot/delete); empty leaves them open; $BLOOMRFD_AUTH_TOKEN is used when the flag is unset")
+	skewThreshold := flag.Float64("skew-alert-threshold", 2.0,
+		"raise bloomrfd_filter_skew_alert and log a warning when a range-partitioned filter's key_skew exceeds this (0 disables)")
+	follow := flag.String("follow", "",
+		"run as a read-only warm standby of the bloomrfd primary at this URL (e.g. http://primary:8077)")
 	flag.Parse()
 
 	defaultPart := server.Partitioning(*partitioning)
@@ -53,31 +77,71 @@ func main() {
 		log.Fatalf("bloomrfd: -partitioning %q must be %q or %q",
 			*partitioning, server.PartitionHash, server.PartitionRange)
 	}
+	syncPolicy := wal.SyncPolicy(*walSync)
+	if !syncPolicy.Valid() {
+		log.Fatalf("bloomrfd: -wal-sync %q must be %q, %q or %q",
+			*walSync, wal.SyncAlways, wal.SyncInterval, wal.SyncNone)
+	}
+	token := *authToken
+	if token == "" {
+		token = os.Getenv("BLOOMRFD_AUTH_TOKEN")
+	}
 
+	cfg := server.Config{
+		DefaultPartitioning: defaultPart,
+		AuthToken:           token,
+		SkewAlertThreshold:  *skewThreshold,
+	}
 	reg := server.NewRegistry()
-	var store *server.Store
-	var snapshotter *server.Snapshotter
-	if *dataDir != "" {
+	var (
+		store       *server.Store
+		wlog        *wal.Log
+		snapshotter *server.Snapshotter
+		follower    *server.Follower
+	)
+
+	switch {
+	case *follow != "":
+		// Warm standby: state is owned by the primary's stream; local
+		// persistence would race it, so the two modes are exclusive.
+		if *dataDir != "" {
+			log.Fatalf("bloomrfd: -follow and -data-dir are mutually exclusive (the standby's state is the primary's stream)")
+		}
 		var err error
-		store, err = server.OpenStore(*dataDir)
+		follower, err = server.NewFollower(*follow, reg, log.Printf)
 		if err != nil {
 			log.Fatalf("bloomrfd: %v", err)
 		}
-		restored, skipped, err := store.RestoreAll(reg)
+		cfg.ReadOnly = true
+		cfg.Replication = follower.Status
+
+	case *dataDir != "":
+		var err error
+		store, err = server.OpenStore(filepath.Join(*dataDir, "snapshots"))
 		if err != nil {
-			log.Fatalf("bloomrfd: restoring filters: %v", err)
+			log.Fatalf("bloomrfd: %v", err)
 		}
-		for name, serr := range skipped {
-			log.Printf("bloomrfd: skipping filter %q: %v", name, serr)
+		wlog, err = wal.Open(wal.Options{
+			Dir:          filepath.Join(*dataDir, "wal"),
+			Policy:       syncPolicy,
+			SyncInterval: *walSyncInterval,
+			SegmentBytes: *walSegmentBytes,
+		})
+		if err != nil {
+			log.Fatalf("bloomrfd: opening WAL: %v", err)
 		}
-		log.Printf("bloomrfd: restored %d filter(s) from %s", len(restored), *dataDir)
+		store.SetWALSource(wlog)
+		if _, err := server.Recover(store, wlog, reg, log.Printf); err != nil {
+			log.Fatalf("bloomrfd: recovery: %v", err)
+		}
+		cfg.WAL = wlog
 		if *snapshotInterval > 0 {
-			snapshotter = server.NewSnapshotter(reg, store, *snapshotInterval)
+			snapshotter = server.NewSnapshotter(reg, store, *snapshotInterval).WithWAL(wlog)
 			snapshotter.Start()
 		}
 	}
 
-	api := server.NewConfiguredAPI(reg, store, server.Config{DefaultPartitioning: defaultPart})
+	api := server.NewConfiguredAPI(reg, store, cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
@@ -86,6 +150,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if follower != nil {
+		go follower.Run(ctx)
+		log.Printf("bloomrfd: following %s as a read-only standby", *follow)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -111,6 +180,14 @@ func main() {
 	if store != nil {
 		ok, failed := server.SnapshotAll(reg, store, log.Printf)
 		log.Printf("bloomrfd: final snapshot: %d ok, %d failed", ok, failed)
+		if wlog != nil {
+			server.TruncateWAL(reg, wlog, log.Printf)
+		}
+	}
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			log.Printf("bloomrfd: closing WAL: %v", err)
+		}
 	}
 	log.Printf("bloomrfd: bye")
 }

@@ -116,10 +116,13 @@ func (f *Filter) hash(layer, replica int, g uint64) uint64 {
 }
 
 // wordPos locates the filter word holding word-group g of a layer/replica:
-// the containing segment and the bit position of the word's first bit.
+// the containing segment and the bit position of the word's first bit. The
+// h mod nwords reduction uses the layer's precomputed Lemire reciprocal
+// (batch.go) — bit-identical to the hardware division it replaces, so
+// single-key and batch paths always agree on probe positions.
 func (f *Filter) wordPos(layer, replica int, g uint64) (seg *bitArray, bitPos uint64) {
 	h := f.hash(layer, replica, g)
-	w := h % f.nwords[layer]
+	w := f.mods[layer].mod(h)
 	return &f.segs[f.segID[layer]], w << f.wshift[layer]
 }
 

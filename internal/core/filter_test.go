@@ -33,6 +33,7 @@ func paperFilter(t *testing.T) *Filter {
 	f.hashOverride = paperHash
 	for i := range f.nwords {
 		f.nwords[i] = 4
+		f.mods[i] = newModulus(4) // keep the reduction in lockstep with nwords
 	}
 	return f
 }

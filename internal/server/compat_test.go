@@ -86,6 +86,67 @@ func TestGoldenV1SnapshotRestore(t *testing.T) {
 	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 94)
 }
 
+// TestGoldenV2SnapshotRestore restores the checked-in range-era snapshot
+// (manifest format_version 2, written before the write-ahead log existed)
+// into the current code: the filter must come back range-partitioned with
+// every key and per-shard count intact, a zero WAL position (replay
+// everything — there was no log to position against), and re-snapshotting
+// must produce a current-version manifest.
+func TestGoldenV2SnapshotRestore(t *testing.T) {
+	st, err := OpenStore(filepath.Join("testdata", "golden-v2-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, man, err := st.Restore("events")
+	if err != nil {
+		t.Fatalf("v2 snapshot no longer restores: %v", err)
+	}
+	if man.FormatVersion != 2 || man.Seq != 1 || man.WALPos != 0 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if f.Partitioning() != PartitionRange || f.NumShards() != 4 {
+		t.Fatalf("restored filter: partitioning %q, shards %d", f.Partitioning(), f.NumShards())
+	}
+	st2 := f.Stats()
+	if st2.InsertedKeys != 1024 {
+		t.Fatalf("restored inserted_keys = %d, want 1024", st2.InsertedKeys)
+	}
+	var sum uint64
+	for _, sk := range st2.ShardKeys {
+		sum += sk
+	}
+	if sum != 1024 { // v2 manifests carry per-shard counts; they must survive
+		t.Fatalf("restored shard key counts sum to %d: %v", sum, st2.ShardKeys)
+	}
+	for _, k := range goldenV1Keys() { // same deterministic key sequence
+		if !f.MayContain(k) {
+			t.Fatalf("v2 snapshot lost key %#x", k)
+		}
+		if !f.MayContainRange(k, k) {
+			t.Fatalf("v2 snapshot lost key %#x for range probes", k)
+		}
+	}
+
+	// A new snapshot of the restored filter is written in the current
+	// format, routing preserved.
+	st3, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, err := st3.Snapshot("events", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.FormatVersion != manifestVersion || man2.Options.Partitioning != PartitionRange {
+		t.Fatalf("re-snapshot manifest = %+v", man2)
+	}
+	g, _, err := st3.Restore("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 95)
+}
+
 // TestManifestVersionRejection pins the reader's version policy: future
 // manifest versions and v1 manifests claiming non-hash routing (which the
 // v1 era could not have written) are rejected rather than guessed at, and
@@ -150,11 +211,21 @@ func TestManifestVersionRejection(t *testing.T) {
 	if _, _, err := st.Restore("users"); err == nil {
 		t.Fatal("invalid partitioning restored")
 	}
+	// A v2 manifest claiming a WAL position is corrupt: that era had no log.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(2)
+		m["options"].(map[string]any)["partitioning"] = "hash"
+		m["wal_pos"] = float64(4711)
+	})
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("v2 manifest with wal_pos restored")
+	}
 	// And back to a faithful v1 shape (no partitioning key at all): restores
 	// as hash.
 	rewrite(func(m map[string]any) {
 		m["format_version"] = float64(1)
 		delete(m["options"].(map[string]any), "partitioning")
+		delete(m, "wal_pos")
 	})
 	g, man, err := st.Restore("users")
 	if err != nil {

@@ -1,12 +1,18 @@
 package server
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // HTTP JSON API for the filter registry. Endpoint and schema reference:
@@ -46,6 +52,38 @@ type Config struct {
 	// "partitioning" field. Empty means PartitionHash. bloomrfd wires its
 	// -partitioning flag here.
 	DefaultPartitioning Partitioning
+
+	// AuthToken, when non-empty, gates every mutating endpoint (create,
+	// insert, snapshot, delete) behind "Authorization: Bearer <token>";
+	// requests without the exact token get 401. Query endpoints stay open.
+	AuthToken string
+
+	// ReadOnly rejects every mutating endpoint with 403. The replication
+	// follower serves with it set: its state is owned by the primary's
+	// stream, and a local write would silently diverge the standby.
+	ReadOnly bool
+
+	// WAL, when non-nil, is the write-ahead log mutations are committed
+	// to: every mutating handler appends its effect after applying it and
+	// before acknowledging (see durability.go for why in that order). It
+	// also enables GET /v1/replication/stream.
+	WAL *wal.Log
+
+	// Replication, when non-nil, reports the follower's stream state for
+	// /metrics and GET /v1/replication/status.
+	Replication func() ReplicationStatus
+
+	// SkewAlertThreshold arms the partition-skew alert: a range-partitioned
+	// filter whose key_skew (max/mean of per-shard resident keys) exceeds
+	// it gets bloomrfd_filter_skew_alert = 1 and a structured warning on
+	// the transition. <= 0 disables. Hash-partitioned filters never alert
+	// (their placement is uniform by construction; skew there would be a
+	// routing bug, visible in the per-shard gauges either way).
+	SkewAlertThreshold float64
+
+	// Logf receives warnings (skew alerts, replication stream errors).
+	// nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // API serves the filter registry over HTTP.
@@ -55,6 +93,9 @@ type API struct {
 	cfg   Config
 	start time.Time
 	mux   *http.ServeMux
+
+	skewMu      sync.Mutex
+	skewAlerted map[string]bool // filters currently above the skew threshold
 }
 
 // NewAPI builds the HTTP API around a registry, without persistence: the
@@ -70,7 +111,13 @@ func NewPersistentAPI(reg *Registry, store *Store) *API {
 
 // NewConfiguredAPI is NewPersistentAPI with explicit Config.
 func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
-	a := &API{reg: reg, store: store, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	a := &API{
+		reg: reg, store: store, cfg: cfg, start: time.Now(),
+		mux: http.NewServeMux(), skewAlerted: make(map[string]bool),
+	}
 	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -83,11 +130,54 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 	a.mux.HandleFunc("POST /v1/filters/{name}/query", a.handleQuery)
 	a.mux.HandleFunc("POST /v1/filters/{name}/query-range", a.handleQueryRange)
 	a.mux.HandleFunc("POST /v1/filters/{name}/snapshot", a.handleSnapshot)
+	a.mux.HandleFunc("GET /v1/replication/stream", a.handleReplicationStream)
+	a.mux.HandleFunc("GET /v1/replication/status", a.handleReplicationStatus)
 	return a
 }
 
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// allowMutation gates the mutating endpoints: a read-only follower rejects
+// outright (403), and when an auth token is configured the request must
+// carry it as a bearer credential (401 otherwise, compared in constant
+// time so the token cannot be guessed byte by byte).
+func (a *API) allowMutation(w http.ResponseWriter, r *http.Request) bool {
+	if a.cfg.ReadOnly {
+		writeErr(w, http.StatusForbidden, "this server is a read-only replication follower; write to the primary")
+		return false
+	}
+	if a.cfg.AuthToken == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(auth, "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(a.cfg.AuthToken)) != 1 {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="bloomrfd"`)
+		writeErr(w, http.StatusUnauthorized, "mutating endpoints require a valid bearer token")
+		return false
+	}
+	return true
+}
+
+// logWAL appends a record to the configured WAL, if any, translating an
+// append failure into a 500. The in-memory mutation has already been
+// applied by the time this runs (apply-before-append, durability.go); a
+// false return means the client must not treat the mutation as durable.
+func (a *API) logWAL(w http.ResponseWriter, rec wal.Record, err error) bool {
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding WAL record: %v", err)
+		return false
+	}
+	if a.cfg.WAL == nil {
+		return true
+	}
+	if _, err := a.cfg.WAL.Append(rec); err != nil {
+		writeErr(w, http.StatusInternalServerError, "WAL append failed (mutation applied in memory but not durable): %v", err)
+		return false
+	}
+	return true
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -132,6 +222,9 @@ type createReq struct {
 }
 
 func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !a.allowMutation(w, r) {
+		return
+	}
 	var req createReq
 	if !decode(w, r, &req) {
 		return
@@ -154,6 +247,14 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Log the create with the validated, defaulted options so replay
+	// rebuilds an identically-routed filter. Roll the registration back if
+	// the log rejects it: an unlogged filter would vanish on restart.
+	rec, encErr := encodeCreate(req.Name, f.Options())
+	if !a.logWAL(w, rec, encErr) {
+		_ = a.reg.Delete(req.Name)
+		return
+	}
 	if a.store != nil {
 		// Persist the (empty) filter immediately so its existence survives
 		// a restart even before the first periodic or explicit snapshot.
@@ -170,6 +271,9 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 // handleSnapshot persists one filter on demand, returning the committed
 // manifest's summary.
 func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !a.allowMutation(w, r) {
+		return
+	}
 	if a.store == nil {
 		writeErr(w, http.StatusBadRequest, "persistence is disabled (start bloomrfd with -data-dir)")
 		return
@@ -211,18 +315,37 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !a.allowMutation(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	regErr := a.reg.Delete(name)
+	// Journal the delete BEFORE removing snapshots: once the record is
+	// durable, a crash at any later point replays the delete over whatever
+	// snapshots survive, so the filter can never be resurrected with a
+	// partial key set (snapshots gone but old create/insert records
+	// retained). A crash before the append resurrects the filter whole —
+	// the state a crash just before DELETE arrived would leave, and the
+	// DELETE was never acknowledged.
+	if regErr == nil {
+		if !a.logWAL(w, wal.Record{Type: recDelete, Data: []byte(name)}, nil) {
+			return
+		}
+	}
 	if a.store != nil {
-		// Drop the on-disk snapshots too, or a restart resurrects the
-		// filter. This runs even when the registry entry is already gone,
-		// so a retried DELETE after a failed removal still cleans up the
-		// orphaned snapshots instead of 404ing past them.
+		// Drop the on-disk snapshots too. This runs even when the registry
+		// entry is already gone, so a retried DELETE after a failed removal
+		// still cleans up the orphaned snapshots instead of 404ing past
+		// them (the delete record was already journaled on that first
+		// attempt).
 		if err := a.store.Remove(name); err != nil {
 			writeErr(w, http.StatusInternalServerError, "removing snapshots failed (retry DELETE): %v", err)
 			return
 		}
 	}
+	a.skewMu.Lock()
+	delete(a.skewAlerted, name) // a recreated name starts a fresh alert episode
+	a.skewMu.Unlock()
 	if regErr != nil {
 		writeErr(w, http.StatusNotFound, "filter %q not found", name)
 		return
@@ -259,6 +382,9 @@ func (kr *keysReq) keys(w http.ResponseWriter) ([]uint64, bool, bool) {
 }
 
 func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !a.allowMutation(w, r) {
+		return
+	}
 	f, ok := a.lookup(w, r)
 	if !ok {
 		return
@@ -272,6 +398,13 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.InsertBatch(keys)
+	// Apply first, append second (durability.go): concurrent inserts
+	// group-commit into one WAL write, and a snapshot that captured the
+	// log end P is guaranteed to contain every record below P.
+	rec, encErr := encodeInsert(r.PathValue("name"), keys)
+	if !a.logWAL(w, rec, encErr) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(keys)})
 }
 

@@ -65,6 +65,31 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		now.Sub(a.start).Seconds())
 	m.sample("bloomrfd_persistence_enabled", "1 when a -data-dir snapshot store is attached.", "gauge", nil,
 		boolGauge(a.store != nil))
+	m.sample("bloomrfd_readonly", "1 when this server rejects mutations (replication follower).", "gauge", nil,
+		boolGauge(a.cfg.ReadOnly))
+	if l := a.cfg.WAL; l != nil {
+		st := l.Stats()
+		m.sample("bloomrfd_wal_end_pos", "Logical end of the write-ahead log (bytes ever appended).", "counter", nil, float64(st.End))
+		m.sample("bloomrfd_wal_durable_pos", "WAL prefix known to be fsynced.", "counter", nil, float64(st.Durable))
+		m.sample("bloomrfd_wal_oldest_pos", "Start of the oldest retained WAL segment (grows with truncation).", "counter", nil, float64(st.Oldest))
+		m.sample("bloomrfd_wal_retained_bytes", "WAL bytes currently on disk (end - oldest).", "gauge", nil, float64(st.End-st.Oldest))
+		m.sample("bloomrfd_wal_segments", "Number of WAL segment files.", "gauge", nil, float64(st.Segments))
+	}
+	if a.cfg.Replication != nil {
+		rs := a.cfg.Replication()
+		m.sample("bloomrfd_replication_connected", "1 while the follower's stream to the primary is open.", "gauge", nil,
+			boolGauge(rs.Connected))
+		m.sample("bloomrfd_replication_applied_pos", "Primary WAL position the follower has applied through.", "counter", nil,
+			float64(rs.AppliedPos))
+		m.sample("bloomrfd_replication_primary_pos", "Primary WAL end as of the last frame.", "counter", nil,
+			float64(rs.PrimaryPos))
+		m.sample("bloomrfd_replication_lag_bytes", "How far the follower trails the primary, in WAL bytes.", "gauge", nil,
+			float64(rs.LagBytes))
+		if rs.LastFrameUnixNano > 0 {
+			m.sample("bloomrfd_replication_last_frame_age_seconds", "Seconds since any frame arrived from the primary.", "gauge", nil,
+				now.Sub(time.Unix(0, rs.LastFrameUnixNano)).Seconds())
+		}
+	}
 	sort.Strings(names)
 	for _, name := range names {
 		f, err := a.reg.Get(name)
@@ -85,6 +110,11 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.sample("bloomrfd_filter_set_bits", "Bits currently set.", "gauge", fl, float64(st.SetBits))
 		m.sample("bloomrfd_filter_fill_ratio", "set_bits / size_bits.", "gauge", fl, st.FillRatio)
 		m.sample("bloomrfd_filter_key_skew", "max/mean of per-shard resident keys (1 = even, 0 = empty).", "gauge", fl, st.KeySkew)
+		if a.cfg.SkewAlertThreshold > 0 && st.Partitioning == PartitionRange {
+			m.sample("bloomrfd_filter_skew_alert",
+				"1 while a range-partitioned filter's key_skew exceeds -skew-alert-threshold.", "gauge", fl,
+				boolGauge(a.noteSkew(name, st.KeySkew)))
+		}
 		for sh := range st.ShardKeys {
 			sl := []label{{"filter", name}, {"shard", strconv.Itoa(sh)}}
 			m.sample("bloomrfd_filter_shard_keys", "Keys resident in the shard (placement skew).", "gauge", sl, float64(st.ShardKeys[sh]))
@@ -108,4 +138,32 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// noteSkew evaluates the partition-skew alert for one range-partitioned
+// filter, logging a structured warning when the filter crosses the
+// threshold (and a recovery line when it drops back) so the alert fires
+// once per episode, not once per scrape. Returns whether the alert is
+// currently raised.
+func (a *API) noteSkew(name string, skew float64) bool {
+	alert := skew > a.cfg.SkewAlertThreshold
+	a.skewMu.Lock()
+	was := a.skewAlerted[name]
+	if alert != was {
+		if alert {
+			a.skewAlerted[name] = true
+		} else {
+			delete(a.skewAlerted, name)
+		}
+	}
+	a.skewMu.Unlock()
+	if alert && !was {
+		a.cfg.Logf("server: warn=key_skew_alert filter=%q partitioning=range key_skew=%.2f threshold=%.2f "+
+			"hint=\"hot key span; consider hash partitioning or more shards\"",
+			name, skew, a.cfg.SkewAlertThreshold)
+	} else if !alert && was {
+		a.cfg.Logf("server: info=key_skew_recovered filter=%q key_skew=%.2f threshold=%.2f",
+			name, skew, a.cfg.SkewAlertThreshold)
+	}
+	return alert
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	bloomrf "repro"
+	"repro/internal/wal"
 )
 
 // Durable snapshots. On-disk layout under the store's root directory:
@@ -42,10 +43,15 @@ import (
 //	v2 — options carry "partitioning" so a restored filter keeps its
 //	     routing, and each shard entry records its resident key count so
 //	     the skew gauges survive a restart.
+//	v3 — the manifest records "wal_pos", the write-ahead-log position the
+//	     snapshot covers: every WAL record below it is contained in the
+//	     shard blobs, so boot recovery replays only the log tail from
+//	     there (durability.go). v1/v2 manifests restore with wal_pos 0
+//	     (replay everything retained — idempotent, just slower).
 
 // manifestVersion is the snapshot manifest schema version written by this
 // build. Older versions named in loadManifest remain readable.
-const manifestVersion = 2
+const manifestVersion = 3
 
 // manifestName is the per-snapshot manifest file; its atomic rename into
 // place commits the snapshot.
@@ -88,6 +94,10 @@ type Manifest struct {
 	Options       FilterOptions `json:"options"`
 	InsertedKeys  uint64        `json:"inserted_keys"`
 	Shards        []ShardEntry  `json:"shards"`
+	// WALPos is the log position this snapshot covers (v3+): every WAL
+	// record below it is contained in the shard blobs. 0 when no WAL was
+	// attached at snapshot time or the manifest predates v3.
+	WALPos uint64 `json:"wal_pos,omitempty"`
 }
 
 // totalBytes sums the shard blob sizes.
@@ -110,6 +120,11 @@ type Store struct {
 
 	mu        sync.Mutex
 	nameLocks map[string]*sync.Mutex
+
+	// walPos, when non-nil, supplies the WAL position a snapshot covers:
+	// it reads the log end and makes it durable, so the recorded position
+	// never outruns the log (see SetWALSource).
+	walPos func() (uint64, error)
 
 	// afterShardWrite, when non-nil, runs after each shard blob is written
 	// and before the manifest commits. Tests inject failures here to
@@ -142,6 +157,23 @@ func OpenStore(dir string) (*Store, error) {
 
 // Root returns the store's root directory.
 func (st *Store) Root() string { return st.root }
+
+// SetWALSource attaches a write-ahead log to the store: every snapshot
+// from now on records the WAL position it covers (manifest wal_pos), so
+// boot recovery replays only the tail. The position is captured before the
+// shard marshals — the handlers' apply-before-append ordering guarantees
+// every record below it is already in the filters — and the log is fsynced
+// up to it before the manifest commits, so a committed snapshot never
+// references positions the log could lose in a crash.
+func (st *Store) SetWALSource(l *wal.Log) {
+	st.walPos = func() (uint64, error) {
+		pos := l.End()
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+		return pos, nil
+	}
+}
 
 // escapeName maps a filter name to a directory name: URL-path escaping,
 // which is deterministic, collision-free and filesystem-safe — except that
@@ -277,6 +309,16 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 		Options:       f.Options(),
 		Shards:        make([]ShardEntry, f.NumShards()),
 	}
+	if st.walPos != nil {
+		// Capture before any shard marshal: every record below this
+		// position is fully applied (apply-before-append), so the blobs
+		// written next contain it and replay may start here.
+		pos, err := st.walPos()
+		if err != nil {
+			return Manifest{}, fmt.Errorf("server: snapshot %q: syncing WAL: %w", name, err)
+		}
+		man.WALPos = pos
+	}
 	for i := 0; i < f.NumShards(); i++ {
 		blob, err := f.MarshalShard(i)
 		if err != nil {
@@ -325,7 +367,7 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
 	}
 	st.prune(name, seq)
-	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes()})
+	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes(), WALPos: man.WALPos})
 	return man, nil
 }
 
@@ -375,7 +417,12 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 		if man.Options.Partitioning == "" {
 			man.Options.Partitioning = PartitionHash
 		}
-		if man.Options.Partitioning != PartitionHash {
+		if man.Options.Partitioning != PartitionHash || man.WALPos != 0 {
+			return nil
+		}
+	case 2:
+		// v2 predates the WAL; a v2 manifest claiming a position is corrupt.
+		if !man.Options.Partitioning.Valid() || man.WALPos != 0 {
 			return nil
 		}
 	case manifestVersion:
@@ -392,7 +439,7 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 // blob against the manifest's size and CRC before trusting it.
 func (st *Store) restoreSnap(name string, man *Manifest) (*ShardedFilter, error) {
 	snapDir := filepath.Join(st.filterDir(name), snapDirName(man.Seq))
-	shards := make([]*bloomrf.Filter, len(man.Shards))
+	blobs := make([][]byte, len(man.Shards))
 	for i, ent := range man.Shards {
 		if ent.File != filepath.Base(ent.File) {
 			return nil, fmt.Errorf("shard %d: path %q escapes snapshot directory", i, ent.File)
@@ -401,6 +448,22 @@ func (st *Store) restoreSnap(name string, man *Manifest) (*ShardedFilter, error)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		blobs[i] = blob
+	}
+	return restoreFromBlobs(man, blobs)
+}
+
+// restoreFromBlobs rebuilds a filter from a manifest plus its shard blobs,
+// wherever they came from — snapshot files (restoreSnap) or a replication
+// bootstrap stream (Follower). Every blob is verified against the
+// manifest's size and CRC before being trusted.
+func restoreFromBlobs(man *Manifest, blobs [][]byte) (*ShardedFilter, error) {
+	if len(blobs) != len(man.Shards) {
+		return nil, fmt.Errorf("%d blobs for %d manifest shards", len(blobs), len(man.Shards))
+	}
+	shards := make([]*bloomrf.Filter, len(man.Shards))
+	for i, ent := range man.Shards {
+		blob := blobs[i]
 		if int64(len(blob)) != ent.Bytes {
 			return nil, fmt.Errorf("shard %d: %d bytes, manifest says %d", i, len(blob), ent.Bytes)
 		}
@@ -421,8 +484,49 @@ func (st *Store) restoreSnap(name string, man *Manifest) (*ShardedFilter, error)
 	if err != nil {
 		return nil, err
 	}
-	f.setSnapshotInfo(SnapshotInfo{Seq: man.Seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes()})
+	f.setSnapshotInfo(SnapshotInfo{Seq: man.Seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes(), WALPos: man.WALPos})
 	return f, nil
+}
+
+// ReadSnapshot returns the newest intact snapshot of name as its manifest
+// plus the verified raw shard blobs, holding the filter's write lock so a
+// racing snapshot's pruning cannot delete the directory mid-read. The
+// replication stream uses it to bootstrap a follower without pausing the
+// filter: the blobs on disk are already a consistent cut, and the manifest
+// carries the WAL position that makes the cut resumable.
+func (st *Store) ReadSnapshot(name string) (Manifest, [][]byte, error) {
+	l := st.nameLock(name)
+	l.Lock()
+	defer l.Unlock()
+	seqs, err := st.listSnaps(name)
+	if err != nil {
+		return Manifest{}, nil, fmt.Errorf("server: reading snapshot of %q: %w", name, err)
+	}
+	for _, seq := range seqs {
+		man := st.loadManifest(name, seq)
+		if man == nil {
+			continue
+		}
+		snapDir := filepath.Join(st.filterDir(name), snapDirName(seq))
+		blobs := make([][]byte, len(man.Shards))
+		ok := true
+		for i, ent := range man.Shards {
+			if ent.File != filepath.Base(ent.File) {
+				ok = false
+				break
+			}
+			blob, err := os.ReadFile(filepath.Join(snapDir, ent.File))
+			if err != nil || int64(len(blob)) != ent.Bytes || crc32.Checksum(blob, castagnoli) != ent.CRC32C {
+				ok = false
+				break
+			}
+			blobs[i] = blob
+		}
+		if ok {
+			return *man, blobs, nil
+		}
+	}
+	return Manifest{}, nil, ErrNoSnapshot
 }
 
 // Restore rebuilds a filter from its newest intact snapshot, falling back
@@ -475,17 +579,20 @@ func (st *Store) Names() ([]string, error) {
 	return names, nil
 }
 
-// RestoreAll restores every filter in the store into reg. Filters without
-// a usable snapshot are skipped and reported in skipped; other errors
-// abort. Names already registered are skipped as already-live.
-func (st *Store) RestoreAll(reg *Registry) (restored []string, skipped map[string]error, err error) {
+// RestoreAll restores every filter in the store into reg, returning the
+// manifest each restored filter came from (keyed by name — recovery uses
+// the manifests' WAL positions to bound replay). Filters without a usable
+// snapshot are skipped and reported in skipped; other errors abort. Names
+// already registered are skipped as already-live.
+func (st *Store) RestoreAll(reg *Registry) (restored map[string]Manifest, skipped map[string]error, err error) {
 	names, err := st.Names()
 	if err != nil {
 		return nil, nil, err
 	}
+	restored = make(map[string]Manifest)
 	skipped = make(map[string]error)
 	for _, name := range names {
-		f, _, err := st.Restore(name)
+		f, man, err := st.Restore(name)
 		if err != nil {
 			skipped[name] = err
 			continue
@@ -494,7 +601,7 @@ func (st *Store) RestoreAll(reg *Registry) (restored []string, skipped map[strin
 			skipped[name] = err
 			continue
 		}
-		restored = append(restored, name)
+		restored[name] = man
 	}
 	return restored, skipped, nil
 }

@@ -104,6 +104,17 @@ func (r *Registry) Delete(name string) error {
 	return nil
 }
 
+// Reset removes every filter, returning how many were dropped. The
+// replication follower uses it when a snapshot bootstrap replaces its
+// whole world; nothing on the primary path calls it.
+func (r *Registry) Reset() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.filters)
+	r.filters = make(map[string]*ShardedFilter)
+	return n
+}
+
 // Names returns the registered filter names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Streaming replication: a warm standby follows the primary's WAL.
+//
+// The primary serves GET /v1/replication/stream?from=<pos> as an unbounded
+// framed byte stream. When <pos> is still retained in the primary's WAL,
+// the stream is simply every WAL record from <pos>, live-tailed (the
+// connection stays open and new group commits flow as they happen, with
+// heartbeats while idle). When <pos> has been truncated away — or the
+// follower is brand new (<pos> = 0 with history already truncated, or
+// filters that predate the WAL) — the primary first sends a snapshot
+// bootstrap: each filter's newest on-disk snapshot (manifest + verified
+// shard blobs), then a bootstrap-done frame carrying the position the
+// record tail resumes from. The follower applies records with the same
+// snapshot-coverage skip rule boot recovery uses (durability.go), so
+// primary and standby interpret the log identically.
+//
+// Frame format (all integers little-endian):
+//
+//	offset  0  pos     uint64 — WAL position for record frames; frame-type
+//	                            specific for control frames (see below)
+//	offset  8  crc32c  uint32 — over the type byte and payload
+//	offset 12  length  uint32 — payload length
+//	offset 16  type    uint8
+//	offset 17  payload
+//
+// Record frames reuse the WAL record types (< 128, durability.go) with
+// the record payload verbatim; control frames use the 128+ space:
+//
+//	frameSnapBegin      payload = manifest JSON; pos = 0
+//	frameSnapShard      payload = raw shard blob; pos = shard index
+//	frameBootstrapDone  payload empty; pos = position the tail starts at
+//	frameHeartbeat      payload empty; pos = primary log end (lag anchor)
+
+const (
+	frameSnapBegin     byte = 128
+	frameSnapShard     byte = 129
+	frameBootstrapDone byte = 130
+	frameHeartbeat     byte = 131
+)
+
+// frameHeaderSize is the fixed frame header length.
+const frameHeaderSize = 17
+
+// heartbeatEvery is how often an idle stream emits a heartbeat frame; it
+// bounds both the follower's lag-detection latency and how long a dead
+// connection can go unnoticed.
+const heartbeatEvery = 500 * time.Millisecond
+
+// flushEvery bounds how many frames a catching-up stream buffers before
+// forcing them onto the wire.
+const flushEvery = 256
+
+// frameWriter encodes frames onto a stream.
+type frameWriter struct {
+	w   io.Writer
+	hdr [frameHeaderSize]byte
+}
+
+func (fw *frameWriter) write(typ byte, pos uint64, payload []byte) error {
+	binary.LittleEndian.PutUint64(fw.hdr[0:8], pos)
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(fw.hdr[8:12], crc)
+	binary.LittleEndian.PutUint32(fw.hdr[12:16], uint32(len(payload)))
+	fw.hdr[16] = typ
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	_, err := fw.w.Write(payload)
+	return err
+}
+
+// frameReader decodes frames from a stream.
+type frameReader struct {
+	r   *bufio.Reader
+	hdr [frameHeaderSize]byte
+	buf []byte
+}
+
+func (fr *frameReader) next() (pos uint64, typ byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	pos = binary.LittleEndian.Uint64(fr.hdr[0:8])
+	crc := binary.LittleEndian.Uint32(fr.hdr[8:12])
+	n := int(binary.LittleEndian.Uint32(fr.hdr[12:16]))
+	typ = fr.hdr[16]
+	if n > wal.MaxRecordBytes {
+		return 0, 0, nil, fmt.Errorf("server: replication frame of %d bytes exceeds limit", n)
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	got := crc32.Update(0, castagnoli, []byte{typ})
+	got = crc32.Update(got, castagnoli, payload)
+	if got != crc {
+		return 0, 0, nil, fmt.Errorf("server: replication frame checksum mismatch at pos %d", pos)
+	}
+	return pos, typ, payload, nil
+}
+
+// handleReplicationStream serves the primary side of replication.
+func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
+	l := a.cfg.WAL
+	if l == nil {
+		writeErr(w, http.StatusBadRequest, "replication requires a write-ahead log (start bloomrfd with -data-dir)")
+		return
+	}
+	from := uint64(0)
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "from %q is not an unsigned 64-bit position", s)
+			return
+		}
+		from = v
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	fw := &frameWriter{w: w}
+
+	// Lead with a heartbeat carrying the current log end: the follower's
+	// lag gauge is honest from the first frame, instead of reading zero
+	// until the catch-up completes.
+	if err := fw.write(frameHeartbeat, l.End(), nil); err != nil {
+		return
+	}
+
+	tail := from
+	if from == 0 || from < l.OldestPos() || from > l.End() {
+		// The follower's position precedes the retained log, it has no
+		// position at all, or it claims a position this log never reached
+		// (a primary whose WAL was replaced — the follower must resync,
+		// not flap forever): bootstrap it from the on-disk snapshots, then
+		// resume the record tail at the oldest retained position. Filters
+		// with no snapshot are fine — truncation never outruns a live
+		// filter's snapshot coverage, so their create records are still in
+		// the retained tail.
+		//
+		// The tail position is captured BEFORE reading any snapshot: the
+		// streamed manifests' wal_pos can only be >= the oldest position
+		// at capture time (truncation keeps oldest <= every live filter's
+		// coverage), so tail <= every wal_pos and no record between a
+		// snapshot and the tail start can be skipped. If truncation races
+		// past the captured tail, ReadFrom below fails and the follower
+		// reconnects into a fresh bootstrap — a retry, never a gap.
+		tail = l.OldestPos()
+		if a.store != nil {
+			for _, name := range a.reg.Names() {
+				man, blobs, err := a.store.ReadSnapshot(name)
+				if err != nil {
+					continue
+				}
+				body, err := json.Marshal(man)
+				if err != nil {
+					a.cfg.Logf("server: replication: encoding manifest of %q: %v", name, err)
+					return
+				}
+				if err := fw.write(frameSnapBegin, 0, body); err != nil {
+					return
+				}
+				for i, blob := range blobs {
+					if err := fw.write(frameSnapShard, uint64(i), blob); err != nil {
+						return
+					}
+				}
+			}
+		}
+		if err := fw.write(frameBootstrapDone, tail, nil); err != nil {
+			return
+		}
+	}
+	rd, err := l.ReadFrom(tail)
+	if err != nil {
+		// Truncation raced the position check; the follower reconnects and
+		// lands in the bootstrap branch.
+		a.cfg.Logf("server: replication: opening log at %d: %v", tail, err)
+		return
+	}
+	defer rd.Close()
+	flusher.Flush()
+	frames := 0
+	for {
+		pos, rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			// Caught up: surface the current end as a heartbeat (the
+			// follower's lag anchor), then block for more data or the
+			// heartbeat timer, whichever first.
+			if err := fw.write(frameHeartbeat, l.End(), nil); err != nil {
+				return
+			}
+			flusher.Flush()
+			frames = 0
+			waitCtx, cancel := context.WithTimeout(ctx, heartbeatEvery)
+			werr := l.WaitFor(waitCtx, rd.Pos())
+			cancel()
+			if ctx.Err() != nil || errors.Is(werr, wal.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			a.cfg.Logf("server: replication: reading log at %d: %v", rd.Pos(), err)
+			return
+		}
+		if err := fw.write(rec.Type, pos, rec.Data); err != nil {
+			return
+		}
+		if frames++; frames >= flushEvery {
+			flusher.Flush()
+			frames = 0
+		}
+	}
+}
+
+// handleReplicationStatus reports which replication role this server plays
+// and where it stands.
+func (a *API) handleReplicationStatus(w http.ResponseWriter, r *http.Request) {
+	if a.cfg.Replication != nil {
+		st := a.cfg.Replication()
+		writeJSON(w, http.StatusOK, map[string]any{"role": "follower", "replication": st})
+		return
+	}
+	if a.cfg.WAL != nil {
+		st := a.cfg.WAL.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"role": "primary",
+			"wal": map[string]any{
+				"end_pos": st.End, "durable_pos": st.Durable,
+				"oldest_pos": st.Oldest, "segments": st.Segments,
+			},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"role": "standalone"})
+}
+
+// ReplicationStatus is a follower's view of its stream, surfaced through
+// /metrics and GET /v1/replication/status.
+type ReplicationStatus struct {
+	// Primary is the followed server's base URL.
+	Primary string `json:"primary"`
+	// Connected reports whether a stream is currently open.
+	Connected bool `json:"connected"`
+	// AppliedPos is the WAL position the follower has applied through.
+	AppliedPos uint64 `json:"applied_pos"`
+	// PrimaryPos is the primary's log end as of the last record or
+	// heartbeat frame.
+	PrimaryPos uint64 `json:"primary_pos"`
+	// LagBytes is PrimaryPos - AppliedPos: how far the standby trails, in
+	// WAL bytes (0 when caught up).
+	LagBytes uint64 `json:"lag_bytes"`
+	// LastFrameUnixNano is when the last frame of any kind arrived.
+	LastFrameUnixNano int64 `json:"last_frame_unix_nano"`
+}
+
+// Follower tails a primary's replication stream into a local registry,
+// turning this process into a read-only warm standby: it bootstraps from
+// the primary's snapshots when needed, applies the record tail as it
+// streams, and reconnects (resuming from its applied position) when the
+// connection drops. Run owns the registry's contents; the API in front of
+// it must be ReadOnly.
+type Follower struct {
+	primary string
+	reg     *Registry
+	client  *http.Client
+	logf    func(format string, args ...any)
+
+	applied    atomic.Uint64
+	primaryPos atomic.Uint64
+	connected  atomic.Bool
+	lastFrame  atomic.Int64
+
+	// restoredPos is the snapshot-coverage skip map from the latest
+	// bootstrap; only the Run goroutine touches it.
+	restoredPos map[string]uint64
+}
+
+// NewFollower builds a follower of the bloomrfd primary at primaryURL
+// (scheme://host:port, no trailing slash needed). Call Run to start it.
+func NewFollower(primaryURL string, reg *Registry, logf func(format string, args ...any)) (*Follower, error) {
+	u, err := url.Parse(primaryURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("server: follow URL %q must be scheme://host[:port]", primaryURL)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Follower{
+		primary:     u.Scheme + "://" + u.Host,
+		reg:         reg,
+		client:      &http.Client{}, // no overall timeout: the stream is unbounded
+		logf:        logf,
+		restoredPos: make(map[string]uint64),
+	}, nil
+}
+
+// Status returns the follower's current replication state.
+func (fo *Follower) Status() ReplicationStatus {
+	applied, end := fo.applied.Load(), fo.primaryPos.Load()
+	var lag uint64
+	if end > applied {
+		lag = end - applied
+	}
+	return ReplicationStatus{
+		Primary:           fo.primary,
+		Connected:         fo.connected.Load(),
+		AppliedPos:        applied,
+		PrimaryPos:        end,
+		LagBytes:          lag,
+		LastFrameUnixNano: fo.lastFrame.Load(),
+	}
+}
+
+// reconnectDelay paces reconnection attempts after a stream drops.
+const reconnectDelay = time.Second
+
+// Run streams from the primary until ctx is cancelled, reconnecting on
+// any error. It blocks; bloomrfd runs it on its own goroutine.
+func (fo *Follower) Run(ctx context.Context) {
+	for {
+		err := fo.stream(ctx)
+		fo.connected.Store(false)
+		if ctx.Err() != nil {
+			return
+		}
+		fo.logf("bloomrfd: replication stream ended: %v; reconnecting in %s", err, reconnectDelay)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(reconnectDelay):
+		}
+	}
+}
+
+// pendingRestore accumulates one filter's bootstrap frames.
+type pendingRestore struct {
+	man   Manifest
+	blobs [][]byte
+}
+
+// stream opens one connection and applies frames until it breaks.
+func (fo *Follower) stream(ctx context.Context) error {
+	u := fmt.Sprintf("%s/v1/replication/stream?from=%d", fo.primary, fo.applied.Load())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := fo.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("primary answered %s: %s", resp.Status, body)
+	}
+	fo.connected.Store(true)
+	fr := &frameReader{r: bufio.NewReaderSize(resp.Body, 64<<10)}
+	var (
+		pending = make(map[string]*pendingRestore)
+		order   []string // registration order = stream order, for determinism
+		cur     *pendingRestore
+		stats   ReplayStats
+	)
+	for {
+		pos, typ, payload, err := fr.next()
+		if err != nil {
+			return err
+		}
+		fo.lastFrame.Store(time.Now().UnixNano())
+		switch typ {
+		case frameSnapBegin:
+			var man Manifest
+			if err := json.Unmarshal(payload, &man); err != nil {
+				return fmt.Errorf("bootstrap manifest: %w", err)
+			}
+			if man.Name == "" || len(man.Shards) == 0 {
+				return errors.New("bootstrap manifest without name or shards")
+			}
+			cur = &pendingRestore{man: man}
+			if _, dup := pending[man.Name]; !dup {
+				order = append(order, man.Name)
+			}
+			pending[man.Name] = cur
+		case frameSnapShard:
+			if cur == nil {
+				return errors.New("shard frame before any manifest")
+			}
+			i := int(pos)
+			if i != len(cur.blobs) || i >= len(cur.man.Shards) {
+				return fmt.Errorf("shard frame %d out of order (have %d of %d)", i, len(cur.blobs), len(cur.man.Shards))
+			}
+			ent := cur.man.Shards[i]
+			if int64(len(payload)) != ent.Bytes || crc32.Checksum(payload, castagnoli) != ent.CRC32C {
+				return fmt.Errorf("shard %d of %q fails its manifest checksum", i, cur.man.Name)
+			}
+			cur.blobs = append(cur.blobs, append([]byte(nil), payload...))
+		case frameBootstrapDone:
+			if err := fo.finishBootstrap(pending, order, pos); err != nil {
+				return err
+			}
+			pending, order, cur = make(map[string]*pendingRestore), nil, nil
+		case frameHeartbeat:
+			fo.primaryPos.Store(pos)
+		case recCreate, recInsert, recDelete:
+			rec := wal.Record{Type: typ, Data: payload}
+			if err := applyRecord(fo.reg, pos, rec, fo.restoredPos, &stats); err != nil {
+				return fmt.Errorf("applying record at %d: %w", pos, err)
+			}
+			next := pos + uint64(rec.EncodedLen())
+			fo.applied.Store(next)
+			if next > fo.primaryPos.Load() {
+				fo.primaryPos.Store(next)
+			}
+		default:
+			return fmt.Errorf("unknown replication frame type %d", typ)
+		}
+	}
+}
+
+// finishBootstrap swaps the streamed snapshot set in as the follower's new
+// world: every existing filter is dropped (the primary's enumeration is
+// authoritative — a filter absent from it was deleted there), the restored
+// filters take their place, and the skip map and applied position reset to
+// the bootstrap's coverage.
+func (fo *Follower) finishBootstrap(pending map[string]*pendingRestore, order []string, tail uint64) error {
+	restored := make(map[string]*ShardedFilter, len(pending))
+	pos := make(map[string]uint64, len(pending))
+	for name, p := range pending {
+		if len(p.blobs) != len(p.man.Shards) {
+			return fmt.Errorf("bootstrap of %q ended with %d of %d shards", name, len(p.blobs), len(p.man.Shards))
+		}
+		f, err := restoreFromBlobs(&p.man, p.blobs)
+		if err != nil {
+			return fmt.Errorf("bootstrap of %q: %w", name, err)
+		}
+		restored[name] = f
+		pos[name] = p.man.WALPos
+	}
+	fo.reg.Reset()
+	for _, name := range order {
+		if err := fo.reg.Register(name, restored[name]); err != nil {
+			return fmt.Errorf("registering bootstrapped %q: %w", name, err)
+		}
+	}
+	fo.restoredPos = pos
+	fo.applied.Store(tail)
+	if tail > fo.primaryPos.Load() {
+		fo.primaryPos.Store(tail)
+	}
+	fo.logf("bloomrfd: replication bootstrap: %d filter(s), tail resumes at %d", len(restored), tail)
+	return nil
+}

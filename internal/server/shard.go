@@ -93,6 +93,10 @@ type SnapshotInfo struct {
 	UnixNano int64 `json:"unix_nano"`
 	// Bytes is the total size of the snapshot's shard blobs.
 	Bytes int64 `json:"bytes"`
+	// WALPos is the write-ahead-log position the snapshot covers; WAL
+	// segments entirely below the minimum WALPos across live filters are
+	// truncatable (durability.go). 0 when no WAL was attached.
+	WALPos uint64 `json:"wal_pos,omitempty"`
 }
 
 // ShardedFilter is one logical bloomRF filter split across independent

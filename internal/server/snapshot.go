@@ -5,6 +5,8 @@ import (
 	"log"
 	"sync"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Snapshotter periodically snapshots every registered filter to a Store.
@@ -14,6 +16,7 @@ import (
 type Snapshotter struct {
 	reg      *Registry
 	store    *Store
+	wlog     *wal.Log
 	interval time.Duration
 	logf     func(format string, args ...any)
 
@@ -33,6 +36,15 @@ func NewSnapshotter(reg *Registry, store *Store, interval time.Duration) *Snapsh
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+}
+
+// WithWAL attaches a write-ahead log: after each full snapshot pass the
+// snapshotter truncates WAL segments that every live filter's latest
+// snapshot already covers, bounding log growth to roughly one snapshot
+// interval's insert volume. Call before Start.
+func (s *Snapshotter) WithWAL(l *wal.Log) *Snapshotter {
+	s.wlog = l
+	return s
 }
 
 // Start launches the background loop. It snapshots all filters every
@@ -62,9 +74,27 @@ func (s *Snapshotter) Stop() {
 }
 
 // SnapshotAll snapshots every currently registered filter through the
-// package-level helper, logging failures.
+// package-level helper, logging failures, then truncates the WAL behind
+// the snapshots when one is attached.
 func (s *Snapshotter) SnapshotAll() (ok, failed int) {
-	return SnapshotAll(s.reg, s.store, s.logf)
+	ok, failed = SnapshotAll(s.reg, s.store, s.logf)
+	if s.wlog != nil {
+		TruncateWAL(s.reg, s.wlog, s.logf)
+	}
+	return ok, failed
+}
+
+// TruncateWAL drops WAL segments that lie entirely below every live
+// filter's latest snapshot position. Callers run it after a snapshot pass;
+// failures are logged, not fatal — the segments are retried next pass.
+func TruncateWAL(reg *Registry, l *wal.Log, logf func(format string, args ...any)) {
+	pos := TruncatableBefore(reg)
+	if pos == 0 {
+		return
+	}
+	if err := l.TruncateBefore(pos); err != nil && logf != nil {
+		logf("server: WAL truncation below %d failed: %v", pos, err)
+	}
 }
 
 // SnapshotAll snapshots every filter in reg to store, logging and counting

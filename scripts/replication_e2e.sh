@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Primary → follower end-to-end check for bloomrfd's streaming replication:
+# start a primary with a data dir, create a filter, load keys, snapshot,
+# load 10k MORE keys (these live only in the write-ahead log), then start a
+# warm standby with -follow. The standby must bootstrap from the primary's
+# snapshot, replay the WAL tail, and answer the same point and range
+# queries bit-identically — including keys the snapshot never saw. It must
+# also reject writes (403), expose replication-lag gauges, and survive a
+# primary restart by reconnecting and staying current.
+# Run from the repository root: ./scripts/replication_e2e.sh
+set -euo pipefail
+
+P_ADDR="127.0.0.1:18177"
+F_ADDR="127.0.0.1:18178"
+P="http://$P_ADDR"
+F="http://$F_ADDR"
+WORK="$(mktemp -d)"
+trap 'kill -9 $P_PID $F_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/bloomrfd" ./cmd/bloomrfd
+
+wait_healthy() { # url
+  for _ in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server at $1 did not become healthy" >&2
+  cat "$WORK"/*.log >&2
+  exit 1
+}
+
+start_primary() {
+  "$WORK/bloomrfd" -addr "$P_ADDR" -data-dir "$WORK/data" -snapshot-interval 0 \
+      -wal-sync always >>"$WORK/primary.log" 2>&1 &
+  P_PID=$!
+  wait_healthy "$P"
+}
+
+start_follower() {
+  "$WORK/bloomrfd" -addr "$F_ADDR" -follow "$P" >>"$WORK/follower.log" 2>&1 &
+  F_PID=$!
+  wait_healthy "$F"
+}
+
+# wait_synced blocks until the follower's applied position reaches the
+# primary's current WAL end.
+wait_synced() {
+  want=$(curl -sf "$P/v1/replication/status" | sed -n 's/.*"end_pos":\([0-9]*\).*/\1/p')
+  for _ in $(seq 1 200); do
+    got=$(curl -sf "$F/v1/replication/status" | sed -n 's/.*"applied_pos":\([0-9]*\).*/\1/p')
+    if [ -n "$got" ] && [ "$got" -ge "$want" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "follower never caught up (want $want, got ${got:-none}); logs:" >&2
+  tail -20 "$WORK"/*.log >&2
+  exit 1
+}
+
+# The acceptance query mix, run against either server: 64 pre-snapshot
+# keys, 64 WAL-tail keys, 16 absent keys, 16 ranges over the tail region.
+queries() { # base-url
+  curl -sf -XPOST "$1/v1/filters/users/query" \
+      -d "{\"keys\":[$(seq -s, 1000 1063)]}"
+  curl -sf -XPOST "$1/v1/filters/users/query" \
+      -d "{\"keys\":[$(seq -s, 700000 700063)]}"
+  curl -sf -XPOST "$1/v1/filters/users/query" \
+      -d "{\"keys\":[$(seq -s, 900000001 900000016)]}"
+  local body='{"ranges":['
+  for i in $(seq 0 15); do
+    lo=$((700000 + i * 500))
+    body+="{\"lo\":$lo,\"hi\":$((lo + 100))},"
+  done
+  body="${body%,}]}"
+  curl -sf -XPOST "$1/v1/filters/users/query-range" -d "$body"
+}
+
+echo "== primary: create, load, snapshot, load 10k more (WAL-only) =="
+start_primary
+curl -sf -XPOST "$P/v1/filters" \
+    -d '{"name":"users","expected_keys":100000,"shards":4,"partitioning":"range"}' >/dev/null
+curl -sf -XPOST "$P/v1/filters/users/insert" \
+    -d "{\"keys\":[$(seq -s, 1000 3000)]}" >/dev/null
+curl -sf -XPOST "$P/v1/filters/users/snapshot" -d '' >/dev/null
+# 10k inserts after the snapshot: the follower can only get these from the
+# replicated WAL tail.
+for off in 0 2500 5000 7500; do
+  curl -sf -XPOST "$P/v1/filters/users/insert" \
+      -d "{\"keys\":[$(seq -s, $((700000 + off)) $((700000 + off + 2499)))]}" >/dev/null
+done
+
+echo "== follower: bootstrap + tail =="
+start_follower
+wait_synced
+queries "$P" > "$WORK/primary.answers"
+queries "$F" > "$WORK/follower.answers"
+diff "$WORK/primary.answers" "$WORK/follower.answers"
+head -c 200 "$WORK/follower.answers" | grep -q '"results":\[true,true,true,true' \
+  || { echo "follower lost pre-snapshot keys"; exit 1; }
+
+echo "== follower is read-only and observable =="
+code=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$F/v1/filters/users/insert" -d '{"key":1}')
+[ "$code" = "403" ] || { echo "follower accepted a write ($code)"; exit 1; }
+curl -sf "$F/metrics" | grep 'bloomrfd_replication_lag_bytes' >/dev/null \
+  || { echo "follower metrics missing replication gauges"; exit 1; }
+curl -sf "$F/metrics" | grep 'bloomrfd_readonly 1' >/dev/null \
+  || { echo "follower metrics missing readonly gauge"; exit 1; }
+
+echo "== live tail: new writes reach the follower =="
+curl -sf -XPOST "$P/v1/filters/users/insert" \
+    -d "{\"keys\":[$(seq -s, 800000 800100)]}" >/dev/null
+wait_synced
+p=$(curl -sf -XPOST "$P/v1/filters/users/query" -d "{\"keys\":[$(seq -s, 800000 800063)]}")
+f=$(curl -sf -XPOST "$F/v1/filters/users/query" -d "{\"keys\":[$(seq -s, 800000 800063)]}")
+[ "$p" = "$f" ] || { echo "live tail diverged: $p vs $f"; exit 1; }
+
+echo "== primary restart: follower reconnects and stays current =="
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+start_primary
+curl -sf -XPOST "$P/v1/filters/users/insert" \
+    -d "{\"keys\":[$(seq -s, 810000 810100)]}" >/dev/null
+wait_synced
+p=$(curl -sf -XPOST "$P/v1/filters/users/query" -d "{\"keys\":[$(seq -s, 810000 810063)]}")
+f=$(curl -sf -XPOST "$F/v1/filters/users/query" -d "{\"keys\":[$(seq -s, 810000 810063)]}")
+[ "$p" = "$f" ] || { echo "post-restart tail diverged: $p vs $f"; exit 1; }
+
+kill "$P_PID" "$F_PID"
+wait "$P_PID" "$F_PID" 2>/dev/null || true
+echo "replication e2e: OK (follower bit-identical through bootstrap, tail, and primary restart)"

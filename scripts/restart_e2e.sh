@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Restart end-to-end check for bloomrfd's snapshot/restore subsystem:
+# Restart end-to-end check for bloomrfd's durability subsystem:
 # start the daemon with a data dir, create a sharded filter, load keys,
-# snapshot over HTTP, kill the process without ceremony (SIGKILL, so only
-# the explicit snapshot can save us), restart on the same data dir, and
-# require bit-identical responses for the same point and range queries.
+# snapshot over HTTP, kill the process without ceremony (SIGKILL), restart
+# on the same data dir, and require bit-identical responses for the same
+# point and range queries. A second phase then loads keys WITHOUT any
+# snapshot and SIGKILLs again: those keys exist only in the write-ahead
+# log (-wal-sync=always, so the insert acks imply fsync), proving the
+# snapshot+replay recovery path end to end.
 # Run from the repository root: ./scripts/restart_e2e.sh
 set -euo pipefail
 
@@ -16,7 +19,7 @@ go build -o "$WORK/bloomrfd" ./cmd/bloomrfd
 
 start_server() {
   "$WORK/bloomrfd" -addr "$ADDR" -data-dir "$WORK/data" -snapshot-interval 0 \
-      >>"$WORK/server.log" 2>&1 &
+      -wal-sync always >>"$WORK/server.log" 2>&1 &
   PID=$!
   for _ in $(seq 1 100); do
     if curl -sf "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
@@ -75,6 +78,33 @@ head -c 200 "$WORK/after.points" | grep -q '"results":\[true,true,true,true' \
 curl -sf "$BASE/metrics" | grep -E 'bloomrfd_filter_snapshot_seq\{filter="users"\}' \
   || { echo "metrics missing snapshot gauge"; exit 1; }
 
+echo "== phase 2: WAL-only inserts survive SIGKILL without any snapshot =="
+# 2000 keys in a disjoint range, never snapshotted: recovery must get them
+# from snapshot (phase 1 state) + WAL tail replay.
+curl -sf -XPOST "$BASE/v1/filters/users/insert" \
+    -d "{\"keys\":[$(seq -s, 500000 502000)]}" >/dev/null
+wal_points() {
+  curl -sf -XPOST "$BASE/v1/filters/users/query" \
+      -d "{\"keys\":[$(seq -s, 500000 500063)]}"
+}
+wal_points > "$WORK/before.walpoints"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+start_server
+wal_points > "$WORK/after.walpoints"
+diff "$WORK/before.walpoints" "$WORK/after.walpoints"
+head -c 200 "$WORK/after.walpoints" | grep -q '"results":\[true,true,true,true' \
+  || { echo "WAL replay lost un-snapshotted keys"; exit 1; }
+# Phase 1 answers must still hold after the second recovery.
+point_queries > "$WORK/after2.points"
+diff "$WORK/before.points" "$WORK/after2.points"
+# (plain grep, not -q: with pipefail, -q's early exit would SIGPIPE curl)
+curl -sf "$BASE/metrics" | grep 'bloomrfd_wal_end_pos' >/dev/null \
+  || { echo "metrics missing WAL gauges"; exit 1; }
+grep -q "WAL replay" "$WORK/server.log" \
+  || { echo "server log missing WAL replay line"; exit 1; }
+
 kill "$PID"
 wait "$PID" 2>/dev/null || true
-echo "restart e2e: OK (point and range answers bit-identical across restart)"
+echo "restart e2e: OK (snapshot restore and WAL tail replay both bit-identical across SIGKILL)"
