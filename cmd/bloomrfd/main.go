@@ -27,9 +27,17 @@
 // bootstraps from the primary's replication stream, tails the primary's
 // WAL, answers queries from the replicated state, and rejects mutations
 // with 403. Replication lag is visible in /metrics and
-// GET /v1/replication/status.
+// GET /v1/replication/status. When the primary runs with -auth-token, the
+// standby presents the same token on the stream.
 //
-// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+// With -probe-file set, bloomrfd is a load-generation client instead of a
+// server: it reads keys (or "lo hi" ranges) from the file and fires them
+// at -probe-url in batches, over the JSON or the binary wire codec, and
+// reports end-to-end throughput (see probe.go and docs/performance.md).
+//
+// -pprof serves net/http/pprof on a loopback-only listener for hot-path
+// diagnosis; the server drains in-flight requests on SIGINT/SIGTERM
+// before exiting.
 package main
 
 import (
@@ -37,7 +45,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -65,11 +75,27 @@ func main() {
 	walSegmentBytes := flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes,
 		"rotate WAL segments at this size; old segments are truncated once snapshots cover them")
 	authToken := flag.String("auth-token", "",
-		"bearer token required on mutating endpoints (create/insert/snapshot/delete); empty leaves them open; $BLOOMRFD_AUTH_TOKEN is used when the flag is unset")
+		"bearer token required on mutating endpoints (create/insert/snapshot/delete) and the replication stream; empty leaves them open; $BLOOMRFD_AUTH_TOKEN is used when the flag is unset; with -follow or -probe-file, also the credential presented to the target server")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060) for hot-path diagnosis; empty disables")
 	skewThreshold := flag.Float64("skew-alert-threshold", 2.0,
 		"raise bloomrfd_filter_skew_alert and log a warning when a range-partitioned filter's key_skew exceeds this (0 disables)")
 	follow := flag.String("follow", "",
 		"run as a read-only warm standby of the bloomrfd primary at this URL (e.g. http://primary:8077)")
+	probeFile := flag.String("probe-file", "",
+		"run as a load-generation client instead of a server: read keys (one per line) or ranges (\"lo hi\" per line) from this file and fire them at -probe-url in batches")
+	probeURL := flag.String("probe-url", "http://127.0.0.1:8077",
+		"target server for -probe-file")
+	probeFilter := flag.String("probe-filter", "probe",
+		"filter name -probe-file operates on")
+	probeOp := flag.String("probe-op", "query",
+		"operation -probe-file performs: insert, query, or query-range")
+	probeCodec := flag.String("probe-codec", "binary",
+		"wire codec for -probe-file: binary (application/x-bloomrf-batch) or json")
+	probeBatch := flag.Int("probe-batch", 8192,
+		"items per request for -probe-file")
+	probeRounds := flag.Int("probe-rounds", 1,
+		"how many passes -probe-file makes over the file")
 	flag.Parse()
 
 	defaultPart := server.Partitioning(*partitioning)
@@ -85,6 +111,22 @@ func main() {
 	token := *authToken
 	if token == "" {
 		token = os.Getenv("BLOOMRFD_AUTH_TOKEN")
+	}
+
+	if *probeFile != "" {
+		// Client mode: generate load against a running bloomrfd, then exit.
+		if err := runProbe(probeOptions{
+			File: *probeFile, URL: *probeURL, Filter: *probeFilter,
+			Op: *probeOp, Codec: *probeCodec, Batch: *probeBatch,
+			Rounds: *probeRounds, AuthToken: token,
+		}); err != nil {
+			log.Fatalf("bloomrfd: probe: %v", err)
+		}
+		return
+	}
+
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
 	}
 
 	cfg := server.Config{
@@ -112,6 +154,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("bloomrfd: %v", err)
 		}
+		// The primary's stream is token-gated whenever the primary runs
+		// with -auth-token; present the same credential.
+		follower.WithAuthToken(token)
 		cfg.ReadOnly = true
 		cfg.Replication = follower.Status
 
@@ -190,4 +235,36 @@ func main() {
 		}
 	}
 	log.Printf("bloomrfd: bye")
+}
+
+// startPprof serves the net/http/pprof handlers on addr, refusing anything
+// but a loopback address: the profiler exposes heap contents and stack
+// traces, so it must never ride the service's public listener or any
+// routable interface. The handlers are mounted on a private mux (not
+// http.DefaultServeMux) so nothing else can accidentally join them.
+func startPprof(addr string) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Fatalf("bloomrfd: -pprof %q must be host:port: %v", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		log.Fatalf("bloomrfd: -pprof %q must bind a loopback address (127.0.0.1, ::1 or localhost)", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("bloomrfd: -pprof listen: %v", err)
+	}
+	log.Printf("bloomrfd: pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("bloomrfd: pprof server: %v", err)
+		}
+	}()
 }

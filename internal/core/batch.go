@@ -53,15 +53,22 @@ func (m modulus) mod(h uint64) uint64 {
 }
 
 // batchBlock is the number of keys processed per layer-major block: the
-// block's keys (4 KiB) plus its survivor index stay resident in L1 across
-// all layer passes, so the only cache-unfriendly accesses are the filter
-// probes themselves — the same set of probes the single-key path makes.
+// block's keys (4 KiB) plus the survivor index, probe-position and loaded-
+// word buffers (another ~10 KiB) stay resident in L1 across all layer
+// passes, so the only cache-unfriendly accesses are the filter probes
+// themselves — the same set of probes the single-key path makes, but
+// issued as runs of independent loads (see loadWord) that span whole
+// cache-line groups instead of one dependent word at a time.
 const batchBlock = 512
 
 // InsertBatch adds every key in keys. It is equivalent to calling Insert on
 // each key but runs layer-major over L1-sized blocks, amortizing per-layer
 // setup and replacing the hash-to-word division with the precomputed
-// reciprocal. Safe for concurrent use, like Insert.
+// reciprocal. Each (layer, replica) pass is itself split into two phases —
+// compute every key's bit position into an L1-resident buffer, then issue
+// the atomic ORs back to back — so the stores to scattered filter words
+// overlap in the memory system instead of each waiting behind the next
+// key's hash chain. Safe for concurrent use, like Insert.
 func (f *Filter) InsertBatch(keys []uint64) {
 	if len(keys) == 0 {
 		return
@@ -72,6 +79,7 @@ func (f *Filter) InsertBatch(keys []uint64) {
 		}
 		return
 	}
+	var pos [batchBlock]uint64 // per-pass bit positions, computed ahead
 	for base := 0; base < len(keys); base += batchBlock {
 		blk := keys[base:min(base+batchBlock, len(keys))]
 		for i := 0; i < f.k; i++ {
@@ -84,26 +92,32 @@ func (f *Filter) InsertBatch(keys []uint64) {
 			for r := 0; r < f.replicas[i]; r++ {
 				seed := f.seeds[i][r]
 				if f.permute {
-					for _, x := range blk {
+					for t, x := range blk {
 						prefix := x >> lvl
 						off := prefix & mask
 						if hashutil.Hash64(prefix, permSeed)&1 == 1 {
 							off = mask - off
 						}
-						seg.setBit(m.mod(hashutil.Hash64(prefix>>ws, seed))<<ws + off)
+						pos[t] = m.mod(hashutil.Hash64(prefix>>ws, seed))<<ws + off
 					}
 				} else {
-					for _, x := range blk {
+					for t, x := range blk {
 						prefix := x >> lvl
-						seg.setBit(m.mod(hashutil.Hash64(prefix>>ws, seed))<<ws + prefix&mask)
+						pos[t] = m.mod(hashutil.Hash64(prefix>>ws, seed))<<ws + prefix&mask
 					}
+				}
+				for _, p := range pos[:len(blk)] {
+					seg.setBit(p)
 				}
 			}
 		}
 		if f.hasExact {
 			el := f.exactLevel
-			for _, x := range blk {
-				f.exact.setBit(rsh(x, el))
+			for t, x := range blk {
+				pos[t] = rsh(x, el)
+			}
+			for _, p := range pos[:len(blk)] {
+				f.exact.setBit(p)
 			}
 		}
 	}
@@ -134,16 +148,28 @@ func (f *Filter) MayContainBatch(keys []uint64, out []bool) {
 		}
 		return
 	}
-	var idx [batchBlock]int32  // survivor positions within the block
-	var pos [batchBlock]uint64 // per-pass probe positions, computed ahead
+	var idx [batchBlock]int32    // survivor positions within the block
+	var pos [batchBlock]uint64   // per-pass probe positions, computed ahead
+	var words [batchBlock]uint64 // bulk-loaded storage words, one per probe
 	for base := 0; base < len(keys); base += batchBlock {
 		blk := keys[base:min(base+batchBlock, len(keys))]
 		bout := out[base : base+len(blk)]
 		n := 0
 		if f.hasExact {
+			// The exact bitmap is the largest structure the batch touches,
+			// so its probes get the same three-phase treatment as the layer
+			// probes below: positions first (pure ALU), then the word loads
+			// back to back (independent misses overlap), then the bit tests
+			// against L1-resident copies.
 			el := f.exactLevel
 			for j, x := range blk {
-				ok := f.exact.getBit(rsh(x, el))
+				pos[j] = rsh(x, el)
+			}
+			for j := range blk {
+				words[j] = f.exact.loadWord(pos[j])
+			}
+			for j := range blk {
+				ok := words[j]&(1<<(pos[j]&63)) != 0
 				bout[j] = ok
 				// Branchless append: the store is unconditional, the
 				// cursor advances only for survivors, so the ~random
@@ -172,10 +198,14 @@ func (f *Filter) MayContainBatch(keys []uint64, out []bool) {
 			for r := 0; r < f.replicas[i] && n > 0; r++ {
 				seed := f.seeds[i][r]
 				// Phase 1: compute every survivor's probe position — a
-				// pure ALU loop over L1-resident keys. Phase 2: issue the
-				// probes back to back, so the independent (mostly L2/L3)
-				// bit loads overlap instead of each waiting behind the
-				// next key's hash chain.
+				// pure ALU loop over L1-resident keys. Phase 2: load the
+				// storage word behind every probe back to back — the loads
+				// are independent, so their (mostly L2/L3) misses overlap
+				// instead of each waiting behind the next key's hash
+				// chain, and the next layer's words start arriving while
+				// this layer's survivors are still being compacted.
+				// Phase 3: test the bits against the L1-resident copies
+				// and compact the survivor list.
 				if f.permute {
 					for t, j := range idx[:n] {
 						prefix := blk[j] >> lvl
@@ -191,9 +221,12 @@ func (f *Filter) MayContainBatch(keys []uint64, out []bool) {
 						pos[t] = m.mod(hashutil.Hash64(prefix>>ws, seed))<<ws + prefix&mask
 					}
 				}
+				for t := 0; t < n; t++ {
+					words[t] = seg.loadWord(pos[t])
+				}
 				live := 0
 				for t, j := range idx[:n] {
-					if seg.getBit(pos[t]) {
+					if words[t]&(1<<(pos[t]&63)) != 0 {
 						idx[live] = j
 						live++
 					} else {

@@ -27,6 +27,15 @@ func (b *bitArray) getBit(pos uint64) bool {
 	return atomic.LoadUint64(&b.words[pos>>6])&(1<<(pos&63)) != 0
 }
 
+// loadWord returns the whole storage word containing bit position pos. The
+// batch probe path gathers one word per pending probe through it in a tight
+// load-only loop: the loads carry no dependencies on each other, so the
+// memory system overlaps their cache misses (getBit's load+test per call
+// hides that parallelism behind the branch on each result).
+func (b *bitArray) loadWord(pos uint64) uint64 {
+	return atomic.LoadUint64(&b.words[pos>>6])
+}
+
 // loadSub extracts a wbits-wide sub-word starting at the aligned bit
 // position pos (pos must be a multiple of wbits, wbits a power of two ≤ 64),
 // so a filter word never straddles two storage words.

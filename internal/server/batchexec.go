@@ -1,0 +1,468 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pooled batch execution. Every batch operation on a ShardedFilter needs
+// scratch space — per-key shard ids, per-shard sub-batches, per-shard
+// verdict buffers — and before this file existed each request allocated all
+// of it fresh (a 2-D slice-of-slices per call, plus one verdict slice per
+// shard). At the request rates the binary wire protocol targets, that
+// garbage dominated the handlers' profiles. Now a request checks one
+// batchScratch out of a sync.Pool, every buffer inside it is grown once and
+// reused for the rest of the process's life, and the grouped sub-batches
+// live in flat arrays partitioned by counting-sort offsets instead of
+// per-shard allocations — so a warm batch request performs zero heap
+// allocations end to end (binary codec included; see binary.go).
+//
+// Fan-out policy: a batch below fanOutMinKeys/fanOutMinRanges runs entirely
+// on the caller's goroutine, as before. Above it, only shards whose
+// sub-batch clears spawnThreshold get their own goroutine; straggler
+// sub-batches run inline on the caller's goroutine while the spawned
+// shards work — a 16-key straggler sub-batch costs a function call, not a
+// goroutine hop, and a uniformly-spread batch keeps one goroutine per
+// shard exactly as before.
+
+// Per-shard inline caps: in fan-out mode, a sub-batch below the spawn
+// threshold is executed on the caller's goroutine instead of its own.
+// Goroutine spawn + schedule + join costs ~1–2 µs; sub-batches below these
+// absolute sizes finish faster than that (ranges amortize the hop sooner
+// because each range is a full dyadic decomposition). The effective
+// threshold also scales with the batch (spawnThreshold), so a mid-size
+// batch spread thin across many shards still parallelizes.
+const (
+	inlineMinKeys   = 256
+	inlineMinRanges = 4
+)
+
+// spawnThreshold returns the minimum sub-batch size that earns its own
+// goroutine when total items fan out across n shards: half the mean
+// sub-batch size, capped at the absolute inline cap. Uniformly-loaded
+// shards (sub ≈ total/n) always clear it — a batch past the fan-out
+// cutoff keeps its parallelism however many shards split it — while
+// straggler sub-batches far below the mean run inline on the caller's
+// goroutine instead of paying a spawn that outweighs their work.
+func spawnThreshold(total, n, inlineCap int) int {
+	thr := inlineCap
+	if t := total / (2 * n); t < thr {
+		thr = t
+	}
+	if thr < 1 {
+		thr = 1
+	}
+	return thr
+}
+
+// batchScratch carries every buffer one batch request needs. The fields
+// group into decode buffers (filled by the binary codec or the JSON
+// handlers), grouping scratch (counting-sort layout of the batch by owning
+// shard), and the flat sub-batch arrays the per-shard executors read.
+// A scratch is checked out per request (getScratch/putScratch) and never
+// shared; the flat arrays are partitioned by offs so concurrent per-shard
+// goroutines touch disjoint segments.
+type batchScratch struct {
+	// Request/response byte buffers for the binary codec (binary.go).
+	body []byte
+	resp []byte
+
+	// Decoded request payloads.
+	keys   []uint64
+	ranges [][2]uint64
+	out    []bool
+
+	// Grouping scratch: ids[j] is the shard owning item j; counts, offs and
+	// cursors implement the counting sort. offs has n+1 entries so shard
+	// sh's segment of a flat array is [offs[sh], offs[sh+1]).
+	ids     []uint8
+	counts  []int
+	offs    []int
+	cursors []int
+
+	// Flat grouped arrays, partitioned by offs: the keys (or ranges) routed
+	// to each shard, the original batch position of each, and the per-shard
+	// verdicts before they are scattered back.
+	flatKeys   []uint64
+	flatRanges [][2]uint64
+	flatPos    []int
+	flatOut    []bool
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getScratch() *batchScratch { return batchScratchPool.Get().(*batchScratch) }
+
+// maxRetainedScratchBytes caps how much buffer capacity one scratch may
+// carry back into the pool. Buffers grow to the largest request they ever
+// served, and a pooled scratch is reachable for as long as traffic keeps
+// recycling it — without a cap, one worst-case request (a MaxBatch
+// hash-mode range batch sizes flatOut at shards × ranges) would pin
+// hundreds of MiB per P forever (golang.org/issue/23199). 8 MiB keeps
+// every routine large batch pooled; monsters are rebuilt on their next
+// appearance, which is what the old per-request make() did on every one.
+const maxRetainedScratchBytes = 8 << 20
+
+// retainedBytes approximates the scratch's total buffer capacity.
+func (sc *batchScratch) retainedBytes() int {
+	return cap(sc.body) + cap(sc.resp) +
+		8*cap(sc.keys) + 16*cap(sc.ranges) + cap(sc.out) +
+		cap(sc.ids) + 8*(cap(sc.counts)+cap(sc.offs)+cap(sc.cursors)) +
+		8*cap(sc.flatKeys) + 16*cap(sc.flatRanges) + 8*cap(sc.flatPos) + cap(sc.flatOut)
+}
+
+// putScratch recycles sc unless its buffers outgrew the retention cap, in
+// which case it is left for the garbage collector.
+func putScratch(sc *batchScratch) {
+	if sc.retainedBytes() > maxRetainedScratchBytes {
+		return
+	}
+	batchScratchPool.Put(sc)
+}
+
+// grown returns s resized to n, reallocating only when capacity is short.
+// Contents are unspecified — every user overwrites its segment.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// groupKeys partitions keys by owning shard into sc's flat arrays using a
+// counting sort: one routing pass filling ids and counts, an offset scan,
+// and a scatter pass. When track is true, flatPos records each key's
+// original batch position (disjoint segments per shard, so concurrent
+// verdict scatters are race-free).
+func (s *ShardedFilter) groupKeys(keys []uint64, track bool, sc *batchScratch) {
+	n := int(s.n)
+	sc.ids = grown(sc.ids, len(keys))
+	sc.counts = grown(sc.counts, n)
+	sc.offs = grown(sc.offs, n+1)
+	sc.cursors = grown(sc.cursors, n)
+	for sh := range sc.counts {
+		sc.counts[sh] = 0
+	}
+	for j, x := range keys {
+		sh := s.shardOf(x)
+		sc.ids[j] = uint8(sh)
+		sc.counts[sh]++
+	}
+	off := 0
+	for sh := 0; sh < n; sh++ {
+		sc.offs[sh] = off
+		sc.cursors[sh] = off
+		off += sc.counts[sh]
+	}
+	sc.offs[n] = off
+	sc.flatKeys = grown(sc.flatKeys, len(keys))
+	if track {
+		sc.flatPos = grown(sc.flatPos, len(keys))
+	}
+	for j, x := range keys {
+		sh := sc.ids[j]
+		c := sc.cursors[sh]
+		sc.flatKeys[c] = x
+		if track {
+			sc.flatPos[c] = j
+		}
+		sc.cursors[sh] = c + 1
+	}
+}
+
+// insertBatchWith is InsertBatch against caller-provided scratch.
+func (s *ShardedFilter) insertBatchWith(keys []uint64, sc *batchScratch) {
+	if len(keys) == 0 {
+		return
+	}
+	if s.n == 1 {
+		s.insertShard(0, keys)
+		return
+	}
+	s.groupKeys(keys, false, sc)
+	n := int(s.n)
+	if len(keys) >= fanOutMinKeys {
+		thr := spawnThreshold(len(keys), n, inlineMinKeys)
+		var wg sync.WaitGroup
+		for sh := 0; sh < n; sh++ {
+			sub := sc.flatKeys[sc.offs[sh]:sc.offs[sh+1]]
+			if len(sub) >= thr {
+				wg.Add(1)
+				go func(sh int, sub []uint64) {
+					defer wg.Done()
+					s.insertShard(sh, sub)
+				}(sh, sub)
+			}
+		}
+		// Run the straggler sub-batches inline while the spawned shards work.
+		for sh := 0; sh < n; sh++ {
+			sub := sc.flatKeys[sc.offs[sh]:sc.offs[sh+1]]
+			if len(sub) > 0 && len(sub) < thr {
+				s.insertShard(sh, sub)
+			}
+		}
+		wg.Wait()
+		return
+	}
+	for sh := 0; sh < n; sh++ {
+		if sub := sc.flatKeys[sc.offs[sh]:sc.offs[sh+1]]; len(sub) > 0 {
+			s.insertShard(sh, sub)
+		}
+	}
+}
+
+// InsertBatch adds every key, fanning shard-local sub-batches into the
+// filters' layer-major batch insert — inline for small (sub-)batches, one
+// goroutine per shard once a shard's slice is large enough to amortize the
+// spawn. A steady-state call performs no heap allocations below the
+// fan-out threshold.
+func (s *ShardedFilter) InsertBatch(keys []uint64) {
+	sc := getScratch()
+	s.insertBatchWith(keys, sc)
+	putScratch(sc)
+}
+
+// queryShardInto probes one shard's sub-batch, writes the shard-local
+// verdicts into sout (same length as sub), scatters them to their original
+// batch positions in out, and returns the shard's positive count.
+func (s *ShardedFilter) queryShardInto(sh int, sub []uint64, pos []int, sout []bool, out []bool) uint64 {
+	s.shardPointProbes[sh].Add(uint64(len(sub)))
+	s.shards[sh].MayContainBatch(sub, sout)
+	var hits uint64
+	for i, j := range pos {
+		out[j] = sout[i]
+		if sout[i] {
+			hits++
+		}
+	}
+	return hits
+}
+
+// mayContainBatchWith is MayContainBatch against caller-provided scratch.
+func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batchScratch) {
+	if len(out) != len(keys) {
+		panic("server: MayContainBatch len(out) != len(keys)")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	s.pointQueries.Add(uint64(len(keys)))
+	if s.n == 1 {
+		s.shardPointProbes[0].Add(uint64(len(keys)))
+		s.shards[0].MayContainBatch(keys, out)
+		var hits uint64
+		for _, ok := range out {
+			if ok {
+				hits++
+			}
+		}
+		s.pointPositives.Add(hits)
+		return
+	}
+	s.groupKeys(keys, true, sc)
+	n := int(s.n)
+	sc.flatOut = grown(sc.flatOut, len(keys))
+	if len(keys) >= fanOutMinKeys {
+		thr := spawnThreshold(len(keys), n, inlineMinKeys)
+		var wg sync.WaitGroup
+		var hits atomic.Uint64
+		for sh := 0; sh < n; sh++ {
+			lo, hi := sc.offs[sh], sc.offs[sh+1]
+			if hi-lo >= thr {
+				wg.Add(1)
+				go func(sh, lo, hi int) {
+					defer wg.Done()
+					hits.Add(s.queryShardInto(sh, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out))
+				}(sh, lo, hi)
+			}
+		}
+		for sh := 0; sh < n; sh++ {
+			lo, hi := sc.offs[sh], sc.offs[sh+1]
+			if hi > lo && hi-lo < thr {
+				hits.Add(s.queryShardInto(sh, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out))
+			}
+		}
+		wg.Wait()
+		s.pointPositives.Add(hits.Load())
+		return
+	}
+	var hits uint64
+	for sh := 0; sh < n; sh++ {
+		lo, hi := sc.offs[sh], sc.offs[sh+1]
+		if hi > lo {
+			hits += s.queryShardInto(sh, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out)
+		}
+	}
+	s.pointPositives.Add(hits)
+}
+
+// MayContainBatch tests every key and stores the verdicts in out, which
+// must have the same length as keys (it panics otherwise). Large per-shard
+// sub-batches probe in parallel; a steady-state call below the fan-out
+// threshold performs no heap allocations.
+func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
+	sc := getScratch()
+	s.mayContainBatchWith(keys, out, sc)
+	putScratch(sc)
+}
+
+// groupRanges partitions a range batch by owning shard into sc's flat
+// arrays under range partitioning: each range lands in the segment of every
+// shard whose span it intersects (rangeShards — usually exactly one), with
+// original batch positions tracked so per-shard verdicts can be
+// OR-scattered back. Unlike keys, one range can appear in several shards'
+// segments, so the flat arrays are sized by a counting pass first.
+func (s *ShardedFilter) groupRanges(ranges [][2]uint64, sc *batchScratch) {
+	n := int(s.n)
+	sc.counts = grown(sc.counts, n)
+	sc.offs = grown(sc.offs, n+1)
+	sc.cursors = grown(sc.cursors, n)
+	for sh := range sc.counts {
+		sc.counts[sh] = 0
+	}
+	for _, r := range ranges {
+		first, last := s.part.rangeShards(r[0], r[1])
+		for sh := first; sh <= last; sh++ {
+			sc.counts[sh]++
+		}
+	}
+	off := 0
+	for sh := 0; sh < n; sh++ {
+		sc.offs[sh] = off
+		sc.cursors[sh] = off
+		off += sc.counts[sh]
+	}
+	sc.offs[n] = off
+	sc.flatRanges = grown(sc.flatRanges, off)
+	sc.flatPos = grown(sc.flatPos, off)
+	for j, r := range ranges {
+		first, last := s.part.rangeShards(r[0], r[1])
+		for sh := first; sh <= last; sh++ {
+			c := sc.cursors[sh]
+			sc.flatRanges[c] = r
+			sc.flatPos[c] = j
+			sc.cursors[sh] = c + 1
+		}
+	}
+}
+
+// mayContainRangeBatchWith is MayContainRangeBatch against caller-provided
+// scratch.
+func (s *ShardedFilter) mayContainRangeBatchWith(ranges [][2]uint64, out []bool, sc *batchScratch) {
+	if len(out) != len(ranges) {
+		panic("server: MayContainRangeBatch len(out) != len(ranges)")
+	}
+	if len(ranges) == 0 {
+		return
+	}
+	s.rangeQueries.Add(uint64(len(ranges)))
+	defer func() {
+		var hits uint64
+		for _, ok := range out {
+			if ok {
+				hits++
+			}
+		}
+		s.rangePositives.Add(hits)
+	}()
+	if s.n == 1 {
+		s.shardRangeProbes[0].Add(uint64(len(ranges)))
+		s.shards[0].MayContainRangeBatch(ranges, out)
+		return
+	}
+	if len(ranges) < fanOutMinRanges {
+		for j, r := range ranges {
+			out[j] = s.rangeOne(r[0], r[1])
+		}
+		return
+	}
+	if s.part.mode() == PartitionRange {
+		s.rangeBatchPartitioned(ranges, out, sc)
+		return
+	}
+	// Hash mode: all shards see all ranges; transpose the loops so one
+	// goroutine per shard answers the whole batch against its shard, then
+	// OR the per-shard verdict vectors. The vectors live in one flat
+	// scratch array of n·len(ranges) bools, partitioned per shard.
+	n := int(s.n)
+	sc.flatOut = grown(sc.flatOut, n*len(ranges))
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		s.shardRangeProbes[sh].Add(uint64(len(ranges)))
+		sout := sc.flatOut[sh*len(ranges) : (sh+1)*len(ranges)]
+		wg.Add(1)
+		go func(sh int, sout []bool) {
+			defer wg.Done()
+			s.shards[sh].MayContainRangeBatch(ranges, sout)
+		}(sh, sout)
+	}
+	wg.Wait()
+	for j := range out {
+		out[j] = false
+		for sh := 0; sh < n; sh++ {
+			if sc.flatOut[sh*len(ranges)+j] {
+				out[j] = true
+				break
+			}
+		}
+	}
+}
+
+// MayContainRangeBatch tests every [lo, hi] pair and stores the verdicts in
+// out, which must have the same length as ranges (it panics otherwise).
+//
+// Under hash partitioning every range consults every shard, so large
+// batches flip the loop order: one goroutine per shard answers the whole
+// batch against its shard, and the per-shard verdict vectors are ORed —
+// same answers, 1/N wall clock. Under range partitioning the batch is
+// instead grouped per owning shard (each range routes to the shards whose
+// span it intersects, typically one), so the total probe work is near 1/N
+// of the hash mode's before any parallelism. Small batches run inline with
+// no heap allocations.
+func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
+	sc := getScratch()
+	s.mayContainRangeBatchWith(ranges, out, sc)
+	putScratch(sc)
+}
+
+// rangeBatchPartitioned is the large-batch range-mode path: group ranges
+// per owning shard, answer big sub-batches on their own goroutines (small
+// ones inline), and OR-scatter the verdicts back (serially — a
+// span-straddling range may have verdicts from two shards).
+func (s *ShardedFilter) rangeBatchPartitioned(ranges [][2]uint64, out []bool, sc *batchScratch) {
+	s.groupRanges(ranges, sc)
+	for j := range out {
+		out[j] = false
+	}
+	n := int(s.n)
+	total := sc.offs[n]
+	sc.flatOut = grown(sc.flatOut, total)
+	thr := spawnThreshold(total, n, inlineMinRanges)
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		lo, hi := sc.offs[sh], sc.offs[sh+1]
+		if hi == lo {
+			continue
+		}
+		s.shardRangeProbes[sh].Add(uint64(hi - lo))
+		if hi-lo >= thr {
+			wg.Add(1)
+			go func(sh, lo, hi int) {
+				defer wg.Done()
+				s.shards[sh].MayContainRangeBatch(sc.flatRanges[lo:hi], sc.flatOut[lo:hi])
+			}(sh, lo, hi)
+		}
+	}
+	for sh := 0; sh < n; sh++ {
+		lo, hi := sc.offs[sh], sc.offs[sh+1]
+		if hi > lo && hi-lo < thr {
+			s.shards[sh].MayContainRangeBatch(sc.flatRanges[lo:hi], sc.flatOut[lo:hi])
+		}
+	}
+	wg.Wait()
+	for c, j := range sc.flatPos[:total] {
+		if sc.flatOut[c] {
+			out[j] = true
+		}
+	}
+}

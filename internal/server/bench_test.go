@@ -33,10 +33,45 @@ func benchFilter(b *testing.B, shards int) (*ShardedFilter, []uint64) {
 	return s, keys
 }
 
+// groupAlloc is the PR 1 grouping pass, preserved here as the baseline the
+// serial benchmarks measure against: per-shard sub-slices are allocated
+// fresh on every call (the live path now counting-sorts into pooled flat
+// arrays, batchexec.go).
+func (s *ShardedFilter) groupAlloc(keys []uint64, track bool) (bkeys [][]uint64, bpos [][]int) {
+	ids := make([]uint8, len(keys))
+	counts := make([]int, s.n)
+	for j, x := range keys {
+		sh := s.shardOf(x)
+		ids[j] = uint8(sh)
+		counts[sh]++
+	}
+	bkeys = make([][]uint64, s.n)
+	if track {
+		bpos = make([][]int, s.n)
+	}
+	for sh, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bkeys[sh] = make([]uint64, 0, c)
+		if track {
+			bpos[sh] = make([]int, 0, c)
+		}
+	}
+	for j, x := range keys {
+		sh := ids[j]
+		bkeys[sh] = append(bkeys[sh], x)
+		if track {
+			bpos[sh] = append(bpos[sh], j)
+		}
+	}
+	return bkeys, bpos
+}
+
 // insertBatchSerial is the PR 1 request path: group, then shard sub-batches
 // one after another on the caller's goroutine.
 func (s *ShardedFilter) insertBatchSerial(keys []uint64) {
-	bkeys, _ := s.group(keys, false)
+	bkeys, _ := s.groupAlloc(keys, false)
 	for sh, sub := range bkeys {
 		if len(sub) > 0 {
 			s.insertShard(sh, sub)
@@ -44,12 +79,14 @@ func (s *ShardedFilter) insertBatchSerial(keys []uint64) {
 	}
 }
 
-// queryBatchSerial is the PR 1 lookup path.
+// queryBatchSerial is the PR 1 lookup path: per-shard verdict slices are
+// allocated per call, verdicts scattered back by tracked position.
 func (s *ShardedFilter) queryBatchSerial(keys []uint64, out []bool) {
-	bkeys, bpos := s.group(keys, true)
+	bkeys, bpos := s.groupAlloc(keys, true)
 	for sh, sub := range bkeys {
 		if len(sub) > 0 {
-			s.queryShard(sh, sub, bpos[sh], out)
+			sout := make([]bool, len(sub))
+			s.queryShardInto(sh, sub, bpos[sh], sout, out)
 		}
 	}
 }

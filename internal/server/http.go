@@ -15,10 +15,14 @@ import (
 	"repro/internal/wal"
 )
 
-// HTTP JSON API for the filter registry. Endpoint and schema reference:
+// HTTP API for the filter registry. Endpoint and schema reference:
 // docs/server.md. Every endpoint that takes keys has a single-key and a
 // batch shape in the same request body; batch shapes hit the filters'
-// zero-allocation batch paths.
+// zero-allocation batch paths. The insert/query/query-range endpoints
+// additionally content-negotiate: a request with Content-Type
+// application/x-bloomrf-batch is decoded by the binary wire codec
+// (internal/wire, handlers in binary.go) instead of encoding/json —
+// the high-throughput path, spec in docs/performance.md.
 
 // MaxBatch bounds the number of keys or ranges in one request, as flood
 // protection; larger workloads should split into multiple requests.
@@ -135,26 +139,46 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 	return a
 }
 
-// ServeHTTP implements http.Handler.
-func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
-
-// allowMutation gates the mutating endpoints: a read-only follower rejects
-// outright (403), and when an auth token is configured the request must
-// carry it as a bearer credential (401 otherwise, compared in constant
-// time so the token cannot be guessed byte by byte).
-func (a *API) allowMutation(w http.ResponseWriter, r *http.Request) bool {
-	if a.cfg.ReadOnly {
-		writeErr(w, http.StatusForbidden, "this server is a read-only replication follower; write to the primary")
-		return false
+// ServeHTTP implements http.Handler. Binary batch requests take an
+// allocation-free route around the mux (serveBinaryFast, binary.go);
+// everything else — including binary requests the fast route does not
+// recognize — goes through the mux as before.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if isBinaryBatch(r) && a.serveBinaryFast(w, r) {
+		return
 	}
+	a.mux.ServeHTTP(w, r)
+}
+
+// authorized reports whether the request carries the configured bearer
+// token (trivially true when none is configured). The comparison is
+// constant-time so the token cannot be guessed byte by byte.
+func (a *API) authorized(r *http.Request) bool {
 	if a.cfg.AuthToken == "" {
 		return true
 	}
 	auth := r.Header.Get("Authorization")
 	token, ok := strings.CutPrefix(auth, "Bearer ")
-	if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(a.cfg.AuthToken)) != 1 {
-		w.Header().Set("WWW-Authenticate", `Bearer realm="bloomrfd"`)
-		writeErr(w, http.StatusUnauthorized, "mutating endpoints require a valid bearer token")
+	return ok && subtle.ConstantTimeCompare([]byte(token), []byte(a.cfg.AuthToken)) == 1
+}
+
+// denyUnauthorized writes the 401 challenge shared by every token-gated
+// endpoint.
+func denyUnauthorized(w http.ResponseWriter, what string) {
+	w.Header().Set("WWW-Authenticate", `Bearer realm="bloomrfd"`)
+	writeErr(w, http.StatusUnauthorized, "%s requires a valid bearer token", what)
+}
+
+// allowMutation gates the mutating endpoints: a read-only follower rejects
+// outright (403), and when an auth token is configured the request must
+// carry it as a bearer credential (401 otherwise).
+func (a *API) allowMutation(w http.ResponseWriter, r *http.Request) bool {
+	if a.cfg.ReadOnly {
+		writeErr(w, http.StatusForbidden, "this server is a read-only replication follower; write to the primary")
+		return false
+	}
+	if !a.authorized(r) {
+		denyUnauthorized(w, "mutating endpoints")
 		return false
 	}
 	return true
@@ -389,6 +413,10 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if isBinaryBatch(r) {
+		a.handleInsertBinary(w, r, f, r.PathValue("name"))
+		return
+	}
 	var req keysReq
 	if !decode(w, r, &req) {
 		return
@@ -400,10 +428,14 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 	f.InsertBatch(keys)
 	// Apply first, append second (durability.go): concurrent inserts
 	// group-commit into one WAL write, and a snapshot that captured the
-	// log end P is guaranteed to contain every record below P.
-	rec, encErr := encodeInsert(r.PathValue("name"), keys)
-	if !a.logWAL(w, rec, encErr) {
-		return
+	// log end P is guaranteed to contain every record below P. Without a
+	// WAL there is nothing to encode — skip building the record at all,
+	// like the binary path does.
+	if a.cfg.WAL != nil {
+		rec, encErr := encodeInsert(r.PathValue("name"), keys)
+		if !a.logWAL(w, rec, encErr) {
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(keys)})
 }
@@ -411,6 +443,10 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	f, ok := a.lookup(w, r)
 	if !ok {
+		return
+	}
+	if isBinaryBatch(r) {
+		a.handleQueryBinary(w, r, f)
 		return
 	}
 	var req keysReq
@@ -448,6 +484,10 @@ type rangesReq struct {
 func (a *API) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	f, ok := a.lookup(w, r)
 	if !ok {
+		return
+	}
+	if isBinaryBatch(r) {
+		a.handleQueryRangeBinary(w, r, f)
 		return
 	}
 	var req rangesReq

@@ -122,8 +122,16 @@ func (fr *frameReader) next() (pos uint64, typ byte, payload []byte, err error) 
 	return pos, typ, payload, nil
 }
 
-// handleReplicationStream serves the primary side of replication.
+// handleReplicationStream serves the primary side of replication. When an
+// auth token is configured the stream demands it like the mutating
+// endpoints do: the stream hands out every key ever inserted plus whole
+// snapshot blobs, which is strictly more than any single mutation
+// exposes. (PR 4 shipped it open — the ROADMAP follow-up this closes.)
 func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
+	if !a.authorized(r) {
+		denyUnauthorized(w, "the replication stream")
+		return
+	}
 	l := a.cfg.WAL
 	if l == nil {
 		writeErr(w, http.StatusBadRequest, "replication requires a write-ahead log (start bloomrfd with -data-dir)")
@@ -294,6 +302,7 @@ type Follower struct {
 	reg     *Registry
 	client  *http.Client
 	logf    func(format string, args ...any)
+	token   string // bearer credential for a token-gated primary stream
 
 	applied    atomic.Uint64
 	primaryPos atomic.Uint64
@@ -322,6 +331,14 @@ func NewFollower(primaryURL string, reg *Registry, logf func(format string, args
 		logf:        logf,
 		restoredPos: make(map[string]uint64),
 	}, nil
+}
+
+// WithAuthToken sets the bearer token the follower presents on the
+// primary's stream endpoint (which demands one whenever the primary runs
+// with -auth-token). It returns fo for chaining; call before Run.
+func (fo *Follower) WithAuthToken(token string) *Follower {
+	fo.token = token
+	return fo
 }
 
 // Status returns the follower's current replication state.
@@ -374,6 +391,9 @@ func (fo *Follower) stream(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
+	}
+	if fo.token != "" {
+		req.Header.Set("Authorization", "Bearer "+fo.token)
 	}
 	resp, err := fo.client.Do(req)
 	if err != nil {

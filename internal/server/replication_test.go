@@ -291,3 +291,89 @@ func TestReplicationStatusEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicationStreamAuth pins the PR 4 follow-up: when the primary runs
+// with an auth token, GET /v1/replication/stream demands it — the stream
+// hands out every inserted key, so it cannot be weaker than the mutations
+// that put them there. A follower presenting the token via WithAuthToken
+// syncs normally; a bare or wrongly-authed client gets 401.
+func TestReplicationStreamAuth(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlog := openWALT(t, filepath.Join(dir, "wal"))
+	store.SetWALSource(wlog)
+	reg := NewRegistry()
+	api := NewConfiguredAPI(reg, store, Config{WAL: wlog, AuthToken: "sesame"})
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	authedPost := func(path, body string) int {
+		t.Helper()
+		req, err := http.NewRequest("POST", srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer sesame")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := authedPost("/v1/filters", `{"name":"users","expected_keys":10000}`); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := authedPost("/v1/filters/users/insert", `{"keys":[7,8,9]}`); code != http.StatusOK {
+		t.Fatalf("insert: %d", code)
+	}
+
+	// No credential and a wrong credential both bounce with the bearer
+	// challenge before a single frame is written.
+	for _, hdr := range []string{"", "Bearer wrong"} {
+		req, err := http.NewRequest("GET", srv.URL+"/v1/replication/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set("Authorization", hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("stream with auth %q: %d, want 401", hdr, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Fatalf("stream 401 lacks the bearer challenge")
+		}
+	}
+
+	// A follower presenting the token bootstraps and tails normally.
+	freg := NewRegistry()
+	fo, err := NewFollower(srv.URL, freg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo.WithAuthToken("sesame")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go fo.Run(ctx)
+	waitCaughtUp(t, fo, wlog.End())
+	standby, err := freg.Get("users")
+	if err != nil {
+		t.Fatalf("follower has no users filter: %v", err)
+	}
+	for _, k := range []uint64{7, 8, 9} {
+		if !standby.MayContain(k) {
+			t.Fatalf("standby lost key %d", k)
+		}
+	}
+	cancel()
+	wlog.Close()
+}

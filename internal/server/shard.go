@@ -52,7 +52,10 @@ const MaxFilterBits = 1 << 36
 // Fan-out thresholds: batches below these sizes run the serial per-shard
 // loop, because spawning goroutines costs more than the work they would
 // parallelize. Keys are cheap (tens of ns per key), ranges are expensive
-// (a dyadic decomposition per shard), hence the asymmetric cutoffs.
+// (a dyadic decomposition per shard), hence the asymmetric cutoffs. Above
+// the threshold the fan-out is still per-shard selective: sub-batches
+// smaller than the inline thresholds in batchexec.go run on the caller's
+// goroutine.
 const (
 	fanOutMinKeys   = 2048
 	fanOutMinRanges = 16
@@ -320,267 +323,16 @@ func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
 	return ok
 }
 
-// group partitions keys by shard, returning per-shard key slices and, when
-// track is true, the original batch positions of each sub-batch so results
-// can be scattered back in order. The routing is computed once per key
-// into a scratch id slice (shard ids fit uint8 since MaxShards = 256) and
-// reused by the distribution pass.
-func (s *ShardedFilter) group(keys []uint64, track bool) (bkeys [][]uint64, bpos [][]int) {
-	ids := make([]uint8, len(keys))
-	counts := make([]int, s.n)
-	for j, x := range keys {
-		sh := s.shardOf(x)
-		ids[j] = uint8(sh)
-		counts[sh]++
-	}
-	bkeys = make([][]uint64, s.n)
-	if track {
-		bpos = make([][]int, s.n)
-	}
-	for sh, c := range counts {
-		if c == 0 {
-			continue
-		}
-		bkeys[sh] = make([]uint64, 0, c)
-		if track {
-			bpos[sh] = make([]int, 0, c)
-		}
-	}
-	for j, x := range keys {
-		sh := ids[j]
-		bkeys[sh] = append(bkeys[sh], x)
-		if track {
-			bpos[sh] = append(bpos[sh], j)
-		}
-	}
-	return bkeys, bpos
-}
-
 // insertShard runs one shard's sub-batch under the shard's read lock,
-// counting the keys before the lock drops (see Insert).
+// counting the keys before the lock drops (see Insert). The batch
+// entry points that feed it live in batchexec.go, which owns the pooled
+// grouping scratch and the fan-out policy.
 func (s *ShardedFilter) insertShard(sh int, sub []uint64) {
 	s.locks[sh].RLock()
 	s.shards[sh].InsertBatch(sub)
 	s.keys.Add(uint64(len(sub)))
 	s.shardKeys[sh].Add(uint64(len(sub)))
 	s.locks[sh].RUnlock()
-}
-
-// InsertBatch adds every key, fanning shard-local sub-batches into the
-// filters' layer-major batch insert — serially for small batches, one
-// goroutine per shard once the batch is large enough to amortize the spawn.
-func (s *ShardedFilter) InsertBatch(keys []uint64) {
-	if len(keys) == 0 {
-		return
-	}
-	if s.n == 1 {
-		s.insertShard(0, keys)
-		return
-	}
-	bkeys, _ := s.group(keys, false)
-	if len(keys) >= fanOutMinKeys {
-		var wg sync.WaitGroup
-		for sh, sub := range bkeys {
-			if len(sub) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(sh int, sub []uint64) {
-				defer wg.Done()
-				s.insertShard(sh, sub)
-			}(sh, sub)
-		}
-		wg.Wait()
-	} else {
-		for sh, sub := range bkeys {
-			if len(sub) > 0 {
-				s.insertShard(sh, sub)
-			}
-		}
-	}
-}
-
-// queryShard probes one shard's sub-batch and scatters the verdicts back to
-// their original batch positions (disjoint across shards, so concurrent
-// scatters are race-free). It returns the shard's positive count.
-func (s *ShardedFilter) queryShard(sh int, sub []uint64, pos []int, out []bool) uint64 {
-	s.shardPointProbes[sh].Add(uint64(len(sub)))
-	sout := make([]bool, len(sub))
-	s.shards[sh].MayContainBatch(sub, sout)
-	var hits uint64
-	for i, j := range pos {
-		out[j] = sout[i]
-		if sout[i] {
-			hits++
-		}
-	}
-	return hits
-}
-
-// MayContainBatch tests every key and stores the verdicts in out, which
-// must have the same length as keys (it panics otherwise). Large batches
-// probe shards in parallel.
-func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
-	if len(out) != len(keys) {
-		panic("server: MayContainBatch len(out) != len(keys)")
-	}
-	if len(keys) == 0 {
-		return
-	}
-	s.pointQueries.Add(uint64(len(keys)))
-	if s.n == 1 {
-		s.shardPointProbes[0].Add(uint64(len(keys)))
-		s.shards[0].MayContainBatch(keys, out)
-		var hits uint64
-		for _, ok := range out {
-			if ok {
-				hits++
-			}
-		}
-		s.pointPositives.Add(hits)
-		return
-	}
-	bkeys, bpos := s.group(keys, true)
-	if len(keys) >= fanOutMinKeys {
-		var wg sync.WaitGroup
-		var hits atomic.Uint64
-		for sh, sub := range bkeys {
-			if len(sub) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(sh int, sub []uint64, pos []int) {
-				defer wg.Done()
-				hits.Add(s.queryShard(sh, sub, pos, out))
-			}(sh, sub, bpos[sh])
-		}
-		wg.Wait()
-		s.pointPositives.Add(hits.Load())
-		return
-	}
-	var hits uint64
-	for sh, sub := range bkeys {
-		if len(sub) > 0 {
-			hits += s.queryShard(sh, sub, bpos[sh], out)
-		}
-	}
-	s.pointPositives.Add(hits)
-}
-
-// groupRanges partitions a range batch by owning shard under range
-// partitioning: each range lands in the sub-batch of every shard whose span
-// it intersects (rangeShards — usually exactly one), with original batch
-// positions tracked so per-shard verdicts can be OR-scattered back.
-func (s *ShardedFilter) groupRanges(ranges [][2]uint64) (branges [][][2]uint64, bpos [][]int) {
-	branges = make([][][2]uint64, s.n)
-	bpos = make([][]int, s.n)
-	for j, r := range ranges {
-		first, last := s.part.rangeShards(r[0], r[1])
-		for sh := first; sh <= last; sh++ {
-			branges[sh] = append(branges[sh], r)
-			bpos[sh] = append(bpos[sh], j)
-		}
-	}
-	return branges, bpos
-}
-
-// MayContainRangeBatch tests every [lo, hi] pair and stores the verdicts in
-// out, which must have the same length as ranges (it panics otherwise).
-//
-// Under hash partitioning every range consults every shard, so large
-// batches flip the loop order: one goroutine per shard answers the whole
-// batch against its shard, and the per-shard verdict vectors are ORed —
-// same answers, 1/N wall clock. Under range partitioning the batch is
-// instead grouped per owning shard (each range routes to the shards whose
-// span it intersects, typically one), so the total probe work is near 1/N
-// of the hash mode's before any parallelism.
-func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
-	if len(out) != len(ranges) {
-		panic("server: MayContainRangeBatch len(out) != len(ranges)")
-	}
-	if len(ranges) == 0 {
-		return
-	}
-	s.rangeQueries.Add(uint64(len(ranges)))
-	defer func() {
-		var hits uint64
-		for _, ok := range out {
-			if ok {
-				hits++
-			}
-		}
-		s.rangePositives.Add(hits)
-	}()
-	if s.n == 1 {
-		s.shardRangeProbes[0].Add(uint64(len(ranges)))
-		s.shards[0].MayContainRangeBatch(ranges, out)
-		return
-	}
-	if len(ranges) < fanOutMinRanges {
-		for j, r := range ranges {
-			out[j] = s.rangeOne(r[0], r[1])
-		}
-		return
-	}
-	if s.part.mode() == PartitionRange {
-		s.rangeBatchPartitioned(ranges, out)
-		return
-	}
-	// Hash mode: all shards see all ranges; transpose the loops.
-	souts := make([][]bool, s.n)
-	var wg sync.WaitGroup
-	for sh := range s.shards {
-		souts[sh] = make([]bool, len(ranges))
-		s.shardRangeProbes[sh].Add(uint64(len(ranges)))
-		wg.Add(1)
-		go func(sh int) {
-			defer wg.Done()
-			s.shards[sh].MayContainRangeBatch(ranges, souts[sh])
-		}(sh)
-	}
-	wg.Wait()
-	for j := range out {
-		out[j] = false
-		for sh := range souts {
-			if souts[sh][j] {
-				out[j] = true
-				break
-			}
-		}
-	}
-}
-
-// rangeBatchPartitioned is the large-batch range-mode path: group ranges
-// per owning shard, answer each shard's sub-batch on its own goroutine, and
-// OR-scatter the verdicts back (serially — a span-straddling range may have
-// verdicts from two shards).
-func (s *ShardedFilter) rangeBatchPartitioned(ranges [][2]uint64, out []bool) {
-	branges, bpos := s.groupRanges(ranges)
-	for j := range out {
-		out[j] = false
-	}
-	souts := make([][]bool, s.n)
-	var wg sync.WaitGroup
-	for sh := range branges {
-		if len(branges[sh]) == 0 {
-			continue
-		}
-		souts[sh] = make([]bool, len(branges[sh]))
-		s.shardRangeProbes[sh].Add(uint64(len(branges[sh])))
-		wg.Add(1)
-		go func(sh int) {
-			defer wg.Done()
-			s.shards[sh].MayContainRangeBatch(branges[sh], souts[sh])
-		}(sh)
-	}
-	wg.Wait()
-	for sh, pos := range bpos {
-		for i, j := range pos {
-			if souts[sh][i] {
-				out[j] = true
-			}
-		}
-	}
 }
 
 // ShardedStats aggregates occupancy and traffic counters across shards.

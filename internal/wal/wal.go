@@ -118,9 +118,9 @@ type Log struct {
 	closeMu      sync.RWMutex // excludes Append vs Close
 	appendClosed bool         // read and written only under closeMu
 	appendCh     chan *appendReq
-	written  chan struct{} // writer goroutine exited
-	stopSync chan struct{} // stops the interval-sync goroutine
-	syncDone chan struct{}
+	written      chan struct{} // writer goroutine exited
+	stopSync     chan struct{} // stops the interval-sync goroutine
+	syncDone     chan struct{}
 }
 
 // segName formats a segment file name from its base offset.

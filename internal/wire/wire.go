@@ -1,0 +1,323 @@
+// Package wire implements bloomrfd's compact binary batch protocol: the
+// request and response framing behind Content-Type
+// application/x-bloomrf-batch on the batch endpoints (insert, query,
+// query-range). It exists because encoding/json dominates the end-to-end
+// cost of large batches — parsing a decimal digit stream allocates per key
+// and burns more CPU than the filter probes it feeds — while this codec is
+// a fixed 16-byte header plus raw little-endian words, decodable into a
+// caller-provided buffer with zero allocations.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  0  version uint8  — Version (1)
+//	offset  1  op      uint8  — OpInsert | OpQuery | OpQueryRange | OpResult | OpAck
+//	offset  2  flags   uint16 — reserved, must be zero
+//	offset  4  count   uint32 — number of items (keys, ranges, or verdict bits)
+//	offset  8  crc32c  uint32 — CRC-32C (Castagnoli) over the payload bytes
+//	offset 12  length  uint32 — payload length in bytes (redundant with
+//	                            count·itemSize; both are validated)
+//	offset 16  payload
+//
+// Payloads:
+//
+//	OpInsert, OpQuery  count × 8-byte keys
+//	OpQueryRange       count × 16 bytes (lo, hi — inclusive bounds)
+//	OpResult           ⌈count/8⌉ bytes, verdict bitmap, LSB-first: bit j of
+//	                   byte j/8 is the verdict for item j
+//	OpAck              empty (count = number of keys applied)
+//
+// A request carries OpInsert/OpQuery/OpQueryRange; the server answers
+// OpAck for inserts and OpResult for queries. The version byte is checked
+// on decode so the format can evolve; the CRC catches truncated or
+// corrupted bodies before they turn into wrong filter answers.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version is the only frame version this package reads or writes.
+const Version = 1
+
+// ContentType is the HTTP media type that selects this codec on the batch
+// endpoints.
+const ContentType = "application/x-bloomrf-batch"
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 16
+
+// Op identifies what a frame carries.
+type Op uint8
+
+// Frame ops. Requests use OpInsert/OpQuery/OpQueryRange; responses use
+// OpAck (inserts) and OpResult (queries and range queries).
+const (
+	OpInsert     Op = 1
+	OpQuery      Op = 2
+	OpQueryRange Op = 3
+	OpResult     Op = 4
+	OpAck        Op = 5
+)
+
+// String names an op for error messages.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpQuery:
+		return "query"
+	case OpQueryRange:
+		return "query-range"
+	case OpResult:
+		return "result"
+	case OpAck:
+		return "ack"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MaxCount bounds the item count of a single frame, mirroring the server's
+// batch limit so a header cannot demand a multi-gigabyte buffer before the
+// payload is even read.
+const MaxCount = 1 << 20
+
+// ErrBadFrame is wrapped by every decode error, so callers can distinguish
+// a malformed frame from an I/O failure with errors.Is.
+var ErrBadFrame = errors.New("wire: malformed frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is a decoded frame header.
+type Header struct {
+	Op    Op
+	Count uint32 // items in the payload (keys, ranges, or verdict bits)
+	CRC   uint32 // CRC-32C over the payload
+	Len   uint32 // payload length in bytes
+}
+
+// itemBytes returns the payload bytes one item occupies for op, or 0 for
+// ops whose payload is not an item array.
+func itemBytes(op Op) uint32 {
+	switch op {
+	case OpInsert, OpQuery:
+		return 8
+	case OpQueryRange:
+		return 16
+	}
+	return 0
+}
+
+// payloadLen returns the exact payload length implied by an op and count.
+func payloadLen(op Op, count uint32) uint32 {
+	if op == OpResult {
+		return (count + 7) / 8
+	}
+	if op == OpAck {
+		return 0
+	}
+	return count * itemBytes(op)
+}
+
+// ParseHeader decodes and validates the 16-byte frame header. The payload
+// is not touched (it usually has not been read yet); DecodeKeys /
+// DecodeRanges / DecodeResult validate the CRC once it is.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: header is %d bytes, need %d", ErrBadFrame, len(b), HeaderSize)
+	}
+	if b[0] != Version {
+		return Header{}, fmt.Errorf("%w: version %d, this server speaks %d", ErrBadFrame, b[0], Version)
+	}
+	h := Header{
+		Op:    Op(b[1]),
+		Count: binary.LittleEndian.Uint32(b[4:8]),
+		CRC:   binary.LittleEndian.Uint32(b[8:12]),
+		Len:   binary.LittleEndian.Uint32(b[12:16]),
+	}
+	if flags := binary.LittleEndian.Uint16(b[2:4]); flags != 0 {
+		return Header{}, fmt.Errorf("%w: reserved flags %#x must be zero", ErrBadFrame, flags)
+	}
+	switch h.Op {
+	case OpInsert, OpQuery, OpQueryRange, OpResult, OpAck:
+	default:
+		return Header{}, fmt.Errorf("%w: unknown op %d", ErrBadFrame, uint8(h.Op))
+	}
+	if h.Count > MaxCount {
+		return Header{}, fmt.Errorf("%w: count %d exceeds limit %d", ErrBadFrame, h.Count, MaxCount)
+	}
+	if want := payloadLen(h.Op, h.Count); h.Len != want {
+		return Header{}, fmt.Errorf("%w: %s frame of %d items declares %d payload bytes, need %d",
+			ErrBadFrame, h.Op, h.Count, h.Len, want)
+	}
+	// An empty payload has exactly one valid checksum (CRC-32C of nothing is
+	// 0); rejecting others here means payload-free frames like acks get the
+	// same corruption detection as everything else.
+	if h.Len == 0 && h.CRC != 0 {
+		return Header{}, fmt.Errorf("%w: empty payload with nonzero CRC %#x", ErrBadFrame, h.CRC)
+	}
+	return h, nil
+}
+
+// putHeader writes a frame header into b[:HeaderSize].
+func putHeader(b []byte, op Op, count uint32, payload []byte) {
+	b[0] = Version
+	b[1] = byte(op)
+	binary.LittleEndian.PutUint16(b[2:4], 0)
+	binary.LittleEndian.PutUint32(b[4:8], count)
+	binary.LittleEndian.PutUint32(b[8:12], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(len(payload)))
+}
+
+// grow extends dst by n bytes, reallocating only when capacity is short —
+// the amortized-zero-allocation primitive under all Append* helpers.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n, 2*(len(dst)+n))
+	copy(out, dst)
+	return out
+}
+
+// AppendKeysRequest appends an OpInsert or OpQuery frame carrying keys to
+// dst and returns the extended slice. It panics if op is neither, or if
+// len(keys) exceeds MaxCount — both caller bugs, not data errors.
+func AppendKeysRequest(dst []byte, op Op, keys []uint64) []byte {
+	if op != OpInsert && op != OpQuery {
+		panic("wire: AppendKeysRequest op must be OpInsert or OpQuery")
+	}
+	if len(keys) > MaxCount {
+		panic("wire: batch exceeds MaxCount")
+	}
+	start := len(dst)
+	dst = grow(dst, HeaderSize+8*len(keys))
+	body := dst[start+HeaderSize:]
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(body[8*i:], k)
+	}
+	putHeader(dst[start:], op, uint32(len(keys)), body)
+	return dst
+}
+
+// AppendRangesRequest appends an OpQueryRange frame carrying inclusive
+// [lo, hi] ranges to dst and returns the extended slice.
+func AppendRangesRequest(dst []byte, ranges [][2]uint64) []byte {
+	if len(ranges) > MaxCount {
+		panic("wire: batch exceeds MaxCount")
+	}
+	start := len(dst)
+	dst = grow(dst, HeaderSize+16*len(ranges))
+	body := dst[start+HeaderSize:]
+	for i, r := range ranges {
+		binary.LittleEndian.PutUint64(body[16*i:], r[0])
+		binary.LittleEndian.PutUint64(body[16*i+8:], r[1])
+	}
+	putHeader(dst[start:], OpQueryRange, uint32(len(ranges)), body)
+	return dst
+}
+
+// AppendResult appends an OpResult frame carrying the verdict bitmap for
+// out to dst and returns the extended slice.
+func AppendResult(dst []byte, out []bool) []byte {
+	if len(out) > MaxCount {
+		panic("wire: batch exceeds MaxCount")
+	}
+	start := len(dst)
+	nb := (len(out) + 7) / 8
+	dst = grow(dst, HeaderSize+nb)
+	body := dst[start+HeaderSize:]
+	for i := range body {
+		body[i] = 0
+	}
+	for j, ok := range out {
+		if ok {
+			body[j>>3] |= 1 << (j & 7)
+		}
+	}
+	putHeader(dst[start:], OpResult, uint32(len(out)), body)
+	return dst
+}
+
+// AppendAck appends an OpAck frame acknowledging n applied keys.
+func AppendAck(dst []byte, n uint32) []byte {
+	start := len(dst)
+	dst = grow(dst, HeaderSize)
+	putHeader(dst[start:], OpAck, n, nil)
+	return dst
+}
+
+// checkPayload validates the payload's length and checksum against h.
+func checkPayload(h Header, payload []byte) error {
+	if uint32(len(payload)) != h.Len {
+		return fmt.Errorf("%w: payload is %d bytes, header declares %d", ErrBadFrame, len(payload), h.Len)
+	}
+	if crc := crc32.Checksum(payload, castagnoli); crc != h.CRC {
+		return fmt.Errorf("%w: payload CRC %#x, header declares %#x", ErrBadFrame, crc, h.CRC)
+	}
+	return nil
+}
+
+// DecodeKeys validates payload against h (length and CRC) and decodes its
+// keys into dst, which is grown only if its capacity is short — a pooled
+// dst makes the steady-state call allocation-free. h.Op must be OpInsert
+// or OpQuery.
+func DecodeKeys(h Header, payload []byte, dst []uint64) ([]uint64, error) {
+	if h.Op != OpInsert && h.Op != OpQuery {
+		return nil, fmt.Errorf("%w: %s frame has no key payload", ErrBadFrame, h.Op)
+	}
+	if err := checkPayload(h, payload); err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return dst, nil
+}
+
+// DecodeRanges is DecodeKeys for OpQueryRange frames.
+func DecodeRanges(h Header, payload []byte, dst [][2]uint64) ([][2]uint64, error) {
+	if h.Op != OpQueryRange {
+		return nil, fmt.Errorf("%w: %s frame has no range payload", ErrBadFrame, h.Op)
+	}
+	if err := checkPayload(h, payload); err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([][2]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i][0] = binary.LittleEndian.Uint64(payload[16*i:])
+		dst[i][1] = binary.LittleEndian.Uint64(payload[16*i+8:])
+	}
+	return dst, nil
+}
+
+// DecodeResult validates payload against h and expands the verdict bitmap
+// into dst (grown only if capacity is short). h.Op must be OpResult.
+func DecodeResult(h Header, payload []byte, dst []bool) ([]bool, error) {
+	if h.Op != OpResult {
+		return nil, fmt.Errorf("%w: %s frame is not a result", ErrBadFrame, h.Op)
+	}
+	if err := checkPayload(h, payload); err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([]bool, n)
+	}
+	dst = dst[:n]
+	for j := range dst {
+		dst[j] = payload[j>>3]&(1<<(j&7)) != 0
+	}
+	return dst, nil
+}

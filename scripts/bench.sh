@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Benchmark harness for the batch pipeline: runs the core batch benches
+# (layer-major probes, internal/core via the root package) and the
+# end-to-end serving benches (JSON vs binary codec through the full
+# handler path, internal/server), and emits one machine-readable JSON
+# report with the raw numbers plus the derived binary-vs-JSON speedups.
+#
+# Usage, from the repository root:
+#
+#   ./scripts/bench.sh                   # full run (BENCHTIME=1s), writes BENCH_PR5.json
+#   BENCHTIME=100x ./scripts/bench.sh    # CI smoke: fixed iteration count
+#   OUT=/tmp/report.json ./scripts/bench.sh
+#
+# Workloads use fixed seeds (see bench_test.go and wire_bench_test.go), so
+# two runs on the same machine measure the same key streams. Methodology
+# notes live in docs/performance.md.
+set -euo pipefail
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_PR5.json}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== core batch benches (-benchtime $BENCHTIME) =="
+go test -run xxx -bench 'BenchmarkBatch(PointLookup|Insert|RangeLookup)$' \
+    -benchtime "$BENCHTIME" . | tee "$WORK/core.txt"
+
+echo "== end-to-end serving benches: JSON vs binary (-benchtime $BENCHTIME) =="
+go test -run xxx -bench 'BenchmarkServerBatch(Query|Insert|Range)(JSON|Binary)$' \
+    -benchtime "$BENCHTIME" ./internal/server | tee "$WORK/server.txt"
+
+awk -v go_version="$(go version | cut -d' ' -f3)" \
+    -v benchtime="$BENCHTIME" \
+    -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = ""; keys = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")  ns   = $(i-1)
+        if ($i == "keys/s") keys = $(i-1)
+    }
+    if (ns == "") next
+    order[++n] = name
+    nsop[name] = ns
+    keysps[name] = keys
+}
+END {
+    printf "{\n"
+    printf "  \"meta\": {\"go\": \"%s\", \"benchtime\": \"%s\", \"generated\": \"%s\"},\n", go_version, benchtime, now
+    printf "  \"benches\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, nsop[name]
+        if (keysps[name] != "") printf ", \"keys_per_s\": %s", keysps[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"derived\": {\n"
+    first = 1
+    pairs["query"] = "BenchmarkServerBatchQuery"
+    pairs["insert"] = "BenchmarkServerBatchInsert"
+    pairs["range"] = "BenchmarkServerBatchRange"
+    shards[1] = "shards=1"; shards[2] = "shards=8"
+    for (p in pairs) {
+        for (s = 1; s <= 2; s++) {
+            jname = pairs[p] "JSON/" shards[s]
+            bname = pairs[p] "Binary/" shards[s]
+            if (nsop[jname] != "" && nsop[bname] != "" && nsop[bname] + 0 > 0) {
+                if (!first) printf ",\n"
+                first = 0
+                printf "    \"binary_vs_json_%s_%s\": %.2f", p, shards[s], nsop[jname] / nsop[bname]
+            }
+        }
+    }
+    printf "\n  }\n"
+    printf "}\n"
+}' "$WORK/core.txt" "$WORK/server.txt" > "$OUT"
+
+echo "== wrote $OUT =="
+cat "$OUT"

@@ -14,6 +14,15 @@ P_ADDR="127.0.0.1:18177"
 F_ADDR="127.0.0.1:18178"
 P="http://$P_ADDR"
 F="http://$F_ADDR"
+# Mutations AND the replication stream are token-gated end to end: the
+# primary demands the bearer token, the follower presents it via
+# -auth-token, and an unauthenticated stream request must bounce with 401.
+TOKEN="e2e-stream-secret"
+
+# mpost is an authenticated mutating POST against the primary.
+mpost() {
+  curl -sf -H "Authorization: Bearer $TOKEN" -XPOST "$@"
+}
 WORK="$(mktemp -d)"
 trap 'kill -9 $P_PID $F_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
@@ -31,13 +40,13 @@ wait_healthy() { # url
 
 start_primary() {
   "$WORK/bloomrfd" -addr "$P_ADDR" -data-dir "$WORK/data" -snapshot-interval 0 \
-      -wal-sync always >>"$WORK/primary.log" 2>&1 &
+      -wal-sync always -auth-token "$TOKEN" >>"$WORK/primary.log" 2>&1 &
   P_PID=$!
   wait_healthy "$P"
 }
 
 start_follower() {
-  "$WORK/bloomrfd" -addr "$F_ADDR" -follow "$P" >>"$WORK/follower.log" 2>&1 &
+  "$WORK/bloomrfd" -addr "$F_ADDR" -follow "$P" -auth-token "$TOKEN" >>"$WORK/follower.log" 2>&1 &
   F_PID=$!
   wait_healthy "$F"
 }
@@ -76,19 +85,23 @@ queries() { # base-url
 
 echo "== primary: create, load, snapshot, load 10k more (WAL-only) =="
 start_primary
-curl -sf -XPOST "$P/v1/filters" \
+mpost "$P/v1/filters" \
     -d '{"name":"users","expected_keys":100000,"shards":4,"partitioning":"range"}' >/dev/null
-curl -sf -XPOST "$P/v1/filters/users/insert" \
+mpost "$P/v1/filters/users/insert" \
     -d "{\"keys\":[$(seq -s, 1000 3000)]}" >/dev/null
-curl -sf -XPOST "$P/v1/filters/users/snapshot" -d '' >/dev/null
+mpost "$P/v1/filters/users/snapshot" -d '' >/dev/null
 # 10k inserts after the snapshot: the follower can only get these from the
 # replicated WAL tail.
 for off in 0 2500 5000 7500; do
-  curl -sf -XPOST "$P/v1/filters/users/insert" \
+  mpost "$P/v1/filters/users/insert" \
       -d "{\"keys\":[$(seq -s, $((700000 + off)) $((700000 + off + 2499)))]}" >/dev/null
 done
 
-echo "== follower: bootstrap + tail =="
+echo "== stream auth: unauthenticated stream bounces with 401 =="
+code=$(curl -s -o /dev/null -w '%{http_code}' "$P/v1/replication/stream")
+[ "$code" = "401" ] || { echo "unauthenticated stream answered $code, want 401"; exit 1; }
+
+echo "== follower: bootstrap + tail (authenticated stream) =="
 start_follower
 wait_synced
 queries "$P" > "$WORK/primary.answers"
@@ -106,7 +119,7 @@ curl -sf "$F/metrics" | grep 'bloomrfd_readonly 1' >/dev/null \
   || { echo "follower metrics missing readonly gauge"; exit 1; }
 
 echo "== live tail: new writes reach the follower =="
-curl -sf -XPOST "$P/v1/filters/users/insert" \
+mpost "$P/v1/filters/users/insert" \
     -d "{\"keys\":[$(seq -s, 800000 800100)]}" >/dev/null
 wait_synced
 p=$(curl -sf -XPOST "$P/v1/filters/users/query" -d "{\"keys\":[$(seq -s, 800000 800063)]}")
@@ -117,7 +130,7 @@ echo "== primary restart: follower reconnects and stays current =="
 kill -9 "$P_PID"
 wait "$P_PID" 2>/dev/null || true
 start_primary
-curl -sf -XPOST "$P/v1/filters/users/insert" \
+mpost "$P/v1/filters/users/insert" \
     -d "{\"keys\":[$(seq -s, 810000 810100)]}" >/dev/null
 wait_synced
 p=$(curl -sf -XPOST "$P/v1/filters/users/query" -d "{\"keys\":[$(seq -s, 810000 810063)]}")
