@@ -1,0 +1,70 @@
+package main
+
+// -lsm-bench mode: run the paper's end-to-end LSM scenario — YCSB mixes
+// over the compaction-disabled LSM store, one pass per filter backend —
+// and write the per-backend IO/FPR comparison as JSON. This is the
+// runnable form of the paper's Table/Fig. 9 result; scripts/lsm_bench.sh
+// wraps it and CI runs it with -lsm-bench-assert as a regression gate.
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// lsmBenchOptions carries the -lsm-bench-* flag values.
+type lsmBenchOptions struct {
+	Out    string
+	Keys   int
+	Ops    int
+	Tables int
+	Bits   float64
+	Mixes  string
+	Seed   int64
+	Assert bool
+}
+
+// runLSMBench executes the YCSB comparison and writes the report. With
+// Assert set it exits non-zero unless bloomRF reads no more data blocks
+// than classic Bloom on the range-heavy mix — the paper's core claim.
+func runLSMBench(o lsmBenchOptions) error {
+	var mixes []string
+	for _, m := range strings.Split(o.Mixes, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			mixes = append(mixes, m)
+		}
+	}
+	rep, err := harness.RunYCSB(harness.YCSBOptions{
+		NumKeys: o.Keys, NumOps: o.Ops, NumTables: o.Tables,
+		BitsPerKey: o.Bits, Mixes: mixes, Seed: o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, mr := range rep.Mixes {
+		for _, b := range mr.Backends {
+			log.Printf("lsm-bench: mix=%-5s backend=%-7s data_blocks_read=%-8d fpr=%.4f io_saved_vs_bloom=%+.1f%%",
+				mr.Mix, b.Backend, b.DataBlocksRead, b.FalsePositiveRate, b.IOSavedVsBloomPct)
+		}
+	}
+	if err := rep.WriteJSON(o.Out); err != nil {
+		return err
+	}
+	log.Printf("lsm-bench: report written to %s", o.Out)
+	if o.Assert {
+		brf := rep.Backend("range", "bloomrf")
+		bl := rep.Backend("range", "bloom")
+		if brf == nil || bl == nil {
+			return fmt.Errorf("assert: report lacks bloomrf/bloom results for the range mix (mixes must include \"range\")")
+		}
+		if brf.DataBlocksRead > bl.DataBlocksRead {
+			return fmt.Errorf("assert: bloomRF read %d data blocks on the range mix, Bloom %d — expected bloomRF ≤ Bloom",
+				brf.DataBlocksRead, bl.DataBlocksRead)
+		}
+		log.Printf("lsm-bench: assert ok — bloomRF %d ≤ Bloom %d data blocks on the range mix",
+			brf.DataBlocksRead, bl.DataBlocksRead)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/lsm"
+	"repro/internal/lsm/policies"
 	"repro/internal/workload"
 )
 
@@ -23,14 +24,14 @@ func main() {
 	keys := workload.NewGenerator(workload.Uniform, 1).SortedKeys(numKeys)
 	queries := workload.NewQueryGen(workload.Uniform, 2, keys).EmptyRangeQueries(numScans, rangeSize)
 
-	policies := []struct {
+	configs := []struct {
 		name   string
 		policy lsm.FilterPolicy
 	}{
-		{"bloom (point-only)", &lsm.BloomPolicy{BitsPerKey: 16}},
-		{"bloomRF", &lsm.BloomRFPolicy{BitsPerKey: 16, MaxRange: rangeSize * 4}},
+		{"bloom (point-only)", &policies.Bloom{BitsPerKey: 16}},
+		{"bloomRF", &policies.BloomRF{BitsPerKey: 16, MaxRange: rangeSize * 4}},
 	}
-	for _, p := range policies {
+	for _, p := range configs {
 		dir, err := os.MkdirTemp("", "lsm-example-")
 		if err != nil {
 			panic(err)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuckoo"
 	"repro/internal/fence"
+	"repro/internal/lsm/policies"
 	"repro/internal/prefixbf"
 	"repro/internal/rosetta"
 	"repro/internal/surf"
@@ -184,4 +185,22 @@ func TestFenceConformance(t *testing.T) {
 	Run(t, Options{MaxPointFPR: 1.0, Build: func(keys []uint64) PRF {
 		return fence.Build(keys, 64)
 	}})
+}
+
+// TestLSMBackendConformance drives the LSM suite over every servable filter
+// backend: the four policies the server and the bench harness expose. The
+// store's answers must be exact — zero false negatives through the full
+// SSTable read path, zero invented keys — whichever filter sits in the
+// filter block; the per-backend FP rates land in the test log.
+func TestLSMBackendConformance(t *testing.T) {
+	for _, backend := range []string{"bloomrf", "bloom", "rosetta", "surf"} {
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			pol, err := policies.ForBackend(backend, 16, 1<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			RunLSM(t, LSMOptions{Policy: pol})
+		})
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/lsm"
+	"repro/internal/lsm/policies"
 	"repro/internal/rosetta"
 	"repro/internal/surf"
 	"repro/internal/workload"
@@ -128,9 +129,9 @@ func lsmPolicies(bpk float64, maxRange uint64) map[string]lsm.FilterPolicy {
 		r = 1 << 24 // Rosetta level cap; doubting covers the rest linearly
 	}
 	return map[string]lsm.FilterPolicy{
-		"bloomRF": &lsm.BloomRFPolicy{BitsPerKey: bpk, MaxRange: float64(maxRange)},
-		"rosetta": &lsm.RosettaPolicy{BitsPerKey: bpk, MaxRange: r, Variant: rosetta.VariantF, MaxProbes: rosettaProbeBudget},
-		"surf":    &lsm.SuRFPolicy{BitsPerKey: bpk, Suffix: surf.SuffixReal},
+		"bloomRF": &policies.BloomRF{BitsPerKey: bpk, MaxRange: float64(maxRange)},
+		"rosetta": &policies.Rosetta{BitsPerKey: bpk, MaxRange: r, Variant: rosetta.VariantF, MaxProbes: rosettaProbeBudget},
+		"surf":    &policies.SuRF{BitsPerKey: bpk, Suffix: surf.SuffixReal},
 	}
 }
 
@@ -179,9 +180,9 @@ func Fig9(s Scale, dir string) ([]*Table, error) {
 	// Point panels: filters tuned for point lookups (Rosetta with its
 	// minimal level set, bloomRF point-weighted, SuRF with hash suffixes).
 	pointPolicies := map[string]lsm.FilterPolicy{
-		"bloomRF": &lsm.BloomRFPolicy{BitsPerKey: bpk},
-		"rosetta": &lsm.RosettaPolicy{BitsPerKey: bpk, MaxRange: 2, Variant: rosetta.VariantF},
-		"surf":    &lsm.SuRFPolicy{BitsPerKey: bpk, Suffix: surf.SuffixHash},
+		"bloomRF": &policies.BloomRF{BitsPerKey: bpk},
+		"rosetta": &policies.Rosetta{BitsPerKey: bpk, MaxRange: 2, Variant: rosetta.VariantF},
+		"surf":    &policies.SuRF{BitsPerKey: bpk, Suffix: surf.SuffixHash},
 	}
 	for name, policy := range pointPolicies {
 		env, err := buildLSM(fmt.Sprintf("%s/fig9pt-%s", dir, name), policy, s.LSMKeys, workload.Uniform, 25)
@@ -213,11 +214,11 @@ func Fig9D(s Scale, dir string) ([]*Table, error) {
 		Title:   "Fig 9.D — Prefix-BF and fence pointers: exec time vs range size (LSM, uniform)",
 		Columns: []string{"range", "filter", "FPR", "exec(s)"},
 	}
-	policies := map[string]lsm.FilterPolicy{
-		"prefixBF": &lsm.PrefixBloomPolicy{BitsPerKey: 22, Level: 20},
-		"fence":    &lsm.FencePolicy{ZoneSize: 4096},
+	baselines := map[string]lsm.FilterPolicy{
+		"prefixBF": &policies.PrefixBloom{BitsPerKey: 22, Level: 20},
+		"fence":    &policies.Fence{ZoneSize: 4096},
 	}
-	for name, policy := range policies {
+	for name, policy := range baselines {
 		env, err := buildLSM(fmt.Sprintf("%s/fig9d-%s", dir, name), policy, s.LSMKeys, workload.Uniform, 25)
 		if err != nil {
 			return nil, err
@@ -294,13 +295,13 @@ func Fig10(s Scale, dir string) ([]*Table, error) {
 		Columns: []string{"bits/key", "filter", "point FPR"},
 	}
 	for _, bpk := range bits {
-		policies := map[string]lsm.FilterPolicy{
-			"bloomRF": &lsm.BloomRFPolicy{BitsPerKey: bpk},
-			"rosetta": &lsm.RosettaPolicy{BitsPerKey: bpk, MaxRange: 2, Variant: rosetta.VariantF},
-			"surf":    &lsm.SuRFPolicy{BitsPerKey: bpk, Suffix: surf.SuffixHash},
-			"bloom":   &lsm.BloomPolicy{BitsPerKey: bpk},
+		pointSet := map[string]lsm.FilterPolicy{
+			"bloomRF": &policies.BloomRF{BitsPerKey: bpk},
+			"rosetta": &policies.Rosetta{BitsPerKey: bpk, MaxRange: 2, Variant: rosetta.VariantF},
+			"surf":    &policies.SuRF{BitsPerKey: bpk, Suffix: surf.SuffixHash},
+			"bloom":   &policies.Bloom{BitsPerKey: bpk},
 		}
-		for name, policy := range policies {
+		for name, policy := range pointSet {
 			env, err := buildLSM(fmt.Sprintf("%s/fig10p-%v-%s", dir, bpk, name), policy, s.LSMKeys, workload.Uniform, 25)
 			if err != nil {
 				return nil, err

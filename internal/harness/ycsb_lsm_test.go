@@ -1,0 +1,51 @@
+package harness
+
+import "testing"
+
+// TestRunYCSBSmoke runs the full four-backend comparison at reduced scale
+// and pins the paper's headline ordering: on the range-heavy mix, bloomRF
+// must read no more data blocks than the point-only Bloom baseline (which
+// cannot filter scans at all).
+func TestRunYCSBSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ycsb bench smoke is not -short")
+	}
+	opt := YCSBOptions{
+		NumKeys:   30_000,
+		NumOps:    3_000,
+		NumTables: 10,
+		Mixes:     []string{"A", "E", "range"},
+	}
+	rep, err := RunYCSB(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mixes) != 3 {
+		t.Fatalf("got %d mixes, want 3", len(rep.Mixes))
+	}
+	for _, mr := range rep.Mixes {
+		if len(mr.Backends) != len(YCSBBackends) {
+			t.Fatalf("mix %s: %d backends, want %d", mr.Mix, len(mr.Backends), len(YCSBBackends))
+		}
+		for _, b := range mr.Backends {
+			if b.FilterProbes == 0 {
+				t.Errorf("mix %s backend %s: no filter probes recorded", mr.Mix, b.Backend)
+			}
+			if b.FalsePositiveRate < 0 || b.FalsePositiveRate > 1 {
+				t.Errorf("mix %s backend %s: FPR out of range: %v", mr.Mix, b.Backend, b.FalsePositiveRate)
+			}
+		}
+	}
+	brf := rep.Backend("range", "bloomrf")
+	bl := rep.Backend("range", "bloom")
+	if brf == nil || bl == nil {
+		t.Fatal("range mix missing bloomrf or bloom result")
+	}
+	if brf.DataBlocksRead > bl.DataBlocksRead {
+		t.Errorf("range mix: bloomRF read %d data blocks, Bloom %d — paper ordering violated",
+			brf.DataBlocksRead, bl.DataBlocksRead)
+	}
+	if bl.EmptyQueries == 0 {
+		t.Error("range mix produced no ground-truth-empty queries")
+	}
+}

@@ -1,104 +1,9 @@
 package lsm
 
-import (
-	"fmt"
-	"math/rand"
-	"testing"
-)
+import "testing"
 
-// benchDB builds a DB with n keys over 10 SSTs for benchmark probes.
-func benchDB(b *testing.B, policy FilterPolicy, n int) (*DB, []uint64) {
-	b.Helper()
-	db, err := Open(DBOptions{Dir: b.TempDir(), Policy: policy, MemtableBytes: 1 << 62})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(func() { db.Close() })
-	rng := rand.New(rand.NewSource(1))
-	keys := make([]uint64, n)
-	for i := range keys {
-		keys[i] = rng.Uint64()
-		if err := db.Put(keys[i], []byte("v")); err != nil {
-			b.Fatal(err)
-		}
-		if (i+1)%(n/10) == 0 {
-			if err := db.Flush(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	return db, keys
-}
-
-// BenchmarkDBGet measures point reads through each filter policy: hits
-// (must read a block) and misses (should be filtered).
-func BenchmarkDBGet(b *testing.B) {
-	policies := map[string]FilterPolicy{
-		"bloomRF": &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 20},
-		"bloom":   &BloomPolicy{BitsPerKey: 16},
-		"fence":   &FencePolicy{ZoneSize: 4096},
-	}
-	for name, p := range policies {
-		db, keys := benchDB(b, p, 100_000)
-		b.Run(name+"/hit", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, found, err := db.Get(keys[i%len(keys)]); err != nil || !found {
-					b.Fatal("lost key")
-				}
-			}
-		})
-		b.Run(name+"/miss", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				db.Get(uint64(i) * 0x9e3779b97f4a7c15)
-			}
-		})
-	}
-}
-
-// BenchmarkDBScanEmpty measures empty range scans — the Workload E probe —
-// under range-capable vs point-only filters.
-func BenchmarkDBScanEmpty(b *testing.B) {
-	policies := map[string]FilterPolicy{
-		"bloomRF": &BloomRFPolicy{BitsPerKey: 18, MaxRange: 1 << 20},
-		"bloom":   &BloomPolicy{BitsPerKey: 18},
-	}
-	for name, p := range policies {
-		db, _ := benchDB(b, p, 100_000)
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				lo := uint64(i) * 0x9e3779b97f4a7c15
-				if _, err := db.Scan(lo, lo+(1<<14)); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
-// BenchmarkFlush measures the write path including filter construction.
-func BenchmarkFlush(b *testing.B) {
-	for _, n := range []int{10_000, 50_000} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				db, err := Open(DBOptions{Dir: b.TempDir(), Policy: &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 20}, MemtableBytes: 1 << 62})
-				if err != nil {
-					b.Fatal(err)
-				}
-				rng := rand.New(rand.NewSource(int64(i)))
-				for j := 0; j < n; j++ {
-					db.Put(rng.Uint64(), []byte("v"))
-				}
-				b.StartTimer()
-				if err := db.Flush(); err != nil {
-					b.Fatal(err)
-				}
-				b.StopTimer()
-				db.Close()
-			}
-		})
-	}
-}
+// Policy-comparing DB benchmarks live in the policies subpackage; here we
+// only measure the engine-internal memtable.
 
 // BenchmarkSkiplist measures the memtable in isolation.
 func BenchmarkSkiplist(b *testing.B) {

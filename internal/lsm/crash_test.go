@@ -1,0 +1,256 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// crashDB fills a DB with nFlushes SSTables of seqKeys each and returns
+// the key set per flush (keys are disjoint across flushes).
+func crashDB(t *testing.T, dir string, nFlushes, seqKeys int) [][]uint64 {
+	t.Helper()
+	db, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var flushes [][]uint64
+	for f := 0; f < nFlushes; f++ {
+		var keys []uint64
+		for i := 0; i < seqKeys; i++ {
+			k := uint64(f*seqKeys + i + 1)
+			keys = append(keys, k)
+			if err := db.Put(k, []byte{byte(f)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		flushes = append(flushes, keys)
+	}
+	return flushes
+}
+
+// TestDBOpenQuarantinesTornTable simulates a SIGKILL mid-flush: the newest
+// table file is truncated mid-block (torn write under its final name) and
+// a half-written tmp file is lying around. Reopen must quarantine the torn
+// table, sweep the tmp file, and keep serving every intact table — the
+// torn file's keys were never acknowledged and must never be served.
+func TestDBOpenQuarantinesTornTable(t *testing.T) {
+	dir := t.TempDir()
+	flushes := crashDB(t, dir, 3, 500)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("glob = %v, %v; want 3 tables", paths, err)
+	}
+	victim := paths[len(paths)-1]
+	st, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	// A tmp file the crashed flush never renamed.
+	tmp := filepath.Join(dir, "999999.sst"+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatalf("reopen after torn flush: %v", err)
+	}
+	defer db.Close()
+
+	if got := db.NumTables(); got != 2 {
+		t.Fatalf("NumTables = %d, want 2", got)
+	}
+	q := db.Quarantined()
+	if len(q) != 1 || !strings.HasSuffix(q[0], quarantineSuffix) {
+		t.Fatalf("Quarantined = %v, want one %s file", q, quarantineSuffix)
+	}
+	if _, err := os.Stat(q[0]); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Fatal("torn table still present under *.sst")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover tmp file not swept")
+	}
+	// Intact flushes stay readable; the torn flush is gone, not garbled.
+	for _, k := range flushes[0] {
+		if _, found, err := db.Get(k); err != nil || !found {
+			t.Fatalf("intact key %d lost: found=%v err=%v", k, found, err)
+		}
+	}
+	for _, k := range flushes[2] {
+		if _, found, err := db.Get(k); err != nil || found {
+			t.Fatalf("torn key %d served: found=%v err=%v", k, found, err)
+		}
+	}
+	// A fresh flush must not collide with the quarantined sequence slot.
+	if err := db.Put(1<<40, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush after quarantine: %v", err)
+	}
+	if _, found, _ := db.Get(1 << 40); !found {
+		t.Fatal("post-quarantine flush lost data")
+	}
+}
+
+// readFooter returns the parsed block offsets of a committed table.
+func readFooter(t *testing.T, path string) (indexOff, indexLen, filterOff, filterLen uint64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < footerSize {
+		t.Fatalf("file smaller than footer: %d bytes", len(data))
+	}
+	foot := data[len(data)-footerSize:]
+	return binary.LittleEndian.Uint64(foot[0:]), binary.LittleEndian.Uint64(foot[8:]),
+		binary.LittleEndian.Uint64(foot[16:]), binary.LittleEndian.Uint64(foot[24:])
+}
+
+// flipByte XORs one byte of a file in place.
+func flipByte(t *testing.T, path string, off uint64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenTableDetectsFilterBlockCorruption: a byte flip inside the filter
+// block of a committed table must fail OpenTable with ErrCorruptTable
+// (not ErrTornTable — the footer is intact, so this is real damage).
+func TestOpenTableDetectsFilterBlockCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.sst")
+	w, err := NewTableWriter(path, exactPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		w.Add(i, []byte("v"), false)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, filterOff, filterLen := readFooter(t, path)
+	flipByte(t, path, filterOff+filterLen/2)
+	_, err = OpenTable(path, testRegistry(), nil, 0)
+	if !errors.Is(err, ErrCorruptTable) {
+		t.Errorf("filter flip: err = %v, want ErrCorruptTable", err)
+	}
+	if errors.Is(err, ErrTornTable) {
+		t.Error("filter flip misclassified as torn table")
+	}
+}
+
+// TestOpenTableDetectsIndexBlockCorruption: same for the index block.
+func TestOpenTableDetectsIndexBlockCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.sst")
+	w, err := NewTableWriter(path, exactPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		w.Add(i, []byte("v"), false)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	indexOff, indexLen, _, _ := readFooter(t, path)
+	flipByte(t, path, indexOff+indexLen/2)
+	_, err = OpenTable(path, testRegistry(), nil, 0)
+	if !errors.Is(err, ErrCorruptTable) {
+		t.Errorf("index flip: err = %v, want ErrCorruptTable", err)
+	}
+}
+
+// TestDBReopenPreservesGets is the crash-safety property test: for every
+// key ever written (including overwrites and deletes), Get after a clean
+// close + reopen returns exactly what Get returned before the close.
+func TestDBReopenPreservesGets(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	touched := map[uint64]struct{}{}
+	for i := 0; i < 8000; i++ {
+		k := rng.Uint64() % 3000 // force overwrites
+		touched[k] = struct{}{}
+		switch rng.Intn(10) {
+		case 0:
+			if err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := db.Put(k, []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%1500 == 1499 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type answer struct {
+		val   string
+		found bool
+	}
+	before := make(map[uint64]answer, len(touched))
+	for k := range touched {
+		v, found, err := db.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[k] = answer{string(v), found}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if len(db2.Quarantined()) != 0 {
+		t.Fatalf("clean reopen quarantined %v", db2.Quarantined())
+	}
+	for k, want := range before {
+		v, found, err := db2.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != want.found || string(v) != want.val {
+			t.Fatalf("Get(%d) changed across reopen: before=%+v after=(%q,%v)", k, want, v, found)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,13 +33,14 @@ type DBOptions struct {
 // L0 SSTables searched newest-first. Compaction is disabled, matching the
 // paper's RocksDB setup ("compaction-disabled SST file", §9).
 type DB struct {
-	opt    DBOptions
-	reg    Registry
-	mu     sync.RWMutex
-	mem    *skiplist
-	tables []*Table // newest last
-	seq    int
-	stats  IOStats
+	opt         DBOptions
+	reg         Registry
+	mu          sync.RWMutex
+	mem         *skiplist
+	tables      []*Table // newest last
+	seq         int
+	stats       IOStats
+	quarantined []string
 }
 
 // Open creates or reopens a DB in opt.Dir.
@@ -59,6 +61,15 @@ func Open(opt DBOptions) (*DB, error) {
 		reg[opt.Policy.Name()] = opt.Policy
 	}
 	db := &DB{opt: opt, reg: reg, mem: newSkiplist(1)}
+	// Sweep in-flight table files a crash left behind: they never reached
+	// their commit rename, so they hold no acknowledged data.
+	tmps, err := filepath.Glob(filepath.Join(opt.Dir, "*.sst"+tmpSuffix))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range tmps {
+		os.Remove(p)
+	}
 	// Recover existing tables in sequence order.
 	paths, err := filepath.Glob(filepath.Join(opt.Dir, "*.sst"))
 	if err != nil {
@@ -67,6 +78,18 @@ func Open(opt DBOptions) (*DB, error) {
 	sort.Strings(paths)
 	for _, p := range paths {
 		t, err := OpenTable(p, reg, &db.stats, opt.SimulatedReadLatency)
+		if errors.Is(err, ErrTornTable) {
+			// No committed footer: a torn flush tail. Quarantine it under a
+			// name the glob cannot pick up so it is never served, and keep
+			// opening — the data was never acknowledged as durable.
+			if renameErr := os.Rename(p, p+quarantineSuffix); renameErr != nil {
+				db.Close()
+				return nil, fmt.Errorf("lsm: quarantine %s: %w", p, renameErr)
+			}
+			db.quarantined = append(db.quarantined, p+quarantineSuffix)
+			db.seq++ // keep the damaged file's sequence slot unused
+			continue
+		}
 		if err != nil {
 			db.Close()
 			return nil, fmt.Errorf("lsm: reopen %s: %w", p, err)
@@ -75,6 +98,16 @@ func Open(opt DBOptions) (*DB, error) {
 		db.seq++
 	}
 	return db, nil
+}
+
+// quarantineSuffix marks torn tables set aside by Open.
+const quarantineSuffix = ".damaged"
+
+// Quarantined lists torn table files Open set aside instead of serving.
+func (db *DB) Quarantined() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.quarantined...)
 }
 
 // Close releases all tables. The memtable is not flushed implicitly; call

@@ -1,13 +1,63 @@
 package lsm
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 )
+
+// exactPolicy is a test-only FilterPolicy with perfect recall and zero
+// false positives: the "filter" is the sorted key list itself. The engine
+// tests use it so package lsm needs no concrete policy (those live in the
+// policies subpackage, which imports this one).
+type exactPolicy struct{}
+
+func (exactPolicy) Name() string { return "exact" }
+
+func (exactPolicy) CreateFilter(keys []uint64) ([]byte, error) {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := binary.LittleEndian.AppendUint64(nil, uint64(len(sorted)))
+	for _, k := range sorted {
+		out = binary.LittleEndian.AppendUint64(out, k)
+	}
+	return out, nil
+}
+
+func (exactPolicy) NewReader(data []byte) (FilterReader, error) {
+	if len(data) < 8 {
+		return nil, errors.New("exact: short block")
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) != 8+8*n {
+		return nil, errors.New("exact: truncated block")
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return exactReader{keys}, nil
+}
+
+type exactReader struct{ keys []uint64 }
+
+func (r exactReader) KeyMayMatch(key uint64) bool {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	return i < len(r.keys) && r.keys[i] == key
+}
+
+func (r exactReader) RangeMayMatch(lo, hi uint64) bool {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= lo })
+	return i < len(r.keys) && r.keys[i] <= hi
+}
+
+func testRegistry() Registry { return Registry{"exact": exactPolicy{}} }
 
 func openTestDB(t *testing.T, policy FilterPolicy) *DB {
 	t.Helper()
@@ -75,8 +125,7 @@ func TestSkiplistBasics(t *testing.T) {
 func TestSSTableRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.sst")
-	policy := &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 20}
-	w, err := NewTableWriter(path, policy, 256)
+	w, err := NewTableWriter(path, exactPolicy{}, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +139,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats IOStats
-	tb, err := OpenTable(path, Registry{"bloomrf": policy}, &stats, time.Microsecond)
+	tb, err := OpenTable(path, testRegistry(), &stats, time.Microsecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +191,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 
 func TestTableWriterRejectsUnsorted(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.sst")
-	w, err := NewTableWriter(path, &BloomPolicy{BitsPerKey: 10}, 0)
+	w, err := NewTableWriter(path, exactPolicy{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,219 +207,47 @@ func TestTableWriterRejectsUnsorted(t *testing.T) {
 	}
 }
 
-func TestDBPutGetFlush(t *testing.T) {
-	db := openTestDB(t, &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 16})
-	rng := rand.New(rand.NewSource(2))
-	ref := map[uint64]string{}
-	for i := 0; i < 20000; i++ {
-		k := rng.Uint64() % 100000
-		v := fmt.Sprintf("v%d", i)
-		ref[k] = v
-		if err := db.Put(k, []byte(v)); err != nil {
-			t.Fatal(err)
-		}
-		if i%5000 == 4999 {
-			if err := db.Flush(); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	if db.NumTables() == 0 {
-		t.Fatal("no flushes happened")
-	}
-	for k, v := range ref {
-		got, found, err := db.Get(k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !found || string(got) != v {
-			t.Fatalf("Get(%d) = %q,%v want %q", k, got, found, v)
-		}
-	}
-	// Overwrites across flush boundaries: newest wins.
-	if err := db.Put(42, []byte("new")); err != nil {
-		t.Fatal(err)
-	}
-	got, found, _ := db.Get(42)
-	if !found || string(got) != "new" {
-		t.Fatalf("overwrite lost: %q %v", got, found)
-	}
-}
-
-func TestDBDeleteTombstone(t *testing.T) {
-	db := openTestDB(t, &BloomPolicy{BitsPerKey: 10})
-	if err := db.Put(1, []byte("a")); err != nil {
-		t.Fatal(err)
-	}
-	if err := db.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if err := db.Delete(1); err != nil {
-		t.Fatal(err)
-	}
-	if _, found, _ := db.Get(1); found {
-		t.Error("deleted key still visible (memtable tombstone)")
-	}
-	if err := db.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if _, found, _ := db.Get(1); found {
-		t.Error("deleted key visible after tombstone flush")
-	}
-	kvs, err := db.Scan(0, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(kvs) != 0 {
-		t.Errorf("scan sees deleted key: %v", kvs)
-	}
-}
-
-func TestDBScanMergesNewestWins(t *testing.T) {
-	db := openTestDB(t, &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 16, Basic: true})
-	// Old version in an SST, new version in a newer SST, newest in mem.
-	for i := uint64(0); i < 100; i++ {
-		db.Put(i, []byte("old"))
-	}
-	db.Flush()
-	for i := uint64(0); i < 100; i += 2 {
-		db.Put(i, []byte("mid"))
-	}
-	db.Flush()
-	db.Put(0, []byte("mem"))
-	kvs, err := db.Scan(0, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(kvs) != 10 {
-		t.Fatalf("scan returned %d keys, want 10", len(kvs))
-	}
-	wantVals := map[uint64]string{0: "mem", 1: "old", 2: "mid", 3: "old", 4: "mid"}
-	for _, kv := range kvs[:5] {
-		if want := wantVals[kv.Key]; string(kv.Value) != want {
-			t.Errorf("key %d = %q, want %q", kv.Key, kv.Value, want)
-		}
-	}
-	// Ascending order.
-	for i := 1; i < len(kvs); i++ {
-		if kvs[i].Key <= kvs[i-1].Key {
-			t.Fatal("scan output not sorted")
-		}
-	}
-}
-
-func TestDBReopen(t *testing.T) {
+// TestTableWriterAtomicCommit: no *.sst exists until Finish completes, and
+// Abort leaves nothing behind.
+func TestTableWriterAtomicCommit(t *testing.T) {
 	dir := t.TempDir()
-	policy := &BloomRFPolicy{BitsPerKey: 16, MaxRange: 1 << 16}
-	db, err := Open(DBOptions{Dir: dir, Policy: policy})
+	path := filepath.Join(dir, "t.sst")
+	w, err := NewTableWriter(path, exactPolicy{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := uint64(0); i < 1000; i++ {
-		db.Put(i, []byte("x"))
+	w.Add(1, []byte("v"), false)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path visible before Finish: %v", err)
 	}
-	if err := db.Flush(); err != nil {
+	if _, err := os.Stat(path + tmpSuffix); err != nil {
+		t.Fatalf("tmp file missing mid-write: %v", err)
+	}
+	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	db.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final path missing after Finish: %v", err)
+	}
+	if _, err := os.Stat(path + tmpSuffix); !os.IsNotExist(err) {
+		t.Fatal("tmp file left after Finish")
+	}
 
-	db2, err := Open(DBOptions{Dir: dir, Policy: policy})
+	w2, err := NewTableWriter(filepath.Join(dir, "u.sst"), exactPolicy{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
-	if db2.NumTables() != 1 {
-		t.Fatalf("reopened tables = %d, want 1", db2.NumTables())
-	}
-	if _, found, _ := db2.Get(500); !found {
-		t.Error("key lost across reopen")
-	}
-}
-
-// TestFilterPoliciesEndToEnd runs the same workload through every policy:
-// identical query answers (full recall), different filter effectiveness.
-func TestFilterPoliciesEndToEnd(t *testing.T) {
-	policies := map[string]FilterPolicy{
-		"bloomrf":  &BloomRFPolicy{BitsPerKey: 18, MaxRange: 1 << 24},
-		"basicrf":  &BloomRFPolicy{BitsPerKey: 18, Basic: true},
-		"bloom":    &BloomPolicy{BitsPerKey: 18},
-		"prefixbf": &PrefixBloomPolicy{BitsPerKey: 18, Level: 12},
-		"fence":    &FencePolicy{ZoneSize: 256},
-		"rosetta":  &RosettaPolicy{BitsPerKey: 18, MaxRange: 1 << 10},
-		"surf":     &SuRFPolicy{BitsPerKey: 18},
-	}
-	for name, policy := range policies {
-		t.Run(name, func(t *testing.T) {
-			db := openTestDB(t, policy)
-			rng := rand.New(rand.NewSource(3))
-			keys := make([]uint64, 3000)
-			for i := range keys {
-				keys[i] = rng.Uint64() >> 20
-				db.Put(keys[i], []byte("v"))
-				if i%1000 == 999 {
-					if err := db.Flush(); err != nil {
-						t.Fatal(err)
-					}
-				}
-			}
-			if err := db.Flush(); err != nil {
-				t.Fatal(err)
-			}
-			// Point recall.
-			for _, k := range keys[:300] {
-				if _, found, err := db.Get(k); err != nil || !found {
-					t.Fatalf("Get(%d) = %v, %v", k, found, err)
-				}
-			}
-			// Range recall.
-			for i := 0; i < 300; i++ {
-				k := keys[rng.Intn(len(keys))]
-				nonEmpty, err := db.ScanEmptyCheck(k-min(k, 50), k+50)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !nonEmpty {
-					t.Fatalf("scan around key %d came back empty", k)
-				}
-			}
-			// Filter probes must have been recorded.
-			if db.Stats().Snapshot().FilterProbes == 0 {
-				t.Error("no filter probes recorded")
-			}
-		})
-	}
-}
-
-// TestFilterEffectiveness: on empty point gets, bloomRF must avoid most
-// block reads, and the fence policy must avoid none (inside the key span).
-func TestFilterEffectiveness(t *testing.T) {
-	run := func(policy FilterPolicy) (blockReads uint64) {
-		db := openTestDB(t, policy)
-		rng := rand.New(rand.NewSource(4))
-		for i := 0; i < 5000; i++ {
-			db.Put(rng.Uint64(), []byte("v"))
-		}
-		db.Flush()
-		before := db.Stats().Snapshot()
-		for i := 0; i < 2000; i++ {
-			db.Get(rng.Uint64())
-		}
-		return db.Stats().Snapshot().Sub(before).BlockReads
-	}
-	brf := run(&BloomRFPolicy{BitsPerKey: 18, MaxRange: 1 << 16})
-	fen := run(&FencePolicy{})
-	if brf > 200 {
-		t.Errorf("bloomRF let %d/2000 empty gets through", brf)
-	}
-	if fen < 1500 {
-		t.Errorf("single-zone fence should pass almost all: %d/2000", fen)
+	w2.Add(1, nil, false)
+	w2.Abort()
+	if _, err := os.Stat(filepath.Join(dir, "u.sst") + tmpSuffix); !os.IsNotExist(err) {
+		t.Fatal("tmp file left after Abort")
 	}
 }
 
 func TestOpenTableUnknownPolicy(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.sst")
-	w, err := NewTableWriter(path, &BloomPolicy{BitsPerKey: 10}, 0)
+	w, err := NewTableWriter(path, exactPolicy{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,32 +255,29 @@ func TestOpenTableUnknownPolicy(t *testing.T) {
 	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenTable(path, Registry{}, nil, 0); err == nil {
-		t.Error("unknown policy accepted")
+	if _, err := OpenTable(path, Registry{}, nil, 0); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("unknown policy: err = %v, want ErrUnknownPolicy", err)
 	}
 }
 
 func TestOpenTableCorruptFooter(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.sst")
-	w, _ := NewTableWriter(path, &BloomPolicy{BitsPerKey: 10}, 0)
+	w, _ := NewTableWriter(path, exactPolicy{}, 0)
 	w.Add(1, []byte("v"), false)
 	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a footer byte.
-	data, err := readFile(path)
+	// Flip a footer byte: indistinguishable from a torn tail.
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)-12] ^= 0xFF
-	if err := writeFile(path, data); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenTable(path, Registry{"bloom": &BloomPolicy{}}, nil, 0); err == nil {
-		t.Error("corrupt footer accepted")
+	if _, err := OpenTable(path, testRegistry(), nil, 0); !errors.Is(err, ErrTornTable) {
+		t.Errorf("corrupt footer: err = %v, want ErrTornTable", err)
 	}
 }
-
-func readFile(path string) ([]byte, error)  { return os.ReadFile(path) }
-func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -3,13 +3,6 @@ package lsm
 import (
 	"errors"
 	"fmt"
-	"slices"
-
-	"repro/internal/bloom"
-	"repro/internal/core"
-	"repro/internal/fence"
-	"repro/internal/rosetta"
-	"repro/internal/surf"
 )
 
 // FilterPolicy builds and reads per-SSTable filter blocks, the RocksDB
@@ -17,6 +10,10 @@ import (
 // filter ("implemented ... through a standard filter policy", §9). The
 // policy is extended with range information, mirroring the paper's
 // slice-based lower/upper-bound extension.
+//
+// Concrete policies (bloomRF, Bloom, prefix Bloom, fence pointers,
+// Rosetta, SuRF) live in the internal/lsm/policies subpackage; the engine
+// itself only depends on this interface.
 type FilterPolicy interface {
 	// Name identifies the policy inside the filter block.
 	Name() string
@@ -38,302 +35,8 @@ type FilterReader interface {
 // written by an unregistered policy.
 var ErrUnknownPolicy = errors.New("lsm: unknown filter policy")
 
-// ---------------------------------------------------------------- bloomRF
-
-// BloomRFPolicy builds tuned bloomRF filters (or basic ones when Basic is
-// set). This is the paper's contribution wired into the LSM store.
-type BloomRFPolicy struct {
-	BitsPerKey float64
-	MaxRange   float64 // advisor target; 0 = point-tuned
-	Basic      bool
-}
-
-// Name implements FilterPolicy.
-func (p *BloomRFPolicy) Name() string { return "bloomrf" }
-
-// CreateFilter implements FilterPolicy.
-func (p *BloomRFPolicy) CreateFilter(keys []uint64) ([]byte, error) {
-	n := uint64(len(keys))
-	if n == 0 {
-		n = 1
-	}
-	var f *core.Filter
-	if p.Basic {
-		f = core.NewBasic(n, p.BitsPerKey)
-	} else {
-		var err error
-		f, _, err = core.NewTuned(core.TuneOptions{N: n, BitsPerKey: p.BitsPerKey, MaxRange: p.MaxRange})
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, k := range keys {
-		f.Insert(k)
-	}
-	return f.MarshalBinary()
-}
-
-// NewReader implements FilterPolicy.
-func (p *BloomRFPolicy) NewReader(data []byte) (FilterReader, error) {
-	f, err := core.UnmarshalFilter(data)
-	if err != nil {
-		return nil, err
-	}
-	return bloomRFReader{f}, nil
-}
-
-type bloomRFReader struct{ f *core.Filter }
-
-func (r bloomRFReader) KeyMayMatch(key uint64) bool      { return r.f.MayContain(key) }
-func (r bloomRFReader) RangeMayMatch(lo, hi uint64) bool { return r.f.MayContainRange(lo, hi) }
-
-// ---------------------------------------------------------------- Bloom
-
-// BloomPolicy is the standard RocksDB full-filter Bloom policy: point
-// filtering only; every range probe answers maybe.
-type BloomPolicy struct {
-	BitsPerKey float64
-}
-
-// Name implements FilterPolicy.
-func (p *BloomPolicy) Name() string { return "bloom" }
-
-// CreateFilter implements FilterPolicy.
-func (p *BloomPolicy) CreateFilter(keys []uint64) ([]byte, error) {
-	n := uint64(len(keys))
-	if n == 0 {
-		n = 1
-	}
-	f := bloom.New(n, p.BitsPerKey)
-	for _, k := range keys {
-		f.Insert(k)
-	}
-	return f.MarshalBinary()
-}
-
-// NewReader implements FilterPolicy.
-func (p *BloomPolicy) NewReader(data []byte) (FilterReader, error) {
-	f, err := bloom.Unmarshal(data)
-	if err != nil {
-		return nil, err
-	}
-	return bloomReader{f}, nil
-}
-
-type bloomReader struct{ f *bloom.Filter }
-
-func (r bloomReader) KeyMayMatch(key uint64) bool      { return r.f.MayContain(key) }
-func (r bloomReader) RangeMayMatch(lo, hi uint64) bool { return true }
-
-// ---------------------------------------------------------------- PrefixBF
-
-// PrefixBloomPolicy stores key prefixes at a fixed dyadic level.
-type PrefixBloomPolicy struct {
-	BitsPerKey float64
-	Level      uint
-}
-
-// Name implements FilterPolicy.
-func (p *PrefixBloomPolicy) Name() string { return "prefixbf" }
-
-// CreateFilter implements FilterPolicy: header (level) + bloom payload over
-// prefixes.
-func (p *PrefixBloomPolicy) CreateFilter(keys []uint64) ([]byte, error) {
-	n := uint64(len(keys))
-	if n == 0 {
-		n = 1
-	}
-	f := bloom.New(n, p.BitsPerKey)
-	for _, k := range keys {
-		f.Insert(k >> p.Level)
-	}
-	payload, err := f.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, 0, 1+len(payload))
-	out = append(out, byte(p.Level))
-	return append(out, payload...), nil
-}
-
-// NewReader implements FilterPolicy.
-func (p *PrefixBloomPolicy) NewReader(data []byte) (FilterReader, error) {
-	if len(data) < 1 {
-		return nil, errors.New("lsm: short prefixbf block")
-	}
-	f, err := bloom.Unmarshal(data[1:])
-	if err != nil {
-		return nil, err
-	}
-	return prefixReader{f: f, level: uint(data[0])}, nil
-}
-
-type prefixReader struct {
-	f     *bloom.Filter
-	level uint
-}
-
-func (r prefixReader) KeyMayMatch(key uint64) bool { return r.f.MayContain(key >> r.level) }
-
-func (r prefixReader) RangeMayMatch(lo, hi uint64) bool {
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	pl, ph := lo>>r.level, hi>>r.level
-	if ph-pl >= 4096 {
-		return true
-	}
-	for p := pl; ; p++ {
-		if r.f.MayContain(p) {
-			return true
-		}
-		if p == ph {
-			return false
-		}
-	}
-}
-
-// ---------------------------------------------------------------- Fence
-
-// FencePolicy keeps per-zone min/max bounds (zone maps); ZoneSize 0 means a
-// single zone per SST (plain per-file fence pointers).
-type FencePolicy struct {
-	ZoneSize int
-}
-
-// Name implements FilterPolicy.
-func (p *FencePolicy) Name() string { return "fence" }
-
-// CreateFilter implements FilterPolicy.
-func (p *FencePolicy) CreateFilter(keys []uint64) ([]byte, error) {
-	idx := fence.Build(keys, p.ZoneSize)
-	return marshalFence(idx), nil
-}
-
-// NewReader implements FilterPolicy.
-func (p *FencePolicy) NewReader(data []byte) (FilterReader, error) {
-	idx, err := unmarshalFence(data)
-	if err != nil {
-		return nil, err
-	}
-	return fenceReader{idx}, nil
-}
-
-type fenceReader struct{ idx *fence.Index }
-
-func (r fenceReader) KeyMayMatch(key uint64) bool      { return r.idx.MayContain(key) }
-func (r fenceReader) RangeMayMatch(lo, hi uint64) bool { return r.idx.MayContainRange(lo, hi) }
-
-// ---------------------------------------------------------------- Rosetta
-
-// RosettaPolicy builds Rosetta filters per SST.
-type RosettaPolicy struct {
-	BitsPerKey float64
-	MaxRange   uint64
-	Variant    rosetta.Variant
-	// MaxProbes bounds per-query doubting work (0 = rosetta default).
-	MaxProbes int
-}
-
-// Name implements FilterPolicy.
-func (p *RosettaPolicy) Name() string { return "rosetta" }
-
-// CreateFilter implements FilterPolicy.
-func (p *RosettaPolicy) CreateFilter(keys []uint64) ([]byte, error) {
-	n := uint64(len(keys))
-	if n == 0 {
-		n = 1
-	}
-	f, err := rosetta.New(rosetta.Options{
-		N: n, BitsPerKey: p.BitsPerKey, MaxRange: p.MaxRange, Variant: p.Variant,
-		MaxProbes: p.MaxProbes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, k := range keys {
-		f.Insert(k)
-	}
-	return f.MarshalBinary()
-}
-
-// NewReader implements FilterPolicy.
-func (p *RosettaPolicy) NewReader(data []byte) (FilterReader, error) {
-	f, err := rosetta.Unmarshal(data)
-	if err != nil {
-		return nil, err
-	}
-	return rosettaReader{f}, nil
-}
-
-type rosettaReader struct{ f *rosetta.Filter }
-
-func (r rosettaReader) KeyMayMatch(key uint64) bool      { return r.f.MayContain(key) }
-func (r rosettaReader) RangeMayMatch(lo, hi uint64) bool { return r.f.MayContainRange(lo, hi) }
-
-// ---------------------------------------------------------------- SuRF
-
-// SuRFPolicy builds SuRF tries per SST (offline, at flush time — which is
-// exactly how trie PRFs sidestep their offline limitation inside LSM
-// stores, paper Problem 2 discussion).
-type SuRFPolicy struct {
-	BitsPerKey float64
-	Suffix     surf.SuffixMode
-}
-
-// Name implements FilterPolicy.
-func (p *SuRFPolicy) Name() string { return "surf" }
-
-// CreateFilter implements FilterPolicy.
-func (p *SuRFPolicy) CreateFilter(keys []uint64) ([]byte, error) {
-	sorted := append([]uint64(nil), keys...)
-	slices.Sort(sorted)
-	enc := make([][]byte, len(sorted))
-	for i, k := range sorted {
-		enc[i] = surf.EncodeUint64(k)
-	}
-	f, _, err := surf.BuildBudget(enc, p.BitsPerKey, p.Suffix)
-	if err != nil {
-		return nil, err
-	}
-	return f.MarshalBinary()
-}
-
-// NewReader implements FilterPolicy.
-func (p *SuRFPolicy) NewReader(data []byte) (FilterReader, error) {
-	f, err := surf.Unmarshal(data)
-	if err != nil {
-		return nil, err
-	}
-	return surfReader{f}, nil
-}
-
-type surfReader struct{ f *surf.Filter }
-
-func (r surfReader) KeyMayMatch(key uint64) bool      { return r.f.MayContainUint64(key) }
-func (r surfReader) RangeMayMatch(lo, hi uint64) bool { return r.f.MayContainRangeUint64(lo, hi) }
-
-// ---------------------------------------------------------------- helpers
-
-func marshalFence(idx *fence.Index) []byte { return fence.Marshal(idx) }
-
-func unmarshalFence(data []byte) (*fence.Index, error) { return fence.Unmarshal(data) }
-
 // Registry maps policy names to policies for table opening.
 type Registry map[string]FilterPolicy
-
-// DefaultRegistry returns a registry holding one instance of every policy
-// (parameters only matter for CreateFilter; readers are parameter-free).
-func DefaultRegistry() Registry {
-	return Registry{
-		"bloomrf":  &BloomRFPolicy{BitsPerKey: 16},
-		"bloom":    &BloomPolicy{BitsPerKey: 10},
-		"prefixbf": &PrefixBloomPolicy{BitsPerKey: 10, Level: 16},
-		"fence":    &FencePolicy{},
-		"rosetta":  &RosettaPolicy{BitsPerKey: 16, MaxRange: 1 << 10},
-		"surf":     &SuRFPolicy{BitsPerKey: 16},
-	}
-}
 
 func (r Registry) lookup(name string) (FilterPolicy, error) {
 	p, ok := r[name]

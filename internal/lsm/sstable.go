@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/hashutil"
@@ -16,20 +17,39 @@ import (
 //	index block   — count u32, then per block: firstKey u64, lastKey u64, off u64, len u64
 //	filter block  — nameLen u8, policy name, payload
 //	footer        — indexOff u64, indexLen u64, filterOff u64, filterLen u64,
-//	                numEntries u64, checksum u64 (keyed hash of the 40-byte prefix)
+//	                numEntries u64, indexHash u64, filterHash u64,
+//	                checksum u64 (keyed hash of the 56-byte prefix)
+//
+// indexHash/filterHash are keyed hashes of the index and filter blocks, so
+// a byte flip inside either is detected at OpenTable even though the
+// footer itself is intact. The writer streams to <path>.tmp and renames on
+// Finish, making table creation atomic: any *.sst either carries a valid
+// footer or was corrupted after commit.
 const (
-	tableMagic     = 0x62524c534d543031 // "bRLSMT01"
-	footerSize     = 48
+	tableMagic     = 0x62524c534d543032 // "bRLSMT02"
+	footerSize     = 64
 	flagTombstone  = 1 << 0
 	defaultBlockSz = 4096
 )
 
-// ErrCorruptTable reports a malformed SSTable.
+// ErrCorruptTable reports a malformed SSTable: the footer committed it,
+// but the interior bytes no longer match their checksums (bit rot, a
+// damaged disk) — the table held data once and that data is now suspect,
+// so opening it is a hard error.
 var ErrCorruptTable = errors.New("lsm: corrupt sstable")
 
-// TableWriter streams sorted records into an SSTable file.
+// ErrTornTable reports a file with no committed footer — the tail left by
+// a crash mid-flush (SIGKILL between write and rename). Unlike
+// ErrCorruptTable this is expected after a crash and never represents
+// acknowledged data; DB.Open quarantines such files instead of failing.
+var ErrTornTable = errors.New("lsm: torn sstable (no committed footer)")
+
+// TableWriter streams sorted records into an SSTable file. The bytes go
+// to <path>.tmp; Finish fsyncs and renames to the final path, so a crash
+// at any earlier point leaves no *.sst behind.
 type TableWriter struct {
 	f         *os.File
+	path      string
 	policy    FilterPolicy
 	blockSize int
 	buf       []byte
@@ -57,12 +77,15 @@ func NewTableWriter(path string, policy FilterPolicy, blockSize int) (*TableWrit
 	if blockSize <= 0 {
 		blockSize = defaultBlockSz
 	}
-	f, err := os.Create(path)
+	f, err := os.Create(path + tmpSuffix)
 	if err != nil {
 		return nil, err
 	}
-	return &TableWriter{f: f, policy: policy, blockSize: blockSize}, nil
+	return &TableWriter{f: f, path: path, policy: policy, blockSize: blockSize}, nil
 }
+
+// tmpSuffix marks in-flight table files; DB.Open sweeps leftovers.
+const tmpSuffix = ".tmp"
 
 // Add appends a record; keys must be strictly increasing.
 func (w *TableWriter) Add(key uint64, value []byte, tomb bool) error {
@@ -151,6 +174,8 @@ func (w *TableWriter) Finish() error {
 	foot = binary.LittleEndian.AppendUint64(foot, filterOff)
 	foot = binary.LittleEndian.AppendUint64(foot, uint64(len(fb)))
 	foot = binary.LittleEndian.AppendUint64(foot, w.entries)
+	foot = binary.LittleEndian.AppendUint64(foot, hashutil.HashBytes(idx, tableMagic))
+	foot = binary.LittleEndian.AppendUint64(foot, hashutil.HashBytes(fb, tableMagic))
 	foot = binary.LittleEndian.AppendUint64(foot, hashutil.HashBytes(foot, tableMagic))
 	if _, err := w.f.Write(foot); err != nil {
 		return err
@@ -158,7 +183,25 @@ func (w *TableWriter) Finish() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	return w.f.Close()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	// Commit point: the table becomes visible under its final name only
+	// with a complete, checksummed footer on disk.
+	if err := os.Rename(w.path+tmpSuffix, w.path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(w.path))
+}
+
+// syncDir fsyncs a directory so a just-renamed table survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Abort closes and removes a partially written table.
@@ -195,22 +238,24 @@ func OpenTable(path string, reg Registry, stats *IOStats, simLatency time.Durati
 	}
 	if st.Size() < footerSize {
 		f.Close()
-		return nil, ErrCorruptTable
+		return nil, fmt.Errorf("%w: %d-byte file", ErrTornTable, st.Size())
 	}
 	foot := make([]byte, footerSize)
 	if _, err := f.ReadAt(foot, st.Size()-footerSize); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if binary.LittleEndian.Uint64(foot[40:]) != hashutil.HashBytes(foot[:40], tableMagic) {
+	if binary.LittleEndian.Uint64(foot[56:]) != hashutil.HashBytes(foot[:56], tableMagic) {
 		f.Close()
-		return nil, fmt.Errorf("%w: bad footer checksum", ErrCorruptTable)
+		return nil, fmt.Errorf("%w: bad footer checksum", ErrTornTable)
 	}
 	indexOff := binary.LittleEndian.Uint64(foot[0:])
 	indexLen := binary.LittleEndian.Uint64(foot[8:])
 	filterOff := binary.LittleEndian.Uint64(foot[16:])
 	filterLen := binary.LittleEndian.Uint64(foot[24:])
 	entries := binary.LittleEndian.Uint64(foot[32:])
+	indexHash := binary.LittleEndian.Uint64(foot[40:])
+	filterHash := binary.LittleEndian.Uint64(foot[48:])
 	if indexOff+indexLen > uint64(st.Size()) || filterOff+filterLen > uint64(st.Size()) {
 		f.Close()
 		return nil, ErrCorruptTable
@@ -221,6 +266,10 @@ func OpenTable(path string, reg Registry, stats *IOStats, simLatency time.Durati
 	if _, err := f.ReadAt(idx, int64(indexOff)); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if hashutil.HashBytes(idx, tableMagic) != indexHash {
+		f.Close()
+		return nil, fmt.Errorf("%w: index block checksum mismatch", ErrCorruptTable)
 	}
 	if len(idx) < 4 {
 		f.Close()
@@ -245,6 +294,10 @@ func OpenTable(path string, reg Registry, stats *IOStats, simLatency time.Durati
 	if _, err := f.ReadAt(fb, int64(filterOff)); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if hashutil.HashBytes(fb, tableMagic) != filterHash {
+		f.Close()
+		return nil, fmt.Errorf("%w: filter block checksum mismatch", ErrCorruptTable)
 	}
 	if len(fb) < 1 || int(fb[0])+1 > len(fb) {
 		f.Close()

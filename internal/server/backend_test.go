@@ -1,0 +1,300 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// backendTestKeys is the deterministic insert population the backend tests
+// share: golden-ratio strides spread across the keyspace.
+func backendTestKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 7
+	}
+	return keys
+}
+
+// queryJSONNamed is queryJSON against an arbitrary filter name.
+func queryJSONNamed(t testing.TB, a *API, name string, keys []uint64) []bool {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"keys": keys})
+	rec := doBinReq(t, a, "POST", "/v1/filters/"+name+"/query", "application/json", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("JSON query: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Results []bool `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Results
+}
+
+// queryBinaryNamed is queryBinary against an arbitrary filter name.
+func queryBinaryNamed(t testing.TB, a *API, name string, keys []uint64) []bool {
+	t.Helper()
+	frame := wire.AppendKeysRequest(nil, wire.OpQuery, keys)
+	rec := doBinReq(t, a, "POST", "/v1/filters/"+name+"/query", wire.ContentType, frame)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("binary query: %d %s", rec.Code, rec.Body)
+	}
+	return decodeResultFrame(t, rec.Body.Bytes(), len(keys))
+}
+
+// queryRangeJSONNamed is queryRangeJSON against an arbitrary filter name.
+func queryRangeJSONNamed(t testing.TB, a *API, name string, ranges [][2]uint64) []bool {
+	t.Helper()
+	rs := make([]map[string]uint64, len(ranges))
+	for i, r := range ranges {
+		rs[i] = map[string]uint64{"lo": r[0], "hi": r[1]}
+	}
+	body, _ := json.Marshal(map[string]any{"ranges": rs})
+	rec := doBinReq(t, a, "POST", "/v1/filters/"+name+"/query-range", "application/json", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("JSON query-range: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Results []bool `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Results
+}
+
+// queryRangeBinaryNamed is queryRangeBinary against an arbitrary filter name.
+func queryRangeBinaryNamed(t testing.TB, a *API, name string, ranges [][2]uint64) []bool {
+	t.Helper()
+	frame := wire.AppendRangesRequest(nil, ranges)
+	rec := doBinReq(t, a, "POST", "/v1/filters/"+name+"/query-range", wire.ContentType, frame)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("binary query-range: %d %s", rec.Code, rec.Body)
+	}
+	return decodeResultFrame(t, rec.Body.Bytes(), len(ranges))
+}
+
+// TestCreateWithBackend drives the full create → insert → query → query-range
+// flow over every servable backend through the HTTP API, through both the
+// JSON and the binary codec, and requires: the create response reports the
+// backend, no inserted key is ever lost (one-sided answers), and the two
+// codecs return element-wise identical verdicts for the same filter.
+func TestCreateWithBackend(t *testing.T) {
+	for _, backend := range append(Backends(), "") {
+		wantBackend := backend
+		if wantBackend == "" {
+			wantBackend = BackendBloomRF
+		}
+		t.Run("backend="+wantBackend+fmt.Sprintf("/explicit=%v", backend != ""), func(t *testing.T) {
+			a := NewAPI(NewRegistry())
+			name := "bt-" + wantBackend
+			createBody, _ := json.Marshal(map[string]any{
+				"name":          name,
+				"expected_keys": 20_000,
+				"bits_per_key":  16,
+				"max_range":     1 << 10,
+				"shards":        4,
+				"backend":       backend,
+			})
+			rec := doBinReq(t, a, "POST", "/v1/filters", "application/json", createBody)
+			if rec.Code != http.StatusCreated {
+				t.Fatalf("create: %d %s", rec.Code, rec.Body)
+			}
+			var created struct {
+				Stats ShardedStats `json:"stats"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+				t.Fatal(err)
+			}
+			if created.Stats.Backend != wantBackend {
+				t.Fatalf("create response backend = %q, want %q", created.Stats.Backend, wantBackend)
+			}
+
+			// Half the population through each codec.
+			keys := backendTestKeys(2000)
+			insJSON, insBin := keys[:1000], keys[1000:]
+			body, _ := json.Marshal(map[string]any{"keys": insJSON})
+			if rec := doBinReq(t, a, "POST", "/v1/filters/"+name+"/insert", "application/json", body); rec.Code != http.StatusOK {
+				t.Fatalf("JSON insert: %d %s", rec.Code, rec.Body)
+			}
+			frame := wire.AppendKeysRequest(nil, wire.OpInsert, insBin)
+			if rec := doBinReq(t, a, "POST", "/v1/filters/"+name+"/insert", wire.ContentType, frame); rec.Code != http.StatusOK {
+				t.Fatalf("binary insert: %d %s", rec.Code, rec.Body)
+			}
+
+			// Mixed present/absent queries; codecs must agree exactly, and
+			// inserted keys must always answer true regardless of backend.
+			rng := rand.New(rand.NewSource(1207))
+			queries := make([]uint64, 3000)
+			for i := range queries {
+				switch i % 3 {
+				case 0:
+					queries[i] = insJSON[rng.Intn(len(insJSON))]
+				case 1:
+					queries[i] = insBin[rng.Intn(len(insBin))]
+				default:
+					queries[i] = rng.Uint64() // almost surely absent
+				}
+			}
+			jr := queryJSONNamed(t, a, name, queries)
+			br := queryBinaryNamed(t, a, name, queries)
+			for i := range queries {
+				if jr[i] != br[i] {
+					t.Fatalf("query %d (%#x): json=%v binary=%v", i, queries[i], jr[i], br[i])
+				}
+				if i%3 != 2 && !br[i] {
+					t.Fatalf("backend %s lost inserted key %#x", wantBackend, queries[i])
+				}
+			}
+
+			// Ranges: half anchored on inserted keys (must answer true),
+			// half random; codecs must agree on all of them.
+			ranges := make([][2]uint64, 500)
+			for i := range ranges {
+				if i%2 == 0 {
+					x := keys[rng.Intn(len(keys))]
+					ranges[i] = [2]uint64{x - 10, x + 10}
+				} else {
+					lo := rng.Uint64()
+					ranges[i] = [2]uint64{lo, lo + uint64(rng.Intn(1<<10))}
+				}
+			}
+			jrr := queryRangeJSONNamed(t, a, name, ranges)
+			brr := queryRangeBinaryNamed(t, a, name, ranges)
+			for i := range ranges {
+				if jrr[i] != brr[i] {
+					t.Fatalf("range %d %v: json=%v binary=%v", i, ranges[i], jrr[i], brr[i])
+				}
+				if i%2 == 0 && !brr[i] {
+					t.Fatalf("backend %s range %v over inserted key answered false", wantBackend, ranges[i])
+				}
+			}
+
+			// The stats endpoint reports the backend too.
+			rec = doBinReq(t, a, "GET", "/v1/filters/"+name, "", nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+			}
+			var st ShardedStats
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Backend != wantBackend {
+				t.Fatalf("stats backend = %q, want %q", st.Backend, wantBackend)
+			}
+		})
+	}
+}
+
+// TestCreateUnknownBackend pins the rejection: an unrecognized backend is a
+// 400 naming the servable ones, and nothing is registered.
+func TestCreateUnknownBackend(t *testing.T) {
+	reg := NewRegistry()
+	a := NewAPI(reg)
+	for _, bad := range []string{"cuckoo", "BLOOMRF", "bloom-rf", "prefixbf", "fence"} {
+		body, _ := json.Marshal(map[string]any{
+			"name": "nope", "expected_keys": 1000, "backend": bad,
+		})
+		rec := doBinReq(t, a, "POST", "/v1/filters", "application/json", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("backend %q: got %d %s, want 400", bad, rec.Code, rec.Body)
+		}
+		if _, err := reg.Get("nope"); err == nil {
+			t.Fatalf("backend %q: filter registered despite 400", bad)
+		}
+	}
+}
+
+// TestBackendSnapshotRestore round-trips every backend through a v4
+// snapshot: the manifest must record the backend, and the restored filter
+// must answer every point and range probe exactly like the original.
+func TestBackendSnapshotRestore(t *testing.T) {
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			f, err := NewSharded(FilterOptions{
+				ExpectedKeys: 10_000, BitsPerKey: 16, MaxRange: 1 << 10,
+				Shards: 4, Backend: backend,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := backendTestKeys(1500)
+			f.InsertBatch(keys)
+
+			st, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, err := st.Snapshot("rt", f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.FormatVersion != manifestVersion || man.Options.Backend != backend {
+				t.Fatalf("manifest version %d backend %q, want %d %q",
+					man.FormatVersion, man.Options.Backend, manifestVersion, backend)
+			}
+			g, man2, err := st.Restore("rt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man2.Options.Backend != backend || g.Stats().Backend != backend {
+				t.Fatalf("restored backend %q / stats %q, want %q", man2.Options.Backend, g.Stats().Backend, backend)
+			}
+			assertIdenticalAnswers(t, f, g, keys, 1208)
+
+			// Range answers must survive the round trip too (the snapshot
+			// codec differs per backend; surf rebuilds its trie from the
+			// key buffer).
+			rng := rand.New(rand.NewSource(1209))
+			ranges := make([][2]uint64, 600)
+			for i := range ranges {
+				if i%2 == 0 {
+					x := keys[rng.Intn(len(keys))]
+					ranges[i] = [2]uint64{x - 5, x + 5}
+				} else {
+					lo := rng.Uint64()
+					ranges[i] = [2]uint64{lo, lo + uint64(rng.Intn(1<<12))}
+				}
+			}
+			fo := make([]bool, len(ranges))
+			go_ := make([]bool, len(ranges))
+			f.MayContainRangeBatch(ranges, fo)
+			g.MayContainRangeBatch(ranges, go_)
+			for i := range ranges {
+				if fo[i] != go_[i] {
+					t.Fatalf("range %v: original %v, restored %v", ranges[i], fo[i], go_[i])
+				}
+				if i%2 == 0 && !go_[i] {
+					t.Fatalf("restored %s filter lost range %v over inserted key", backend, ranges[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCreateRecordCarriesBackend pins that the WAL create record round-trips
+// the backend, so replay rebuilds the filter with the right implementation.
+func TestCreateRecordCarriesBackend(t *testing.T) {
+	opt := FilterOptions{ExpectedKeys: 1000, Shards: 2, Backend: BackendRosetta}
+	f, err := NewSharded(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := encodeCreate("r", f.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := decodeCreate(rec.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Options.Backend != BackendRosetta {
+		t.Fatalf("replayed create carries backend %q, want rosetta", p.Options.Backend)
+	}
+}

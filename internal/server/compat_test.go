@@ -147,6 +147,66 @@ func TestGoldenV2SnapshotRestore(t *testing.T) {
 	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 95)
 }
 
+// TestGoldenV3SnapshotRestore restores the checked-in WAL-era snapshot
+// (manifest format_version 3, written before backend selection existed)
+// into the current code: the filter must come back as a range-partitioned
+// bloomRF filter with every key and the recorded WAL position intact, and
+// re-snapshotting must produce a v4 manifest that records the backend.
+func TestGoldenV3SnapshotRestore(t *testing.T) {
+	st, err := OpenStore(filepath.Join("testdata", "golden-v3-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, man, err := st.Restore("sessions")
+	if err != nil {
+		t.Fatalf("v3 snapshot no longer restores: %v", err)
+	}
+	if man.FormatVersion != 3 || man.Seq != 1 || man.WALPos != 8192 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if man.Options.Backend != BackendBloomRF {
+		t.Fatalf("v3 manifest normalized to backend %q, want bloomrf", man.Options.Backend)
+	}
+	if f.Partitioning() != PartitionRange || f.NumShards() != 4 {
+		t.Fatalf("restored filter: partitioning %q, shards %d", f.Partitioning(), f.NumShards())
+	}
+	st2 := f.Stats()
+	if st2.Backend != BackendBloomRF {
+		t.Fatalf("restored stats backend = %q, want bloomrf", st2.Backend)
+	}
+	if st2.InsertedKeys != 1024 {
+		t.Fatalf("restored inserted_keys = %d, want 1024", st2.InsertedKeys)
+	}
+	for _, k := range goldenV1Keys() { // same deterministic key sequence
+		if !f.MayContain(k) {
+			t.Fatalf("v3 snapshot lost key %#x", k)
+		}
+		if !f.MayContainRange(k, k) {
+			t.Fatalf("v3 snapshot lost key %#x for range probes", k)
+		}
+	}
+
+	// A new snapshot of the restored filter is a v4 manifest with the
+	// backend recorded; it restores to identical answers.
+	st3, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, err := st3.Snapshot("sessions", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.FormatVersion != manifestVersion || man2.Options.Backend != BackendBloomRF ||
+		man2.Options.Partitioning != PartitionRange {
+		t.Fatalf("re-snapshot manifest = %+v", man2)
+	}
+	g, _, err := st3.Restore("sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 96)
+}
+
 // TestManifestVersionRejection pins the reader's version policy: future
 // manifest versions and v1 manifests claiming non-hash routing (which the
 // v1 era could not have written) are rejected rather than guessed at, and
@@ -215,13 +275,38 @@ func TestManifestVersionRejection(t *testing.T) {
 	rewrite(func(m map[string]any) {
 		m["format_version"] = float64(2)
 		m["options"].(map[string]any)["partitioning"] = "hash"
+		delete(m["options"].(map[string]any), "backend")
 		m["wal_pos"] = float64(4711)
 	})
 	if _, _, err := st.Restore("users"); err == nil {
 		t.Fatal("v2 manifest with wal_pos restored")
 	}
-	// And back to a faithful v1 shape (no partitioning key at all): restores
-	// as hash.
+	// A v3 manifest claiming a backend is corrupt: backend selection is v4.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(3)
+		m["options"].(map[string]any)["backend"] = "bloomrf"
+		delete(m, "wal_pos")
+	})
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("v3 manifest with a backend restored")
+	}
+	// Current version with a garbage backend is rejected, as is one with no
+	// backend at all (v4 writers always record it).
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(manifestVersion)
+		m["options"].(map[string]any)["backend"] = "cuckoo"
+	})
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("invalid backend restored")
+	}
+	rewrite(func(m map[string]any) {
+		delete(m["options"].(map[string]any), "backend")
+	})
+	if _, _, err := st.Restore("users"); err == nil {
+		t.Fatal("v4 manifest without a backend restored")
+	}
+	// And back to a faithful v1 shape (no partitioning or backend keys at
+	// all): restores as a hash-routed bloomRF filter.
 	rewrite(func(m map[string]any) {
 		m["format_version"] = float64(1)
 		delete(m["options"].(map[string]any), "partitioning")
@@ -233,5 +318,8 @@ func TestManifestVersionRejection(t *testing.T) {
 	}
 	if man.FormatVersion != 1 || g.Partitioning() != PartitionHash {
 		t.Fatalf("v1-shaped manifest: version %d, partitioning %q", man.FormatVersion, g.Partitioning())
+	}
+	if man.Options.Backend != BackendBloomRF || g.Stats().Backend != BackendBloomRF {
+		t.Fatalf("v1-shaped manifest restored with backend %q, want bloomrf", man.Options.Backend)
 	}
 }

@@ -243,6 +243,9 @@ type createReq struct {
 	MaxRange     float64      `json:"max_range"`
 	Shards       int          `json:"shards"`
 	Partitioning Partitioning `json:"partitioning"`
+	// Backend picks the filter implementation: "bloomrf" (default),
+	// "bloom", "rosetta" or "surf". Unknown values are a 400.
+	Backend string `json:"backend"`
 }
 
 func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +265,7 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 		MaxRange:     req.MaxRange,
 		Shards:       req.Shards,
 		Partitioning: req.Partitioning,
+		Backend:      req.Backend,
 	})
 	switch {
 	case errors.Is(err, ErrExists):

@@ -14,7 +14,6 @@ import (
 	"sync"
 	"time"
 
-	bloomrf "repro"
 	"repro/internal/wal"
 )
 
@@ -48,10 +47,16 @@ import (
 //	     shard blobs, so boot recovery replays only the log tail from
 //	     there (durability.go). v1/v2 manifests restore with wal_pos 0
 //	     (replay everything retained — idempotent, just slower).
+//	v4 — options carry "backend" (bloomrf/bloom/rosetta/surf), so a
+//	     restored filter rebuilds its shards with the right filter
+//	     implementation and blob codec (backend.go). v1–v3 manifests
+//	     predate the field and restore as bloomRF — the only backend
+//	     those eras could have written; one claiming a backend is
+//	     corrupt.
 
 // manifestVersion is the snapshot manifest schema version written by this
 // build. Older versions named in loadManifest remain readable.
-const manifestVersion = 3
+const manifestVersion = 4
 
 // manifestName is the per-snapshot manifest file; its atomic rename into
 // place commits the snapshot.
@@ -417,20 +422,29 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 		if man.Options.Partitioning == "" {
 			man.Options.Partitioning = PartitionHash
 		}
-		if man.Options.Partitioning != PartitionHash || man.WALPos != 0 {
+		if man.Options.Partitioning != PartitionHash || man.WALPos != 0 || man.Options.Backend != "" {
 			return nil
 		}
 	case 2:
 		// v2 predates the WAL; a v2 manifest claiming a position is corrupt.
-		if !man.Options.Partitioning.Valid() || man.WALPos != 0 {
+		if !man.Options.Partitioning.Valid() || man.WALPos != 0 || man.Options.Backend != "" {
+			return nil
+		}
+	case 3:
+		// v3 predates backend selection; bloomRF is the only filter that
+		// era served, so a v3 manifest naming a backend is corrupt.
+		if !man.Options.Partitioning.Valid() || man.Options.Backend != "" {
 			return nil
 		}
 	case manifestVersion:
-		if !man.Options.Partitioning.Valid() {
+		if !man.Options.Partitioning.Valid() || !validBackend(man.Options.Backend) {
 			return nil
 		}
 	default:
 		return nil
+	}
+	if man.Options.Backend == "" {
+		man.Options.Backend = BackendBloomRF // pre-v4 manifests are bloomRF by construction
 	}
 	return &man
 }
@@ -461,7 +475,7 @@ func restoreFromBlobs(man *Manifest, blobs [][]byte) (*ShardedFilter, error) {
 	if len(blobs) != len(man.Shards) {
 		return nil, fmt.Errorf("%d blobs for %d manifest shards", len(blobs), len(man.Shards))
 	}
-	shards := make([]*bloomrf.Filter, len(man.Shards))
+	shards := make([]shardFilter, len(man.Shards))
 	for i, ent := range man.Shards {
 		blob := blobs[i]
 		if int64(len(blob)) != ent.Bytes {
@@ -470,7 +484,7 @@ func restoreFromBlobs(man *Manifest, blobs [][]byte) (*ShardedFilter, error) {
 		if crc := crc32.Checksum(blob, castagnoli); crc != ent.CRC32C {
 			return nil, fmt.Errorf("shard %d: CRC mismatch %08x != %08x", i, crc, ent.CRC32C)
 		}
-		f, err := bloomrf.Unmarshal(blob)
+		f, err := unmarshalShardFilter(man.Options.Backend, blob)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -480,7 +494,7 @@ func restoreFromBlobs(man *Manifest, blobs [][]byte) (*ShardedFilter, error) {
 	for i, ent := range man.Shards {
 		shardKeys[i] = ent.Keys
 	}
-	f, err := RestoreSharded(man.Options, shards, man.InsertedKeys, shardKeys)
+	f, err := restoreSharded(man.Options, shards, man.InsertedKeys, shardKeys)
 	if err != nil {
 		return nil, err
 	}

@@ -33,10 +33,9 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
-
-	bloomrf "repro"
 )
 
 // MaxShards bounds the fan-out of one logical filter. 256 shards is far
@@ -80,6 +79,11 @@ type FilterOptions struct {
 	// PartitionRange. Empty means PartitionHash (also what snapshot
 	// manifests from before the field existed restore as).
 	Partitioning Partitioning `json:"partitioning"`
+	// Backend selects the filter implementation behind every shard:
+	// "bloomrf" (default), "bloom", "rosetta" or "surf" (backend.go).
+	// Empty means bloomRF, which is also what snapshot manifests from
+	// before the field existed (v1–v3) restore as.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Defaults applied by NewSharded for zero option fields.
@@ -112,7 +116,7 @@ type SnapshotInfo struct {
 // completed before it and no torn half-applied insert — the consistency the
 // durability layer needs (see persist.go).
 type ShardedFilter struct {
-	shards []*bloomrf.Filter
+	shards []shardFilter
 	locks  []sync.RWMutex
 	part   partitioner
 	n      uint64
@@ -145,26 +149,18 @@ func NewSharded(opt FilterOptions) (*ShardedFilter, error) {
 		return nil, err
 	}
 	for i := range s.shards {
-		if opt.MaxRange > 0 {
-			f, _, err := bloomrf.NewTuned(bloomrf.Options{
-				ExpectedKeys: perShard,
-				BitsPerKey:   opt.BitsPerKey,
-				MaxRange:     opt.MaxRange,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("server: tuning shard %d: %w", i, err)
-			}
-			s.shards[i] = f
-		} else {
-			s.shards[i] = bloomrf.New(perShard, opt.BitsPerKey)
+		f, err := newShardFilter(s.opt, perShard)
+		if err != nil {
+			return nil, fmt.Errorf("server: building shard %d: %w", i, err)
 		}
+		s.shards[i] = f
 	}
 	return s, nil
 }
 
 // newShardedShell validates and defaults opt and allocates a ShardedFilter
 // with empty shard slots, returning the per-shard key budget. Shared by
-// NewSharded (which builds fresh filters) and RestoreSharded (which fills
+// NewSharded (which builds fresh filters) and restoreSharded (which fills
 // the slots from snapshot blobs).
 func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 	if opt.Shards == 0 {
@@ -192,6 +188,13 @@ func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 	if opt.Partitioning == "" {
 		opt.Partitioning = PartitionHash
 	}
+	if opt.Backend == "" {
+		opt.Backend = BackendBloomRF
+	}
+	if !validBackend(opt.Backend) {
+		return nil, 0, fmt.Errorf("server: unknown backend %q (have %s)",
+			opt.Backend, strings.Join(Backends(), ", "))
+	}
 	part, err := newPartitioner(opt.Partitioning, uint64(opt.Shards))
 	if err != nil {
 		return nil, 0, err
@@ -201,7 +204,7 @@ func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 		perShard = 1
 	}
 	s := &ShardedFilter{
-		shards:           make([]*bloomrf.Filter, opt.Shards),
+		shards:           make([]shardFilter, opt.Shards),
 		locks:            make([]sync.RWMutex, opt.Shards),
 		part:             part,
 		n:                uint64(opt.Shards),
@@ -213,12 +216,12 @@ func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 	return s, perShard, nil
 }
 
-// RestoreSharded rebuilds a sharded filter from deserialized shards (one
+// restoreSharded rebuilds a sharded filter from deserialized shards (one
 // per shard, in shard order) and the options and key counts recorded in a
 // snapshot manifest. The shard count must match opt.Shards. shardKeys is
 // the per-shard inserted-key counts; nil (v1 manifests predate them) leaves
 // the per-shard counters at zero, which only dims the skew gauges.
-func RestoreSharded(opt FilterOptions, shards []*bloomrf.Filter, insertedKeys uint64, shardKeys []uint64) (*ShardedFilter, error) {
+func restoreSharded(opt FilterOptions, shards []shardFilter, insertedKeys uint64, shardKeys []uint64) (*ShardedFilter, error) {
 	s, _, err := newShardedShell(&opt)
 	if err != nil {
 		return nil, err
@@ -341,6 +344,7 @@ func (s *ShardedFilter) insertShard(sh int, sub []uint64) {
 type ShardedStats struct {
 	Shards         int          `json:"shards"`
 	Partitioning   Partitioning `json:"partitioning"`
+	Backend        string       `json:"backend"`
 	ExpectedKeys   uint64       `json:"expected_keys"`
 	InsertedKeys   uint64       `json:"inserted_keys"`
 	BitsPerKey     float64      `json:"bits_per_key"`
@@ -372,6 +376,7 @@ func (s *ShardedFilter) Stats() ShardedStats {
 	st := ShardedStats{
 		Shards:           int(s.n),
 		Partitioning:     s.part.mode(),
+		Backend:          s.opt.Backend,
 		ExpectedKeys:     s.opt.ExpectedKeys,
 		InsertedKeys:     s.keys.Load(),
 		BitsPerKey:       s.opt.BitsPerKey,
@@ -387,7 +392,7 @@ func (s *ShardedFilter) Stats() ShardedStats {
 	}
 	var maxKeys, sumKeys uint64
 	for i, f := range s.shards {
-		fst := f.Stats()
+		fst := f.stats()
 		st.SizeBits += fst.SizeBits
 		st.SetBits += fst.SetBits
 		st.K = fst.K

@@ -1,0 +1,190 @@
+package workload
+
+// YCSB core operation mixes (A–F) plus the paper's range-heavy mix,
+// materialized as deterministic operation traces. Determinism is load-
+// bearing: the golden-trace test pins the byte-exact output, so this file
+// must never consult a map in iteration order or any global rand source —
+// every draw comes from explicitly seeded *rand.Rand streams, whose output
+// is covered by the Go 1 compatibility promise.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is one YCSB operation type.
+type OpKind uint8
+
+const (
+	// OpRead is a point lookup of an existing key.
+	OpRead OpKind = iota
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpInsert writes a fresh key.
+	OpInsert
+	// OpScan is a range scan [Lo, Hi].
+	OpScan
+	// OpReadModifyWrite reads a key then writes it back.
+	OpReadModifyWrite
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "R"
+	case OpUpdate:
+		return "U"
+	case OpInsert:
+		return "I"
+	case OpScan:
+		return "S"
+	case OpReadModifyWrite:
+		return "M"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation of a trace. Key is set for point ops, Lo/Hi for
+// scans.
+type Op struct {
+	Kind   OpKind
+	Key    uint64
+	Lo, Hi uint64
+}
+
+// Mix is a YCSB operation mix over a loaded key set. Percentages must sum
+// to 100.
+type Mix struct {
+	// Name identifies the mix ("A".."F", "range").
+	Name string
+	// ReadPct..RMWPct are the operation proportions in percent.
+	ReadPct, UpdatePct, InsertPct, ScanPct, RMWPct int
+	// RequestDist shapes which existing key point ops target (Uniform or
+	// Zipfian; YCSB's hotspot behavior).
+	RequestDist Distribution
+	// Latest skews point ops toward recently inserted keys (workload D).
+	Latest bool
+	// ScanSpan is the key-space width of scan ranges.
+	ScanSpan uint64
+	// EmptyProbes anchors scans and point reads uniformly over the whole
+	// 64-bit domain instead of at stored keys — the paper's worst case,
+	// where nearly every query is empty and a filter can skip all IO.
+	EmptyProbes bool
+}
+
+// Mixes returns the YCSB core mixes A–F plus the paper's range-heavy mix,
+// in a fixed order.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "A", ReadPct: 50, UpdatePct: 50, RequestDist: Zipfian},
+		{Name: "B", ReadPct: 95, UpdatePct: 5, RequestDist: Zipfian},
+		{Name: "C", ReadPct: 100, RequestDist: Zipfian},
+		{Name: "D", ReadPct: 95, InsertPct: 5, RequestDist: Zipfian, Latest: true},
+		{Name: "E", ScanPct: 95, InsertPct: 5, RequestDist: Zipfian, ScanSpan: 1 << 10},
+		{Name: "F", ReadPct: 50, RMWPct: 50, RequestDist: Zipfian},
+		// The paper's Workload E derivative: almost all operations are
+		// range scans over uniformly drawn anchors, so almost all are
+		// empty (§9, "All point- and range-queries in this workload are
+		// empty").
+		{Name: "range", ReadPct: 10, ScanPct: 90, RequestDist: Uniform, ScanSpan: 1 << 10, EmptyProbes: true},
+	}
+}
+
+// MixByName resolves a mix by its name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// splitmix64 derives independent sub-seeds from one user seed, so the
+// op-kind, key-pick and fresh-key streams cannot alias each other.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func subSeed(seed int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(stream)))
+}
+
+// Ops materializes n operations of the mix over the loaded keys. The trace
+// is a pure function of (mix, keys, n, seed): same inputs, same bytes,
+// across runs and Go versions. Inserted keys join the pickable pool, so
+// later reads can hit them (YCSB D's working-set growth).
+func (m Mix) Ops(keys []uint64, n int, seed int64) []Op {
+	if m.ReadPct+m.UpdatePct+m.InsertPct+m.ScanPct+m.RMWPct != 100 {
+		panic(fmt.Sprintf("workload: mix %q percentages sum to %d, want 100",
+			m.Name, m.ReadPct+m.UpdatePct+m.InsertPct+m.ScanPct+m.RMWPct))
+	}
+	kindRng := rand.New(rand.NewSource(subSeed(seed, 1)))
+	pickRng := rand.New(rand.NewSource(subSeed(seed, 2)))
+	freshRng := rand.New(rand.NewSource(subSeed(seed, 3)))
+	var zipf *rand.Zipf
+	if m.RequestDist == Zipfian {
+		// Skew over ranks; ranks map onto the (growing) pool by modulus.
+		zipf = rand.NewZipf(pickRng, 1.2, 1, 1<<40)
+	}
+	pool := append([]uint64(nil), keys...)
+	span := m.ScanSpan
+	if span == 0 {
+		span = 1
+	}
+
+	pick := func() uint64 {
+		if len(pool) == 0 {
+			return 0
+		}
+		var idx int
+		if zipf != nil {
+			idx = int(zipf.Uint64() % uint64(len(pool)))
+		} else {
+			idx = pickRng.Intn(len(pool))
+		}
+		if m.Latest {
+			// Rank 0 = newest insert.
+			idx = len(pool) - 1 - idx
+		}
+		return pool[idx]
+	}
+
+	out := make([]Op, 0, n)
+	for len(out) < n {
+		v := kindRng.Intn(100)
+		switch {
+		case v < m.ReadPct:
+			k := pick()
+			if m.EmptyProbes {
+				k = freshRng.Uint64()
+			}
+			out = append(out, Op{Kind: OpRead, Key: k})
+		case v < m.ReadPct+m.UpdatePct:
+			out = append(out, Op{Kind: OpUpdate, Key: pick()})
+		case v < m.ReadPct+m.UpdatePct+m.InsertPct:
+			k := freshRng.Uint64()
+			pool = append(pool, k)
+			out = append(out, Op{Kind: OpInsert, Key: k})
+		case v < m.ReadPct+m.UpdatePct+m.InsertPct+m.ScanPct:
+			var lo uint64
+			if m.EmptyProbes {
+				lo = freshRng.Uint64()
+			} else {
+				lo = pick()
+			}
+			if lo > math.MaxUint64-span+1 {
+				lo = math.MaxUint64 - span + 1
+			}
+			out = append(out, Op{Kind: OpScan, Lo: lo, Hi: lo + span - 1})
+		default:
+			out = append(out, Op{Kind: OpReadModifyWrite, Key: pick()})
+		}
+	}
+	return out
+}

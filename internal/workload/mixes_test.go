@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace fixtures")
+
+// goldenTraceParams pins the trace shapes of the fixture: three mixes
+// covering point-only, scan-at-key and empty-scan behavior.
+var goldenTraceParams = []struct {
+	mix  string
+	keys int
+	ops  int
+	seed int64
+}{
+	{"A", 64, 96, 7},
+	{"E", 64, 96, 7},
+	{"range", 64, 96, 7},
+}
+
+// formatTrace renders ops in the fixture's line format.
+func formatTrace(buf *bytes.Buffer, mixName string, keys, n int, seed int64, ops []Op) {
+	fmt.Fprintf(buf, "mix %s seed=%d keys=%d ops=%d\n", mixName, seed, keys, n)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpScan:
+			fmt.Fprintf(buf, "%s %016x %016x\n", op.Kind, op.Lo, op.Hi)
+		default:
+			fmt.Fprintf(buf, "%s %016x\n", op.Kind, op.Key)
+		}
+	}
+}
+
+func goldenTraceBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("# YCSB golden operation trace.\n")
+	buf.WriteString("# Regenerate: go test ./internal/workload -run TestYCSBGoldenTrace -update\n")
+	for _, p := range goldenTraceParams {
+		m, err := MixByName(p.mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := NewGenerator(Uniform, p.seed).SortedKeys(p.keys)
+		ops := m.Ops(keys, p.ops, p.seed)
+		formatTrace(&buf, p.mix, p.keys, p.ops, p.seed, ops)
+	}
+	return buf.Bytes()
+}
+
+// TestYCSBGoldenTrace pins seeded workload generation byte-for-byte: the
+// same (mix, keys, n, seed) must materialize the same operations on every
+// Go version and platform. A diff here means the generator stopped being
+// deterministic (map iteration, global rand) or its sequence changed —
+// either breaks reproducibility of every benchmark built on it.
+func TestYCSBGoldenTrace(t *testing.T) {
+	got := goldenTraceBytes(t)
+	path := filepath.Join("testdata", "ycsb_golden_trace.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("generated trace diverges from %s (len got=%d want=%d); "+
+			"if the change is intentional, regenerate with -update", path, len(got), len(want))
+	}
+	// And the generation itself must be stable within one process.
+	if again := goldenTraceBytes(t); !bytes.Equal(got, again) {
+		t.Fatal("two generations with identical inputs differ")
+	}
+}
+
+// TestMixProportions: op-kind frequencies track the declared percentages.
+func TestMixProportions(t *testing.T) {
+	keys := NewGenerator(Uniform, 11).SortedKeys(500)
+	for _, m := range Mixes() {
+		ops := m.Ops(keys, 20000, 13)
+		counts := map[OpKind]int{}
+		for _, op := range ops {
+			counts[op.Kind]++
+		}
+		check := func(kind OpKind, pct int) {
+			got := float64(counts[kind]) / float64(len(ops)) * 100
+			if diff := got - float64(pct); diff < -2.5 || diff > 2.5 {
+				t.Errorf("mix %s: %v = %.1f%%, want ~%d%%", m.Name, kind, got, pct)
+			}
+		}
+		check(OpRead, m.ReadPct)
+		check(OpUpdate, m.UpdatePct)
+		check(OpInsert, m.InsertPct)
+		check(OpScan, m.ScanPct)
+		check(OpReadModifyWrite, m.RMWPct)
+	}
+}
+
+// TestMixScanShapes: scans respect the span, and the range-heavy mix's
+// uniform anchors miss the (tiny) stored key set essentially always.
+func TestMixScanShapes(t *testing.T) {
+	keys := NewGenerator(Uniform, 17).SortedKeys(200)
+	m, err := MixByName("range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := m.Ops(keys, 5000, 19)
+	scans := 0
+	for _, op := range ops {
+		if op.Kind != OpScan {
+			continue
+		}
+		scans++
+		if op.Hi-op.Lo+1 != m.ScanSpan {
+			t.Fatalf("scan span = %d, want %d", op.Hi-op.Lo+1, m.ScanSpan)
+		}
+	}
+	if scans == 0 {
+		t.Fatal("range mix produced no scans")
+	}
+
+	// Workload E anchors scans at stored keys: those scans are never empty.
+	e, _ := MixByName("E")
+	stored := map[uint64]bool{}
+	for _, k := range keys {
+		stored[k] = true
+	}
+	anchored := 0
+	for _, op := range e.Ops(keys, 2000, 23) {
+		if op.Kind == OpScan && stored[op.Lo] {
+			anchored++
+		}
+	}
+	if anchored == 0 {
+		t.Error("workload E scans never anchored at stored keys")
+	}
+}
+
+// TestMixLatestSkew: workload D's reads target recent inserts.
+func TestMixLatestSkew(t *testing.T) {
+	keys := NewGenerator(Uniform, 29).SortedKeys(1000)
+	m, err := MixByName("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := m.Ops(keys, 10000, 31)
+	// Tail of the initial pool = the "latest" cold-start region.
+	tail := map[uint64]bool{}
+	for _, k := range keys[900:] {
+		tail[k] = true
+	}
+	inserted := map[uint64]bool{}
+	tailReads, reads := 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			inserted[op.Key] = true
+		case OpRead:
+			reads++
+			if tail[op.Key] || inserted[op.Key] {
+				tailReads++
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no reads in workload D")
+	}
+	if frac := float64(tailReads) / float64(reads); frac < 0.5 {
+		t.Errorf("latest-skewed reads hit the recent region only %.1f%% of the time", frac*100)
+	}
+}
+
+func TestMixByNameUnknown(t *testing.T) {
+	if _, err := MixByName("zz"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# YCSB-driven LSM filter comparison: the paper's end-to-end scenario
+# (bloomRF vs Bloom vs Rosetta vs SuRF inside the compaction-disabled LSM
+# store) reproduced as one command. Builds bloomrfd and runs its
+# -lsm-bench mode, which loads the dataset once per (mix, backend) pair,
+# replays the byte-identical YCSB trace, and reports data blocks read,
+# false-positive rate on ground-truth-empty queries, and IO saved vs the
+# Bloom baseline.
+#
+# Usage, from the repository root:
+#
+#   ./scripts/lsm_bench.sh                      # full run, writes BENCH_PR6.json
+#   KEYS=30000 OPS=3000 TABLES=10 ./scripts/lsm_bench.sh   # CI smoke scale
+#   OUT=/tmp/report.json MIXES=A,E,range ./scripts/lsm_bench.sh
+#   ASSERT=1 ./scripts/lsm_bench.sh             # fail unless bloomRF ≤ Bloom on the range mix
+#
+# Workload traces are pure functions of the seed (see internal/workload's
+# golden-trace test), so two runs measure identical operation streams.
+set -euo pipefail
+
+OUT="${OUT:-BENCH_PR6.json}"
+KEYS="${KEYS:-200000}"
+OPS="${OPS:-20000}"
+TABLES="${TABLES:-25}"
+BITS="${BITS:-16}"
+MIXES="${MIXES:-A,C,E,range}"
+SEED="${SEED:-42}"
+ASSERT="${ASSERT:-0}"
+
+ASSERT_FLAG=""
+if [ "$ASSERT" != "0" ]; then
+    ASSERT_FLAG="-lsm-bench-assert"
+fi
+
+go run ./cmd/bloomrfd -lsm-bench \
+    -lsm-bench-out "$OUT" \
+    -lsm-bench-keys "$KEYS" \
+    -lsm-bench-ops "$OPS" \
+    -lsm-bench-tables "$TABLES" \
+    -lsm-bench-bits "$BITS" \
+    -lsm-bench-mixes "$MIXES" \
+    -lsm-bench-seed "$SEED" \
+    $ASSERT_FLAG
+
+echo "report: $OUT"
