@@ -6,8 +6,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/hashutil"
 )
 
 // crashDB fills a DB with nFlushes SSTables of seqKeys each and returns
@@ -38,10 +41,11 @@ func crashDB(t *testing.T, dir string, nFlushes, seqKeys int) [][]uint64 {
 }
 
 // TestDBOpenQuarantinesTornTable simulates a SIGKILL mid-flush: the newest
-// table file is truncated mid-block (torn write under its final name) and
-// a half-written tmp file is lying around. Reopen must quarantine the torn
-// table, sweep the tmp file, and keep serving every intact table — the
-// torn file's keys were never acknowledged and must never be served.
+// table file is truncated to a stub shorter than the footer (torn write
+// under its final name) and a half-written tmp file is lying around.
+// Reopen must quarantine the torn table, sweep the tmp file, and keep
+// serving every intact table — the torn file's keys were never
+// acknowledged and must never be served.
 func TestDBOpenQuarantinesTornTable(t *testing.T) {
 	dir := t.TempDir()
 	flushes := crashDB(t, dir, 3, 500)
@@ -51,11 +55,7 @@ func TestDBOpenQuarantinesTornTable(t *testing.T) {
 		t.Fatalf("glob = %v, %v; want 3 tables", paths, err)
 	}
 	victim := paths[len(paths)-1]
-	st, err := os.Stat(victim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.Truncate(victim, st.Size()/2); err != nil {
+	if err := os.Truncate(victim, footerSize/2); err != nil {
 		t.Fatal(err)
 	}
 	// A tmp file the crashed flush never renamed.
@@ -252,5 +252,130 @@ func TestDBReopenPreservesGets(t *testing.T) {
 		if found != want.found || string(v) != want.val {
 			t.Fatalf("Get(%d) changed across reopen: before=%+v after=(%q,%v)", k, want, v, found)
 		}
+	}
+}
+
+// TestDBSeqSkipsQuarantinedSlots is the reviewer repro for sequence reuse:
+// tear the MIDDLE table so a committed table (the last one) holds the
+// highest sequence number, quarantine it on reopen, then reopen AGAIN —
+// the *.sst glob no longer sees the *.sst.damaged file, and a flush must
+// still pick a fresh sequence number instead of overwriting the committed
+// highest table.
+func TestDBSeqSkipsQuarantinedSlots(t *testing.T) {
+	dir := t.TempDir()
+	flushes := crashDB(t, dir, 3, 500)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("glob = %v, %v; want 3 tables", paths, err)
+	}
+	sort.Strings(paths)
+	if err := os.Truncate(paths[1], footerSize/2); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen quarantines the torn middle table.
+	db1, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db1.Quarantined()) != 1 {
+		t.Fatalf("Quarantined = %v, want 1 entry", db1.Quarantined())
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second reopen: only the *.sst.damaged leftover records the torn
+	// file's sequence slot now.
+	db2, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Put(1<<40, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flush must not have clobbered the committed highest table.
+	db3, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	for _, flush := range [][]uint64{flushes[0], flushes[2]} {
+		for _, k := range flush {
+			if _, found, err := db3.Get(k); err != nil || !found {
+				t.Fatalf("committed key %d lost after quarantine+reopen+flush: found=%v err=%v", k, found, err)
+			}
+		}
+	}
+	if _, found, _ := db3.Get(1 << 40); !found {
+		t.Fatal("freshly flushed key lost")
+	}
+}
+
+// TestDBOpenFailsOnFooterCorruption: a committed table whose footer
+// checksum no longer matches is post-commit damage to acknowledged data.
+// DB.Open must fail hard with ErrCorruptTable, not quarantine the table
+// and silently serve a store missing committed keys.
+func TestDBOpenFailsOnFooterCorruption(t *testing.T) {
+	dir := t.TempDir()
+	crashDB(t, dir, 2, 500)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("glob = %v, %v; want 2 tables", paths, err)
+	}
+	st, err := os.Stat(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, paths[0], uint64(st.Size())-12)
+
+	_, err = Open(DBOptions{Dir: dir, Policy: exactPolicy{}})
+	if !errors.Is(err, ErrCorruptTable) {
+		t.Fatalf("Open with corrupt footer: err = %v, want ErrCorruptTable", err)
+	}
+	if _, statErr := os.Stat(paths[0]); statErr != nil {
+		t.Fatalf("corrupt table was moved aside: %v", statErr)
+	}
+}
+
+// TestOpenTableRejectsV1Format: a table committed by the previous
+// bRLSMT01 writer (48-byte footer) must be rejected with a recognizable
+// version error — not quarantined as torn, not misread as corruption.
+func TestOpenTableRejectsV1Format(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "000000.sst")
+	body := make([]byte, 256) // stand-in for v1 blocks; never parsed
+	foot := make([]byte, 0, footerSizeV1)
+	for i := 0; i < 5; i++ { // indexOff/indexLen/filterOff/filterLen/entries
+		foot = binary.LittleEndian.AppendUint64(foot, 0)
+	}
+	foot = binary.LittleEndian.AppendUint64(foot, hashutil.HashBytes(foot, tableMagicV1))
+	if err := os.WriteFile(path, append(body, foot...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := OpenTable(path, testRegistry(), nil, 0)
+	if !errors.Is(err, ErrUnsupportedTableVersion) {
+		t.Errorf("v1 table: err = %v, want ErrUnsupportedTableVersion", err)
+	}
+	if errors.Is(err, ErrTornTable) || errors.Is(err, ErrCorruptTable) {
+		t.Errorf("v1 table misclassified: %v", err)
+	}
+
+	// DB.Open must surface the version error, not quarantine old data.
+	if _, err := Open(DBOptions{Dir: dir, Policy: exactPolicy{}}); !errors.Is(err, ErrUnsupportedTableVersion) {
+		t.Errorf("DB.Open over v1 table: err = %v, want ErrUnsupportedTableVersion", err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("v1 table was moved aside: %v", statErr)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -70,10 +72,23 @@ func Open(opt DBOptions) (*DB, error) {
 	for _, p := range tmps {
 		os.Remove(p)
 	}
-	// Recover existing tables in sequence order.
+	// Recover existing tables in sequence order. db.seq must exceed every
+	// sequence number ever committed to this directory — including
+	// quarantined *.sst.damaged leftovers the *.sst glob cannot see —
+	// otherwise a future flush's tmp+rename would silently overwrite a
+	// committed table.
 	paths, err := filepath.Glob(filepath.Join(opt.Dir, "*.sst"))
 	if err != nil {
 		return nil, err
+	}
+	damaged, err := filepath.Glob(filepath.Join(opt.Dir, "*.sst"+quarantineSuffix))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range append(append([]string(nil), paths...), damaged...) {
+		if n, ok := parseTableSeq(p); ok && n >= db.seq {
+			db.seq = n + 1
+		}
 	}
 	sort.Strings(paths)
 	for _, p := range paths {
@@ -87,7 +102,6 @@ func Open(opt DBOptions) (*DB, error) {
 				return nil, fmt.Errorf("lsm: quarantine %s: %w", p, renameErr)
 			}
 			db.quarantined = append(db.quarantined, p+quarantineSuffix)
-			db.seq++ // keep the damaged file's sequence slot unused
 			continue
 		}
 		if err != nil {
@@ -95,9 +109,21 @@ func Open(opt DBOptions) (*DB, error) {
 			return nil, fmt.Errorf("lsm: reopen %s: %w", p, err)
 		}
 		db.tables = append(db.tables, t)
-		db.seq++
 	}
 	return db, nil
+}
+
+// parseTableSeq extracts the sequence number from a table filename such
+// as 000042.sst or 000042.sst.damaged.
+func parseTableSeq(path string) (int, bool) {
+	name := filepath.Base(path)
+	name = strings.TrimSuffix(name, quarantineSuffix)
+	name = strings.TrimSuffix(name, ".sst")
+	n, err := strconv.Atoi(name)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // quarantineSuffix marks torn tables set aside by Open.

@@ -268,7 +268,9 @@ func TestOpenTableCorruptFooter(t *testing.T) {
 	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a footer byte: indistinguishable from a torn tail.
+	// Flip a footer byte. Under the tmp+rename protocol a committed *.sst
+	// always has a complete footer, so this is post-commit corruption of
+	// acknowledged data — a hard error, never a quarantinable torn tail.
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +279,11 @@ func TestOpenTableCorruptFooter(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenTable(path, testRegistry(), nil, 0); !errors.Is(err, ErrTornTable) {
-		t.Errorf("corrupt footer: err = %v, want ErrTornTable", err)
+	_, err = OpenTable(path, testRegistry(), nil, 0)
+	if !errors.Is(err, ErrCorruptTable) {
+		t.Errorf("corrupt footer: err = %v, want ErrCorruptTable", err)
+	}
+	if errors.Is(err, ErrTornTable) {
+		t.Error("corrupt footer misclassified as torn table")
 	}
 }

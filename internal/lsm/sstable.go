@@ -30,6 +30,12 @@ const (
 	footerSize     = 64
 	flagTombstone  = 1 << 0
 	defaultBlockSz = 4096
+
+	// Previous on-disk format (48-byte footer, no per-block hashes).
+	// Recognised only so that opening an old table fails with
+	// ErrUnsupportedTableVersion instead of being misread as damage.
+	tableMagicV1 = 0x62524c534d543031 // "bRLSMT01"
+	footerSizeV1 = 48
 )
 
 // ErrCorruptTable reports a malformed SSTable: the footer committed it,
@@ -43,6 +49,12 @@ var ErrCorruptTable = errors.New("lsm: corrupt sstable")
 // ErrCorruptTable this is expected after a crash and never represents
 // acknowledged data; DB.Open quarantines such files instead of failing.
 var ErrTornTable = errors.New("lsm: torn sstable (no committed footer)")
+
+// ErrUnsupportedTableVersion reports a table written by an older (or
+// newer) on-disk format. The data may be perfectly intact — the reader
+// just cannot parse it — so upgrades must fail loudly rather than let
+// the file be quarantined or misdiagnosed as corruption.
+var ErrUnsupportedTableVersion = errors.New("lsm: unsupported sstable format version")
 
 // TableWriter streams sorted records into an SSTable file. The bytes go
 // to <path>.tmp; Finish fsyncs and renames to the final path, so a crash
@@ -194,6 +206,19 @@ func (w *TableWriter) Finish() error {
 	return syncDir(filepath.Dir(w.path))
 }
 
+// hasV1Footer reports whether the file ends in a valid bRLSMT01 footer,
+// i.e. was committed by the previous format's writer.
+func hasV1Footer(f *os.File, size int64) bool {
+	if size < footerSizeV1 {
+		return false
+	}
+	foot := make([]byte, footerSizeV1)
+	if _, err := f.ReadAt(foot, size-footerSizeV1); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint64(foot[40:]) == hashutil.HashBytes(foot[:40], tableMagicV1)
+}
+
 // syncDir fsyncs a directory so a just-renamed table survives power loss.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -237,6 +262,10 @@ func OpenTable(path string, reg Registry, stats *IOStats, simLatency time.Durati
 		return nil, err
 	}
 	if st.Size() < footerSize {
+		if hasV1Footer(f, st.Size()) {
+			f.Close()
+			return nil, fmt.Errorf("%w: bRLSMT01 (48-byte footer)", ErrUnsupportedTableVersion)
+		}
 		f.Close()
 		return nil, fmt.Errorf("%w: %d-byte file", ErrTornTable, st.Size())
 	}
@@ -246,8 +275,15 @@ func OpenTable(path string, reg Registry, stats *IOStats, simLatency time.Durati
 		return nil, err
 	}
 	if binary.LittleEndian.Uint64(foot[56:]) != hashutil.HashBytes(foot[:56], tableMagic) {
+		if hasV1Footer(f, st.Size()) {
+			f.Close()
+			return nil, fmt.Errorf("%w: bRLSMT01 (48-byte footer)", ErrUnsupportedTableVersion)
+		}
 		f.Close()
-		return nil, fmt.Errorf("%w: bad footer checksum", ErrTornTable)
+		// Under the tmp+rename commit protocol every *.sst carries a
+		// complete footer, so a full-size file whose footer checksum fails
+		// is post-commit damage to acknowledged data — never a torn tail.
+		return nil, fmt.Errorf("%w: bad footer checksum", ErrCorruptTable)
 	}
 	indexOff := binary.LittleEndian.Uint64(foot[0:])
 	indexLen := binary.LittleEndian.Uint64(foot[8:])
