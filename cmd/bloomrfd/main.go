@@ -34,6 +34,12 @@
 // server: it reads keys (or "lo hi" ranges) from the file and fires them
 // at -probe-url in batches, over the JSON or the binary wire codec, and
 // reports end-to-end throughput (see probe.go and docs/performance.md).
+// Adding -probe-target-qps switches the probe to an open-loop schedule
+// that measures tail latency without coordinated omission (probe_openloop.go).
+//
+// -max-inflight-batches bounds how many batch requests the server serves
+// concurrently; excess load is shed with 429 + Retry-After instead of
+// queueing without bound, which keeps tail latency flat under overload.
 //
 // -pprof serves net/http/pprof on a loopback-only listener for hot-path
 // diagnosis; the server drains in-flight requests on SIGINT/SIGTERM
@@ -80,6 +86,8 @@ func main() {
 		"serve net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060) for hot-path diagnosis; empty disables")
 	skewThreshold := flag.Float64("skew-alert-threshold", 2.0,
 		"raise bloomrfd_filter_skew_alert and log a warning when a range-partitioned filter's key_skew exceeds this (0 disables)")
+	maxInflight := flag.Int("max-inflight-batches", 0,
+		"admission control: bound concurrently served batch requests (insert/query/query-range); beyond it the server sheds load with 429 + Retry-After instead of queueing; 0 disables")
 	follow := flag.String("follow", "",
 		"run as a read-only warm standby of the bloomrfd primary at this URL (e.g. http://primary:8077)")
 	probeFile := flag.String("probe-file", "",
@@ -96,6 +104,12 @@ func main() {
 		"items per request for -probe-file")
 	probeRounds := flag.Int("probe-rounds", 1,
 		"how many passes -probe-file makes over the file")
+	probeTargetQPS := flag.Float64("probe-target-qps", 0,
+		"open-loop mode for -probe-file: fire requests on a fixed schedule at this rate (requests/s) regardless of response latency, measuring each latency from its scheduled send time (coordinated-omission-safe); 0 keeps the closed-loop rounds mode")
+	probeDuration := flag.Duration("probe-duration", 10*time.Second,
+		"how long an open-loop probe run (-probe-target-qps > 0) fires for")
+	probeOut := flag.String("probe-out", "",
+		"append the open-loop probe result as one JSON line to this file; empty prints to stdout only")
 	lsmBench := flag.Bool("lsm-bench", false,
 		"run the YCSB-driven LSM filter comparison (the paper's end-to-end scenario) instead of serving, write the report and exit")
 	lsmBenchOut := flag.String("lsm-bench-out", "BENCH_PR6.json",
@@ -149,6 +163,7 @@ func main() {
 			File: *probeFile, URL: *probeURL, Filter: *probeFilter,
 			Op: *probeOp, Codec: *probeCodec, Batch: *probeBatch,
 			Rounds: *probeRounds, AuthToken: token,
+			TargetQPS: *probeTargetQPS, Duration: *probeDuration, Out: *probeOut,
 		}); err != nil {
 			log.Fatalf("bloomrfd: probe: %v", err)
 		}
@@ -163,6 +178,7 @@ func main() {
 		DefaultPartitioning: defaultPart,
 		AuthToken:           token,
 		SkewAlertThreshold:  *skewThreshold,
+		MaxInflightBatches:  *maxInflight,
 	}
 	reg := server.NewRegistry()
 	var (
@@ -244,11 +260,7 @@ func main() {
 	}
 
 	log.Printf("bloomrfd: shutting down (draining for up to %s)", *shutdownTimeout)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("bloomrfd: shutdown: %v", err)
-	}
+	drainServer(srv, *shutdownTimeout, log.Printf)
 	if snapshotter != nil {
 		snapshotter.Stop()
 	}
@@ -265,6 +277,25 @@ func main() {
 		}
 	}
 	log.Printf("bloomrfd: bye")
+}
+
+// drainServer shuts srv down gracefully, waiting up to timeout for
+// in-flight requests. A drain that times out used to be swallowed
+// silently, leaving the operator to wonder why clients saw reset
+// connections; now it is logged explicitly and the listener is force-closed
+// so the shutdown sequence (final snapshot, WAL close) still runs promptly.
+func drainServer(srv *http.Server, timeout time.Duration, logf func(string, ...any)) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		logf("bloomrfd: shutdown: drain timed out after %s with requests still in flight; closing them forcibly (final snapshot still runs)", timeout)
+		_ = srv.Close()
+	default:
+		logf("bloomrfd: shutdown: %v", err)
+	}
 }
 
 // startPprof serves the net/http/pprof handlers on addr, refusing anything

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestDrainServerLogsTimeout pins the shutdown-timeout satellite: a drain
+// that expires with a request still in flight must say so out loud and
+// return promptly (so the final snapshot still runs), not swallow the
+// DeadlineExceeded and leave the operator guessing.
+func TestDrainServerLogsTimeout(t *testing.T) {
+	release := make(chan struct{})
+	handlerDone := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(handlerDone)
+		<-release // hang until the test lets go
+	})}
+	defer close(release)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	// Park one request inside the handler so the drain cannot complete.
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	var logs []string
+	start := time.Now()
+	drainServer(srv, 50*time.Millisecond, func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("drainServer took %s with a hung request, want prompt return", took)
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "drain timed out") || !strings.Contains(joined, "still in flight") {
+		t.Fatalf("timeout drain logged %q, want an explicit drain-timeout warning", joined)
+	}
+	if !strings.Contains(joined, "final snapshot still runs") {
+		t.Fatalf("warning %q does not reassure that shutdown continues", joined)
+	}
+}
+
+// TestDrainServerCleanIsQuiet: a drain with nothing in flight completes
+// silently — the warning is reserved for the pathological case.
+func TestDrainServerCleanIsQuiet(t *testing.T) {
+	srv := &http.Server{Handler: http.NewServeMux()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	var logs []string
+	drainServer(srv, time.Second, func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	if len(logs) != 0 {
+		t.Fatalf("clean drain logged %q, want silence", logs)
+	}
+}
+
+// writeProbeFile drops n sequential keys into a temp probe file.
+func writeProbeFile(t *testing.T, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d\n", i)
+	}
+	path := filepath.Join(t.TempDir(), "keys.txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenLoopProbe drives the open-loop generator against a real API for
+// both codecs and checks the JSON report: the schedule was honored, every
+// request succeeded, and the percentile fields are populated and ordered.
+func TestOpenLoopProbe(t *testing.T) {
+	reg := server.NewRegistry()
+	if _, err := reg.Create("probe", server.FilterOptions{ExpectedKeys: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewAPI(reg))
+	defer ts.Close()
+	file := writeProbeFile(t, 1000)
+
+	for _, codec := range []string{"json", "binary"} {
+		outPath := filepath.Join(t.TempDir(), "probe.json")
+		err := runProbe(probeOptions{
+			File: file, URL: ts.URL, Filter: "probe", Op: "query",
+			Codec: codec, Batch: 100, Rounds: 1,
+			TargetQPS: 200, Duration: 300 * time.Millisecond, Out: outPath,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res openLoopResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("%s: report not JSON: %v in %q", codec, err, data)
+		}
+		if res.Codec != codec || res.Op != "query" || res.TargetQPS != 200 {
+			t.Fatalf("%s: report misidentifies the run: %+v", codec, res)
+		}
+		if res.Requests < 50 || res.OK != res.Requests || res.Rejected != 0 || res.Errors != 0 {
+			t.Fatalf("%s: counts off (expected every scheduled request to succeed): %+v", codec, res)
+		}
+		if res.P50Ms <= 0 || res.P99Ms < res.P50Ms || res.P999Ms < res.P99Ms || res.MaxMs < res.P999Ms {
+			t.Fatalf("%s: percentiles empty or unordered: %+v", codec, res)
+		}
+		if res.AchievedQPS <= 0 {
+			t.Fatalf("%s: achieved QPS not reported: %+v", codec, res)
+		}
+	}
+}
+
+// TestOpenLoopProbeCountsShed pins the probe's overload accounting: 429s
+// are rejected work the admission controller shed on purpose, not errors,
+// and an all-shed run is still a successful measurement.
+func TestOpenLoopProbeCountsShed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	file := writeProbeFile(t, 100)
+
+	outPath := filepath.Join(t.TempDir(), "probe.json")
+	err := runProbe(probeOptions{
+		File: file, URL: ts.URL, Filter: "probe", Op: "query",
+		Codec: "binary", Batch: 10, Rounds: 1,
+		TargetQPS: 100, Duration: 200 * time.Millisecond, Out: outPath,
+	})
+	if err != nil {
+		t.Fatalf("all-shed run must not be an error: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res openLoopResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 0 || res.Errors != 0 || res.Rejected != res.Requests {
+		t.Fatalf("shed accounting off: %+v", res)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission pins the methodology itself: with a
+// server that stalls every request far longer than the dispatch interval,
+// a closed-loop client would send ~duration/stall requests; the open-loop
+// schedule must keep sending and report a p50 that includes the stall.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	const stall = 100 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(stall)
+		w.Write([]byte(`{"results":[]}`))
+	}))
+	defer ts.Close()
+	file := writeProbeFile(t, 100)
+
+	outPath := filepath.Join(t.TempDir(), "probe.json")
+	err := runProbe(probeOptions{
+		File: file, URL: ts.URL, Filter: "probe", Op: "query",
+		Codec: "binary", Batch: 10, Rounds: 1,
+		TargetQPS: 100, Duration: 300 * time.Millisecond, Out: outPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res openLoopResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	// Closed-loop at a 100ms stall would manage ~3 requests in 300ms; the
+	// open-loop schedule fires ~30 regardless of response latency.
+	if res.Requests < 20 {
+		t.Fatalf("schedule collapsed to %d requests under a stalling server (coordinated omission)", res.Requests)
+	}
+	if res.P50Ms < float64(stall/time.Millisecond) {
+		t.Fatalf("p50 %.1fms below the server stall %s — latencies not measured from scheduled time", res.P50Ms, stall)
+	}
+}

@@ -33,6 +33,12 @@ type probeOptions struct {
 	Batch     int
 	Rounds    int
 	AuthToken string
+
+	// Open-loop mode (probe_openloop.go). TargetQPS > 0 replaces the
+	// closed-loop rounds above with a fixed request schedule.
+	TargetQPS float64
+	Duration  time.Duration
+	Out       string
 }
 
 // runProbe executes one probe session and prints a summary line.
@@ -59,6 +65,10 @@ func runProbe(o probeOptions) error {
 	}
 	if items == 0 {
 		return fmt.Errorf("probe file %s holds no usable lines", o.File)
+	}
+
+	if o.TargetQPS > 0 {
+		return runOpenLoop(o, keys, ranges, os.Stdout)
 	}
 
 	p := &prober{opts: o, client: &http.Client{Timeout: 5 * time.Minute}}

@@ -1,0 +1,252 @@
+package main
+
+// Open-loop load generation: -probe-target-qps fires requests on a fixed
+// schedule — request i departs at start + i/qps whether or not earlier
+// responses have arrived — and measures each latency from that *scheduled*
+// time. A closed-loop client (send, wait, send) silently stops sending
+// while the server stalls, so a one-second hiccup costs it one bad sample
+// instead of the thousand requests that real, independent clients would
+// have sent into the stall; that under-counting is coordinated omission,
+// and the fixed schedule is the standard fix. 429 responses count as
+// rejected (the admission controller doing its job), not as errors.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// openLoopResult is the machine-readable record of one open-loop run, one
+// JSON object per line in -probe-out (scripts/latency_bench.sh merges
+// these into BENCH_PR7.json).
+type openLoopResult struct {
+	Op          string  `json:"op"`
+	Codec       string  `json:"codec"`
+	Filter      string  `json:"filter"`
+	Batch       int     `json:"batch"`
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Rejected    int     `json:"rejected"` // 429: shed by admission control
+	Errors      int     `json:"errors"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// encodedBodies pre-builds the request payloads for every batch the run
+// will cycle through. The closed-loop prober reuses one frame buffer,
+// which an open-loop client cannot (its requests overlap in flight);
+// encoding everything up front keeps the dispatch path allocation-light
+// and the schedule honest.
+func encodedBodies(o probeOptions, keys []uint64, ranges [][2]uint64) (bodies [][]byte, contentType string, err error) {
+	appendRangeBatch := func(rs [][2]uint64) error {
+		if o.Codec == "binary" {
+			bodies = append(bodies, wire.AppendRangesRequest(nil, rs))
+			return nil
+		}
+		js := make([]map[string]uint64, len(rs))
+		for i, r := range rs {
+			js[i] = map[string]uint64{"lo": r[0], "hi": r[1]}
+		}
+		b, err := json.Marshal(map[string]any{"ranges": js})
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+		return nil
+	}
+	appendKeyBatch := func(ks []uint64) error {
+		if o.Codec == "binary" {
+			op := wire.OpQuery
+			if o.Op == "insert" {
+				op = wire.OpInsert
+			}
+			bodies = append(bodies, wire.AppendKeysRequest(nil, op, ks))
+			return nil
+		}
+		b, err := json.Marshal(map[string]any{"keys": ks})
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+		return nil
+	}
+
+	if o.Op == "query-range" {
+		for lo := 0; lo < len(ranges); lo += o.Batch {
+			if err := appendRangeBatch(ranges[lo:min(lo+o.Batch, len(ranges))]); err != nil {
+				return nil, "", err
+			}
+		}
+	} else {
+		for lo := 0; lo < len(keys); lo += o.Batch {
+			if err := appendKeyBatch(keys[lo:min(lo+o.Batch, len(keys))]); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	contentType = "application/json"
+	if o.Codec == "binary" {
+		contentType = wire.ContentType
+	}
+	return bodies, contentType, nil
+}
+
+// runOpenLoop drives one open-loop session and writes the human summary to
+// out (plus a JSON line to o.Out when set).
+func runOpenLoop(o probeOptions, keys []uint64, ranges [][2]uint64, out io.Writer) error {
+	if o.Duration <= 0 {
+		return fmt.Errorf("-probe-duration %s must be > 0 in open-loop mode", o.Duration)
+	}
+	bodies, contentType, err := encodedBodies(o, keys, ranges)
+	if err != nil {
+		return err
+	}
+	endpoint := (&prober{opts: o}).endpoint()
+	client := &http.Client{
+		Timeout: 2 * o.Duration,
+		// Open-loop fan-out overlaps many requests on purpose; don't let the
+		// default per-host connection cap (2 idle) serialize them.
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+	}
+
+	interval := time.Duration(float64(time.Second) / o.TargetQPS)
+	total := int(o.Duration / interval)
+	if total < 1 {
+		total = 1
+	}
+
+	var (
+		mu                    sync.Mutex
+		latencies             []time.Duration // successful (200) requests only
+		ok, rejected, errors_ int
+		firstErr              error
+		wg                    sync.WaitGroup
+	)
+	fire := func(i int, scheduled time.Time) {
+		defer wg.Done()
+		req, err := http.NewRequest("POST", endpoint, bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			mu.Lock()
+			errors_++
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		req.Header.Set("Content-Type", contentType)
+		if o.AuthToken != "" {
+			req.Header.Set("Authorization", "Bearer "+o.AuthToken)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			mu.Lock()
+			errors_++
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// Latency from the *scheduled* departure: a request the client had
+		// to delay because the scheduler fell behind still charges the
+		// server for the whole wait, exactly as an independent client would
+		// have experienced it.
+		lat := time.Since(scheduled)
+		mu.Lock()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			ok++
+			latencies = append(latencies, lat)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected++
+		default:
+			errors_++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server answered %s", resp.Status)
+			}
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go fire(i, scheduled)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(latencies))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	res := openLoopResult{
+		Op: o.Op, Codec: o.Codec, Filter: o.Filter, Batch: o.Batch,
+		TargetQPS:   o.TargetQPS,
+		AchievedQPS: float64(ok) / elapsed.Seconds(),
+		DurationS:   elapsed.Seconds(),
+		Requests:    total, OK: ok, Rejected: rejected, Errors: errors_,
+		P50Ms: pct(0.50), P90Ms: pct(0.90), P99Ms: pct(0.99), P999Ms: pct(0.999),
+		MaxMs: pct(1.0),
+	}
+	fmt.Fprintf(out,
+		"bloomrfd probe (open-loop): op=%s codec=%s target=%.0f req/s achieved=%.0f req/s requests=%d ok=%d rejected=%d errors=%d p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms\n",
+		res.Op, res.Codec, res.TargetQPS, res.AchievedQPS, res.Requests,
+		res.OK, res.Rejected, res.Errors, res.P50Ms, res.P99Ms, res.P999Ms, res.MaxMs)
+
+	if o.Out != "" {
+		line, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		f, err := os.OpenFile(o.Out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	// A run where nothing succeeded is a failed run — unless everything was
+	// shed, which a saturation run (scripts/latency_bench.sh) does on
+	// purpose and asserts on via the rejected count.
+	if ok == 0 && rejected == 0 {
+		return fmt.Errorf("no request succeeded: %v", firstErr)
+	}
+	return nil
+}

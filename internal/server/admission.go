@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Admission control for the batch request path. Without a bound, overload
+// is unbounded queueing: every excess insert/query/query-range request gets
+// a goroutine, a scratch buffer and a seat in the scheduler, latency grows
+// without limit, and the process eventually collapses rather than serving
+// what it can. With -max-inflight-batches set, at most that many op
+// requests execute concurrently; excess load is shed immediately with
+// 429 + Retry-After, before any body is read, so a rejected request costs
+// the server a header parse and the client knows to back off. Shedding is
+// visible in bloomrfd_admission_{limit,inflight,rejected_total}.
+//
+// The semaphore is a CAS loop on an atomic counter rather than a buffered
+// channel: acquire and release are a few nanoseconds on the hot path, the
+// in-flight gauge is the counter itself (it never reads above the limit),
+// and a nil *admission — the default, no limit configured — costs one
+// predictable branch.
+
+// admission is the bounded in-flight-batch semaphore. A nil *admission
+// admits everything.
+type admission struct {
+	limit    int64
+	inflight atomic.Int64
+	rejected atomic.Uint64
+}
+
+// newAdmission builds a semaphore admitting limit concurrent requests;
+// limit <= 0 means unbounded (nil).
+func newAdmission(limit int) *admission {
+	if limit <= 0 {
+		return nil
+	}
+	return &admission{limit: int64(limit)}
+}
+
+// tryAcquire claims an in-flight slot, or reports failure after counting
+// the rejection. The CAS keeps the counter itself bounded by limit, so the
+// exported gauge can never read above the configured bound.
+func (ad *admission) tryAcquire() bool {
+	if ad == nil {
+		return true
+	}
+	for {
+		cur := ad.inflight.Load()
+		if cur >= ad.limit {
+			ad.rejected.Add(1)
+			return false
+		}
+		if ad.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// release returns an acquired slot. Safe on a nil receiver so handlers can
+// defer it unconditionally.
+func (ad *admission) release() {
+	if ad != nil {
+		ad.inflight.Add(-1)
+	}
+}
+
+// admit gates one op request behind the in-flight bound, writing the shed
+// response on rejection: 429 with Retry-After and the usual JSON error
+// body, the signal a well-behaved client backs off on.
+func (a *API) admit(w http.ResponseWriter) bool {
+	if a.adm.tryAcquire() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests,
+		"server is at its in-flight batch limit (%d); retry with backoff", a.adm.limit)
+	return false
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionPrimitiveBound hammers the CAS semaphore from many
+// goroutines and checks the two invariants the /metrics gauge depends on:
+// concurrency never exceeds the limit, and every attempt is accounted as
+// either admitted or rejected.
+func TestAdmissionPrimitiveBound(t *testing.T) {
+	const limit, workers, attempts = 4, 16, 2_000
+	ad := newAdmission(limit)
+	var (
+		mu       sync.Mutex
+		cur, max int
+		admitted uint64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				if !ad.tryAcquire() {
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > max {
+					max = cur
+				}
+				admitted++
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				ad.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if max > limit {
+		t.Fatalf("observed %d concurrent holders, limit %d", max, limit)
+	}
+	if got := ad.inflight.Load(); got != 0 {
+		t.Fatalf("inflight = %d after all released, want 0", got)
+	}
+	if admitted+ad.rejected.Load() != workers*attempts {
+		t.Fatalf("admitted %d + rejected %d != attempts %d",
+			admitted, ad.rejected.Load(), workers*attempts)
+	}
+	if nilAd := newAdmission(0); nilAd != nil {
+		t.Fatalf("newAdmission(0) = %v, want nil (disabled)", nilAd)
+	}
+	var disabled *admission
+	if !disabled.tryAcquire() {
+		t.Fatal("disabled admission rejected a request")
+	}
+	disabled.release()
+}
+
+// TestAdmissionHTTPBound fills the server's in-flight budget with requests
+// whose bodies never finish arriving (the handler admits before it decodes,
+// so each one parks inside decode holding a slot), then requires the next
+// request to be shed with 429 + Retry-After while the gauge stays pinned at
+// the limit.
+func TestAdmissionHTTPBound(t *testing.T) {
+	const limit = 3
+	reg := NewRegistry()
+	if _, err := reg.Create("f", FilterOptions{ExpectedKeys: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewConfiguredAPI(reg, nil, Config{MaxInflightBatches: limit})
+	srv := httptest.NewServer(a)
+	defer srv.Close()
+
+	// Park `limit` requests mid-body. Each write unblocks once the handler
+	// has read the fragment, which it only does after admission.
+	type parked struct {
+		pw   *io.PipeWriter
+		done chan *http.Response
+	}
+	var held []parked
+	for i := 0; i < limit; i++ {
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest("POST", srv.URL+"/v1/filters/f/query", pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		done := make(chan *http.Response, 1)
+		go func() {
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Errorf("parked request: %v", err)
+				close(done)
+				return
+			}
+			done <- resp
+		}()
+		if _, err := pw.Write([]byte(`{"keys":[1`)); err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, parked{pw, done})
+	}
+
+	// Wait until all slots are visibly held — the pipe write returning only
+	// proves the bytes left the client, not that the handler admitted yet.
+	metrics := func() string {
+		mr, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mr.Body.Close()
+		b, _ := io.ReadAll(mr.Body)
+		return string(b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(metrics(), fmt.Sprintf("bloomrfd_admission_inflight %d", limit)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge never reached %d:\n%s", limit, grepLines(metrics(), "admission"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// All slots held: the next request must be shed immediately.
+	resp, err := srv.Client().Post(srv.URL+"/v1/filters/f/query",
+		"application/json", strings.NewReader(`{"keys":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body is not a JSON error: %q (%v)", body, err)
+	}
+	if !strings.Contains(e.Error, fmt.Sprint(limit)) {
+		t.Fatalf("429 error %q does not name the limit %d", e.Error, limit)
+	}
+
+	// The exported gauge is pinned at the limit, never above it, and the
+	// shed request is counted.
+	m := metrics()
+	for _, want := range []string{
+		fmt.Sprintf("bloomrfd_admission_limit %d", limit),
+		fmt.Sprintf("bloomrfd_admission_inflight %d", limit),
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("missing %q in:\n%s", want, grepLines(m, "admission"))
+		}
+	}
+	if !strings.Contains(m, "bloomrfd_admission_rejected_total") ||
+		strings.Contains(m, "bloomrfd_admission_rejected_total 0") {
+		t.Fatalf("rejected_total not incremented:\n%s", grepLines(m, "admission"))
+	}
+
+	// Finish the parked bodies; the slots drain and service resumes.
+	for _, p := range held {
+		if _, err := p.pw.Write([]byte(`]}`)); err != nil {
+			t.Fatal(err)
+		}
+		p.pw.Close()
+	}
+	for _, p := range held {
+		if resp := <-p.done; resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("parked request finished with %d, want 200", resp.StatusCode)
+			}
+		}
+	}
+	resp2, err := srv.Client().Post(srv.URL+"/v1/filters/f/query",
+		"application/json", strings.NewReader(`{"keys":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain request: status %d, want 200", resp2.StatusCode)
+	}
+	// Release runs as a deferred call after the handler returns, which can
+	// trail the client seeing the response by a scheduler tick.
+	for !strings.Contains(metrics(), "bloomrfd_admission_inflight 0") {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight gauge did not return to 0:\n%s", grepLines(metrics(), "admission"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdmissionDisabledNoMetrics: without -max-inflight-batches the
+// admission series are absent (not emitted as zeros), so dashboards can
+// distinguish "unlimited" from "limit 0".
+func TestAdmissionDisabledNoMetrics(t *testing.T) {
+	a, _ := newBinaryTestAPI(t, FilterOptions{ExpectedKeys: 1000})
+	_, body := doReq(t, a, "GET", "/metrics", "")
+	if strings.Contains(body, "bloomrfd_admission") {
+		t.Fatalf("admission metrics emitted with admission disabled:\n%s", grepLines(body, "admission"))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -142,6 +143,11 @@ func decodeBadFrame(w http.ResponseWriter, err error) {
 // registry name (passed explicitly because the fast route bypasses the
 // mux's PathValue machinery).
 func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter, name string) {
+	if !a.admit(w) {
+		return
+	}
+	defer a.adm.release()
+	defer f.observeLatency(opInsert, codecBinary, time.Now())
 	sc := getScratch()
 	defer putScratch(sc)
 	h, ok := readBinaryFrame(w, r, sc)
@@ -159,6 +165,7 @@ func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *Shar
 	}
 	sc.keys = keys
 	f.insertBatchWith(keys, sc)
+	a.noteMutationSkew(name, f)
 	// Apply first, append second — the same durability contract as the JSON
 	// path (durability.go). Encoding the record is skipped entirely when no
 	// WAL is attached, which keeps serving-only inserts allocation-free.
@@ -174,6 +181,11 @@ func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *Shar
 
 // handleQueryBinary is the binary-codec point-query path.
 func (a *API) handleQueryBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter) {
+	if !a.admit(w) {
+		return
+	}
+	defer a.adm.release()
+	defer f.observeLatency(opQuery, codecBinary, time.Now())
 	sc := getScratch()
 	defer putScratch(sc)
 	h, ok := readBinaryFrame(w, r, sc)
@@ -198,6 +210,11 @@ func (a *API) handleQueryBinary(w http.ResponseWriter, r *http.Request, f *Shard
 
 // handleQueryRangeBinary is the binary-codec range-query path.
 func (a *API) handleQueryRangeBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter) {
+	if !a.admit(w) {
+		return
+	}
+	defer a.adm.release()
+	defer f.observeLatency(opQueryRange, codecBinary, time.Now())
 	sc := getScratch()
 	defer putScratch(sc)
 	h, ok := readBinaryFrame(w, r, sc)

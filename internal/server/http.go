@@ -77,6 +77,13 @@ type Config struct {
 	// /metrics and GET /v1/replication/status.
 	Replication func() ReplicationStatus
 
+	// MaxInflightBatches bounds how many insert/query/query-range requests
+	// (either codec) may execute concurrently; excess load is shed with
+	// 429 + Retry-After instead of queueing unboundedly (admission.go).
+	// <= 0 disables the bound. bloomrfd wires its -max-inflight-batches
+	// flag here.
+	MaxInflightBatches int
+
 	// SkewAlertThreshold arms the partition-skew alert: a range-partitioned
 	// filter whose key_skew (max/mean of per-shard resident keys) exceeds
 	// it gets bloomrfd_filter_skew_alert = 1 and a structured warning on
@@ -97,9 +104,11 @@ type API struct {
 	cfg   Config
 	start time.Time
 	mux   *http.ServeMux
+	adm   *admission // nil when MaxInflightBatches is unset
 
 	skewMu      sync.Mutex
-	skewAlerted map[string]bool // filters currently above the skew threshold
+	skewAlerted map[string]bool  // filters currently above the skew threshold
+	skewChecked map[string]int64 // last mutation-path skew evaluation, unix nanos
 }
 
 // NewAPI builds the HTTP API around a registry, without persistence: the
@@ -120,7 +129,8 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 	}
 	a := &API{
 		reg: reg, store: store, cfg: cfg, start: time.Now(),
-		mux: http.NewServeMux(), skewAlerted: make(map[string]bool),
+		mux: http.NewServeMux(), adm: newAdmission(cfg.MaxInflightBatches),
+		skewAlerted: make(map[string]bool), skewChecked: make(map[string]int64),
 	}
 	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -214,11 +224,19 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // decode reads the request body as JSON into v, rejecting unknown fields
-// and oversized bodies.
+// and oversized bodies. An oversized body is a 413, not a generic 400: the
+// client's JSON may be perfectly well-formed, and "split the batch" is a
+// different fix than "fix the syntax".
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d MiB limit; split the batch into smaller requests", maxBodyBytes>>20)
+			return false
+		}
 		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return false
 	}
@@ -373,6 +391,7 @@ func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	a.skewMu.Lock()
 	delete(a.skewAlerted, name) // a recreated name starts a fresh alert episode
+	delete(a.skewChecked, name)
 	a.skewMu.Unlock()
 	if regErr != nil {
 		writeErr(w, http.StatusNotFound, "filter %q not found", name)
@@ -421,6 +440,11 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 		a.handleInsertBinary(w, r, f, r.PathValue("name"))
 		return
 	}
+	if !a.admit(w) {
+		return
+	}
+	defer a.adm.release()
+	defer f.observeLatency(opInsert, codecJSON, time.Now())
 	var req keysReq
 	if !decode(w, r, &req) {
 		return
@@ -430,6 +454,7 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.InsertBatch(keys)
+	a.noteMutationSkew(r.PathValue("name"), f)
 	// Apply first, append second (durability.go): concurrent inserts
 	// group-commit into one WAL write, and a snapshot that captured the
 	// log end P is guaranteed to contain every record below P. Without a
@@ -453,6 +478,11 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		a.handleQueryBinary(w, r, f)
 		return
 	}
+	if !a.admit(w) {
+		return
+	}
+	defer a.adm.release()
+	defer f.observeLatency(opQuery, codecJSON, time.Now())
 	var req keysReq
 	if !decode(w, r, &req) {
 		return
@@ -494,6 +524,11 @@ func (a *API) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 		a.handleQueryRangeBinary(w, r, f)
 		return
 	}
+	if !a.admit(w) {
+		return
+	}
+	defer a.adm.release()
+	defer f.observeLatency(opQueryRange, codecJSON, time.Now())
 	var req rangesReq
 	if !decode(w, r, &req) {
 		return

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Per-operation latency histograms. Every served insert / query /
+// query-range request — JSON or binary — records its server-side latency
+// (handler entry to response written) into one of six histograms per
+// filter. The histogram is dependency-free and lock-free: fixed log-spaced
+// buckets of atomic counters, so the hot path costs one Len64, two atomic
+// adds and no allocation, and a /metrics scrape reads the counters without
+// stopping recorders.
+//
+// Bucket layout (HDR-style log-linear): bucket 0 catches everything below
+// 2^latMinExp ns (~4 µs — faster than any real handler pass); then each
+// power-of-two octave up to 2^latMaxExp ns (~8.6 s) splits into
+// 2^latSubBits linear sub-buckets, bounding the relative quantization
+// error at 1/2^latSubBits (12.5%); a final bucket catches everything
+// slower. /metrics exports the histogram at octave granularity (22 `le`
+// bounds + +Inf) to keep scrapes small, while the percentile gauges and
+// the stats summary are computed from the full fine-grained buckets.
+
+const (
+	latMinExp  = 12 // 2^12 ns = 4.096 µs: lower edge of the resolved region
+	latMaxExp  = 33 // 2^33 ns ≈ 8.59 s: upper edge of the resolved region
+	latSubBits = 3  // 8 linear sub-buckets per octave
+	latSub     = 1 << latSubBits
+
+	// numLatBuckets = underflow + (octaves × sub-buckets) + overflow.
+	numLatBuckets = 1 + (latMaxExp-latMinExp)*latSub + 1
+)
+
+// latBucket maps a latency in nanoseconds to its bucket index.
+func latBucket(ns int64) int {
+	if ns < 1<<latMinExp {
+		return 0
+	}
+	if ns >= 1<<latMaxExp {
+		return numLatBuckets - 1
+	}
+	e := bits.Len64(uint64(ns)) - 1 // floor(log2), in [latMinExp, latMaxExp)
+	sub := int(ns>>(uint(e)-latSubBits)) & (latSub - 1)
+	return 1 + (e-latMinExp)*latSub + sub
+}
+
+// latBucketUpperNs returns bucket i's exclusive upper bound in nanoseconds;
+// the overflow bucket reports +Inf.
+func latBucketUpperNs(i int) float64 {
+	if i <= 0 {
+		return 1 << latMinExp
+	}
+	if i >= numLatBuckets-1 {
+		return math.Inf(1)
+	}
+	i--
+	e := latMinExp + i/latSub
+	s := i % latSub
+	return float64(uint64(1)<<e + uint64(s+1)<<(e-latSubBits))
+}
+
+// latencyHist is one op×codec histogram: atomic bucket counters plus a
+// nanosecond sum for the mean and the Prometheus _sum series. The total
+// count is derived from the buckets, so a percentile walk is always
+// consistent with the counts it ranks against.
+type latencyHist struct {
+	buckets [numLatBuckets]atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+// observe records one request's latency.
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[latBucket(ns)].Add(1)
+	h.sumNs.Add(uint64(ns))
+}
+
+// latencySnapshot is a point-in-time copy of a histogram's counters. The
+// copy is not atomic across buckets — recorders keep running during a
+// scrape — so totals may be off by the handful of requests that completed
+// mid-read, which is harmless for monitoring.
+type latencySnapshot struct {
+	buckets [numLatBuckets]uint64
+	count   uint64
+	sumNs   uint64
+}
+
+// read snapshots the histogram.
+func (h *latencyHist) read() latencySnapshot {
+	var s latencySnapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+		s.count += s.buckets[i]
+	}
+	s.sumNs = h.sumNs.Load()
+	return s
+}
+
+// quantileNs returns the latency below which fraction q of observations
+// fall, as the upper bound of the bucket holding that rank (conservative:
+// the true quantile is at most the reported value, at least the bucket's
+// lower edge). The overflow bucket clamps to 2^latMaxExp. Returns 0 on an
+// empty snapshot.
+func (s *latencySnapshot) quantileNs(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.buckets {
+		cum += s.buckets[i]
+		if cum >= rank {
+			if i == numLatBuckets-1 {
+				return 1 << latMaxExp
+			}
+			return latBucketUpperNs(i)
+		}
+	}
+	return 1 << latMaxExp
+}
+
+// latOp / latCodec index a filter's histogram table.
+type latOp uint8
+
+const (
+	opInsert latOp = iota
+	opQuery
+	opQueryRange
+	numLatOps
+)
+
+type latCodec uint8
+
+const (
+	codecJSON latCodec = iota
+	codecBinary
+	numLatCodecs
+)
+
+// Label values for /metrics and the stats summary, indexed by the enums.
+var (
+	latOpNames    = [numLatOps]string{"insert", "query", "query-range"}
+	latCodecNames = [numLatCodecs]string{"json", "binary"}
+)
+
+// observeLatency records one served request against the filter's (op,
+// codec) histogram. Handlers defer it with time.Now() evaluated at entry,
+// so the measurement covers decode, execution and response encode; shed
+// (429) and malformed requests are not recorded — the histograms describe
+// served work, not the rejection fast path.
+func (s *ShardedFilter) observeLatency(op latOp, c latCodec, start time.Time) {
+	s.lat[op][c].observe(time.Since(start))
+}
+
+// OpLatency is one op×codec server-side latency summary in a filter's
+// stats response. Quantiles are bucket upper bounds (≤12.5% quantization).
+type OpLatency struct {
+	Op     string  `json:"op"`
+	Codec  string  `json:"codec"`
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// latencySummaries builds the stats-endpoint latency block: one entry per
+// op×codec pair that has served at least one request, in enum order.
+func (s *ShardedFilter) latencySummaries() []OpLatency {
+	var out []OpLatency
+	for op := latOp(0); op < numLatOps; op++ {
+		for c := latCodec(0); c < numLatCodecs; c++ {
+			snap := s.lat[op][c].read()
+			if snap.count == 0 {
+				continue
+			}
+			const msPerNs = 1e-6
+			out = append(out, OpLatency{
+				Op:     latOpNames[op],
+				Codec:  latCodecNames[c],
+				Count:  snap.count,
+				MeanMs: float64(snap.sumNs) / float64(snap.count) * msPerNs,
+				P50Ms:  snap.quantileNs(0.50) * msPerNs,
+				P99Ms:  snap.quantileNs(0.99) * msPerNs,
+				P999Ms: snap.quantileNs(0.999) * msPerNs,
+			})
+		}
+	}
+	return out
+}

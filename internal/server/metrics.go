@@ -31,14 +31,19 @@ type metricsWriter struct {
 	headed map[string]bool
 }
 
-// sample appends one sample line, with the metric's HELP/TYPE header before
-// the first. labels may be nil; values are escaped here, so callers pass
-// them raw.
-func (m *metricsWriter) sample(name, help, typ string, labels []label, value float64) {
+// header emits the metric's HELP/TYPE lines once per exposition.
+func (m *metricsWriter) header(name, help, typ string) {
 	if !m.headed[name] {
 		fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		m.headed[name] = true
 	}
+}
+
+// raw appends one sample line without header bookkeeping; the histogram
+// exporter uses it because a histogram's _bucket/_sum/_count samples share
+// one header under the family name. labels may be nil; values are escaped
+// here, so callers pass them raw.
+func (m *metricsWriter) raw(name string, labels []label, value float64) {
 	if len(labels) == 0 {
 		fmt.Fprintf(&m.b, "%s %g\n", name, value)
 		return
@@ -56,6 +61,13 @@ func (m *metricsWriter) sample(name, help, typ string, labels []label, value flo
 	fmt.Fprintf(&m.b, "} %g\n", value)
 }
 
+// sample appends one sample line, with the metric's HELP/TYPE header before
+// the first.
+func (m *metricsWriter) sample(name, help, typ string, labels []label, value float64) {
+	m.header(name, help, typ)
+	m.raw(name, labels, value)
+}
+
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	m := &metricsWriter{headed: make(map[string]bool)}
@@ -65,6 +77,14 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		now.Sub(a.start).Seconds())
 	m.sample("bloomrfd_persistence_enabled", "1 when a -data-dir snapshot store is attached.", "gauge", nil,
 		boolGauge(a.store != nil))
+	if ad := a.adm; ad != nil {
+		m.sample("bloomrfd_admission_limit", "Configured -max-inflight-batches bound.", "gauge", nil,
+			float64(ad.limit))
+		m.sample("bloomrfd_admission_inflight", "Insert/query/query-range requests currently executing (never exceeds the limit).", "gauge", nil,
+			float64(ad.inflight.Load()))
+		m.sample("bloomrfd_admission_rejected_total", "Requests shed with 429 because the in-flight limit was reached.", "counter", nil,
+			float64(ad.rejected.Load()))
+	}
 	m.sample("bloomrfd_readonly", "1 when this server rejects mutations (replication follower).", "gauge", nil,
 		boolGauge(a.cfg.ReadOnly))
 	if l := a.cfg.WAL; l != nil {
@@ -127,6 +147,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				now.Sub(time.Unix(0, snap.UnixNano)).Seconds())
 			m.sample("bloomrfd_filter_snapshot_bytes", "Total shard-blob bytes of the last durable snapshot.", "gauge", fl, float64(snap.Bytes))
 		}
+		latencyMetrics(m, name, f)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -138,6 +159,81 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// latencyMetrics renders one filter's per-op latency histograms: a
+// Prometheus histogram family (bloomrfd_op_latency_seconds with octave
+// `le` bounds — the fine-grained internal buckets would cost ~170 lines
+// per series on every scrape) plus precomputed p50/p99/p999 gauges walked
+// over the full-resolution buckets. Series with zero observations are
+// omitted so idle filters do not bloat the exposition.
+func latencyMetrics(m *metricsWriter, name string, f *ShardedFilter) {
+	for op := latOp(0); op < numLatOps; op++ {
+		for c := latCodec(0); c < numLatCodecs; c++ {
+			snap := f.lat[op][c].read()
+			if snap.count == 0 {
+				continue
+			}
+			base := []label{{"filter", name}, {"op", latOpNames[op]}, {"codec", latCodecNames[c]}}
+			m.header("bloomrfd_op_latency_seconds",
+				"Server-side request latency by operation and codec (handler entry to response written).", "histogram")
+			cum := snap.buckets[0]
+			m.raw("bloomrfd_op_latency_seconds_bucket",
+				append(base[:3:3], label{"le", leSeconds(1 << latMinExp)}), float64(cum))
+			idx := 1
+			for e := latMinExp; e < latMaxExp; e++ {
+				for s := 0; s < latSub; s++ {
+					cum += snap.buckets[idx]
+					idx++
+				}
+				m.raw("bloomrfd_op_latency_seconds_bucket",
+					append(base[:3:3], label{"le", leSeconds(1 << (e + 1))}), float64(cum))
+			}
+			cum += snap.buckets[idx]
+			m.raw("bloomrfd_op_latency_seconds_bucket",
+				append(base[:3:3], label{"le", "+Inf"}), float64(cum))
+			m.raw("bloomrfd_op_latency_seconds_sum", base, float64(snap.sumNs)*1e-9)
+			m.raw("bloomrfd_op_latency_seconds_count", base, float64(cum))
+			m.sample("bloomrfd_op_latency_p50_seconds",
+				"Median server-side latency (bucket upper bound).", "gauge", base, snap.quantileNs(0.50)*1e-9)
+			m.sample("bloomrfd_op_latency_p99_seconds",
+				"99th-percentile server-side latency (bucket upper bound).", "gauge", base, snap.quantileNs(0.99)*1e-9)
+			m.sample("bloomrfd_op_latency_p999_seconds",
+				"99.9th-percentile server-side latency (bucket upper bound).", "gauge", base, snap.quantileNs(0.999)*1e-9)
+		}
+	}
+}
+
+// leSeconds formats a nanosecond bucket bound as a Prometheus `le` label
+// value in seconds.
+func leSeconds(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)*1e-9, 'g', -1, 64)
+}
+
+// skewCheckInterval throttles the mutation-path skew evaluation: computing
+// key skew is an O(shards) atomic walk — trivial once a second, wasteful
+// on every request of a 100k-QPS insert flood.
+const skewCheckInterval = time.Second
+
+// noteMutationSkew evaluates the partition-skew alert after a mutation on
+// a range-partitioned filter, at most once per skewCheckInterval per
+// filter. This keeps the documented once-per-episode warning
+// scrape-independent: before this hook, noteSkew ran only from
+// handleMetrics, so a deployment without a Prometheus scraper never got
+// the log line at all.
+func (a *API) noteMutationSkew(name string, f *ShardedFilter) {
+	if a.cfg.SkewAlertThreshold <= 0 || f.Partitioning() != PartitionRange {
+		return
+	}
+	now := time.Now().UnixNano()
+	a.skewMu.Lock()
+	if last := a.skewChecked[name]; now-last < int64(skewCheckInterval) {
+		a.skewMu.Unlock()
+		return
+	}
+	a.skewChecked[name] = now
+	a.skewMu.Unlock()
+	a.noteSkew(name, f.KeySkew())
 }
 
 // noteSkew evaluates the partition-skew alert for one range-partitioned

@@ -139,6 +139,10 @@ type ShardedFilter struct {
 	shardPointProbes []atomic.Uint64
 	shardRangeProbes []atomic.Uint64
 
+	// Server-side latency histograms per op × codec (latency.go). The API
+	// handlers record into them; /metrics and Stats read them.
+	lat [numLatOps][numLatCodecs]latencyHist
+
 	snap atomic.Pointer[SnapshotInfo] // last durable snapshot, nil if none
 }
 
@@ -369,6 +373,9 @@ type ShardedStats struct {
 	// spread and 0 while the filter is empty.
 	KeySkew  float64       `json:"key_skew"`
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
+	// Latency summarizes server-side per-op latency, one entry per
+	// op × codec pair that has served at least one request (latency.go).
+	Latency []OpLatency `json:"latency,omitempty"`
 }
 
 // Stats returns aggregate occupancy statistics.
@@ -410,5 +417,24 @@ func (s *ShardedFilter) Stats() ShardedStats {
 	if sumKeys > 0 {
 		st.KeySkew = float64(maxKeys) * float64(s.n) / float64(sumKeys)
 	}
+	st.Latency = s.latencySummaries()
 	return st
+}
+
+// KeySkew returns max/mean of per-shard resident keys — the same value as
+// Stats().KeySkew without the full stats walk, cheap enough for the
+// mutation-path skew check (metrics.go).
+func (s *ShardedFilter) KeySkew() float64 {
+	var maxKeys, sumKeys uint64
+	for i := range s.shardKeys {
+		k := s.shardKeys[i].Load()
+		sumKeys += k
+		if k > maxKeys {
+			maxKeys = k
+		}
+	}
+	if sumKeys == 0 {
+		return 0
+	}
+	return float64(maxKeys) * float64(s.n) / float64(sumKeys)
 }

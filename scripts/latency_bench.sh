@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Tail-latency harness for bloomrfd: starts a server, seeds a filter, and
+# drives the open-loop probe (-probe-target-qps, coordinated-omission-safe;
+# see docs/performance.md) at several target rates over both codecs,
+# recording client-side percentiles. A second, deliberately tiny server
+# (-max-inflight-batches 1) is then saturated to demonstrate admission
+# control shedding with 429 + Retry-After. All runs merge into one JSON
+# report.
+#
+# Usage, from the repository root:
+#
+#   ./scripts/latency_bench.sh                      # writes BENCH_PR7.json
+#   QPS_LEVELS="200 2000" DURATION=10s ./scripts/latency_bench.sh
+#   ASSERT=1 ./scripts/latency_bench.sh             # CI: fail unless /metrics
+#                                                   # shows latency histograms
+#                                                   # and the saturating run
+#                                                   # was shed with ≥1 429
+set -euo pipefail
+
+QPS_LEVELS="${QPS_LEVELS:-200 1000}"
+DURATION="${DURATION:-5s}"
+BATCH="${BATCH:-1024}"
+KEYS="${KEYS:-50000}"
+OUT="${OUT:-BENCH_PR7.json}"
+ASSERT="${ASSERT:-0}"
+
+ADDR="127.0.0.1:18087";  BASE="http://$ADDR"
+ADDR2="127.0.0.1:18088"; BASE2="http://$ADDR2"
+WORK="$(mktemp -d)"
+trap 'kill -9 $PID $PID2 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PID=""; PID2=""
+
+go build -o "$WORK/bloomrfd" ./cmd/bloomrfd
+
+wait_healthy() {
+  local base="$1" log="$2"
+  for _ in $(seq 1 100); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server at $base did not become healthy; log:" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+echo "== start server (ample admission budget) =="
+"$WORK/bloomrfd" -addr "$ADDR" -max-inflight-batches 64 \
+    >>"$WORK/server.log" 2>&1 &
+PID=$!
+wait_healthy "$BASE" "$WORK/server.log"
+
+echo "== seed filter with $KEYS keys =="
+seq 1 "$KEYS" > "$WORK/keys.txt"
+curl -sf -XPOST "$BASE/v1/filters" \
+    -d "{\"name\":\"bench\",\"expected_keys\":$KEYS,\"bits_per_key\":16,\"shards\":4}" >/dev/null
+"$WORK/bloomrfd" -probe-file "$WORK/keys.txt" -probe-url "$BASE" \
+    -probe-filter bench -probe-op insert -probe-codec binary -probe-batch 8192
+
+RUNS="$WORK/runs.jsonl"
+echo "== open-loop query runs: qps ∈ {$QPS_LEVELS} × codec ∈ {json, binary} =="
+for qps in $QPS_LEVELS; do
+  for codec in json binary; do
+    "$WORK/bloomrfd" -probe-file "$WORK/keys.txt" -probe-url "$BASE" \
+        -probe-filter bench -probe-op query -probe-codec "$codec" \
+        -probe-batch "$BATCH" -probe-target-qps "$qps" \
+        -probe-duration "$DURATION" -probe-out "$RUNS"
+  done
+done
+
+echo "== scrape /metrics for latency histograms =="
+curl -sf "$BASE/metrics" > "$WORK/metrics.txt"
+grep -c '^bloomrfd_op_latency_seconds_bucket' "$WORK/metrics.txt" >/dev/null || {
+  if [ "$ASSERT" = "1" ]; then
+    echo "ASSERT FAILED: /metrics exposes no bloomrfd_op_latency_seconds_bucket series" >&2
+    exit 1
+  fi
+  echo "warning: no latency histogram series on /metrics" >&2
+}
+grep '^bloomrfd_op_latency_p99_seconds' "$WORK/metrics.txt" || true
+
+echo "== saturation run against -max-inflight-batches 1 =="
+"$WORK/bloomrfd" -addr "$ADDR2" -max-inflight-batches 1 \
+    >>"$WORK/server2.log" 2>&1 &
+PID2=$!
+wait_healthy "$BASE2" "$WORK/server2.log"
+curl -sf -XPOST "$BASE2/v1/filters" \
+    -d "{\"name\":\"bench\",\"expected_keys\":$KEYS,\"bits_per_key\":16,\"shards\":4}" >/dev/null
+"$WORK/bloomrfd" -probe-file "$WORK/keys.txt" -probe-url "$BASE2" \
+    -probe-filter bench -probe-op query -probe-codec binary \
+    -probe-batch 8192 -probe-target-qps 2000 -probe-duration 3s \
+    -probe-out "$WORK/saturation.jsonl"
+
+REJECTED="$(grep -o '"rejected":[0-9]*' "$WORK/saturation.jsonl" | head -1 | cut -d: -f2)"
+curl -sf "$BASE2/metrics" | grep '^bloomrfd_admission' || true
+if [ "${REJECTED:-0}" -lt 1 ]; then
+  if [ "$ASSERT" = "1" ]; then
+    echo "ASSERT FAILED: saturating run was never shed (rejected=$REJECTED, want ≥1 429)" >&2
+    exit 1
+  fi
+  echo "warning: saturating run produced no 429s (rejected=$REJECTED)" >&2
+else
+  echo "saturation shed $REJECTED requests with 429 (admission control held)"
+fi
+
+awk -v go_version="$(go version | cut -d' ' -f3)" \
+    -v duration="$DURATION" -v batch="$BATCH" \
+    -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+{ runs[++n] = $0 }
+END {
+  printf "{\n"
+  printf "  \"meta\": {\"go\": \"%s\", \"duration\": \"%s\", \"batch\": %s, \"generated\": \"%s\",\n", go_version, duration, batch, now
+  printf "           \"methodology\": \"open-loop fixed schedule; latency measured from scheduled send time (no coordinated omission); saturation run targets a -max-inflight-batches 1 server\"},\n"
+  printf "  \"runs\": [\n"
+  for (i = 1; i <= n; i++) printf "    %s%s\n", runs[i], (i < n ? "," : "")
+  printf "  ]\n}\n"
+}' "$RUNS" "$WORK/saturation.jsonl" > "$OUT"
+
+echo "== wrote $OUT =="
+cat "$OUT"
