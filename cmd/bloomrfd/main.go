@@ -86,6 +86,8 @@ func main() {
 		"serve net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060) for hot-path diagnosis; empty disables")
 	skewThreshold := flag.Float64("skew-alert-threshold", 2.0,
 		"raise bloomrfd_filter_skew_alert and log a warning when a range-partitioned filter's key_skew exceeds this (0 disables)")
+	autoSplitThreshold := flag.Float64("auto-split-skew-threshold", 0,
+		"act on skew instead of just alerting: split a range-partitioned filter's hottest span whenever its key_skew exceeds this after an insert (0 disables)")
 	maxInflight := flag.Int("max-inflight-batches", 0,
 		"admission control: bound concurrently served batch requests (insert/query/query-range); beyond it the server sheds load with 429 + Retry-After instead of queueing; 0 disables")
 	follow := flag.String("follow", "",
@@ -175,10 +177,11 @@ func main() {
 	}
 
 	cfg := server.Config{
-		DefaultPartitioning: defaultPart,
-		AuthToken:           token,
-		SkewAlertThreshold:  *skewThreshold,
-		MaxInflightBatches:  *maxInflight,
+		DefaultPartitioning:    defaultPart,
+		AuthToken:              token,
+		SkewAlertThreshold:     *skewThreshold,
+		AutoSplitSkewThreshold: *autoSplitThreshold,
+		MaxInflightBatches:     *maxInflight,
 	}
 	reg := server.NewRegistry()
 	var (

@@ -17,6 +17,14 @@ import (
 // per-shard allocations — so a warm batch request performs zero heap
 // allocations end to end (binary codec included; see binary.go).
 //
+// Every operation loads the copy-on-write shard table (shard.go) exactly
+// once and threads that *shardTable through grouping and execution, so one
+// batch always sees a single consistent topology even while a span split
+// publishes a new one. Queries need nothing more — a shard retired by a
+// split still answers correctly for every key it ever owned. Inserts
+// validate under the shard lock (insertShard) and re-route sub-batches the
+// swap invalidated through a fresh InsertBatch call.
+//
 // Fan-out policy: a batch below fanOutMinKeys/fanOutMinRanges runs entirely
 // on the caller's goroutine, as before. Above it, only shards whose
 // sub-batch clears spawnThreshold get their own goroutine; straggler
@@ -129,13 +137,13 @@ func grown[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-// groupKeys partitions keys by owning shard into sc's flat arrays using a
-// counting sort: one routing pass filling ids and counts, an offset scan,
-// and a scatter pass. When track is true, flatPos records each key's
-// original batch position (disjoint segments per shard, so concurrent
-// verdict scatters are race-free).
-func (s *ShardedFilter) groupKeys(keys []uint64, track bool, sc *batchScratch) {
-	n := int(s.n)
+// groupKeys partitions keys by owning shard under tab's routing into sc's
+// flat arrays using a counting sort: one routing pass filling ids and
+// counts, an offset scan, and a scatter pass. When track is true, flatPos
+// records each key's original batch position (disjoint segments per shard,
+// so concurrent verdict scatters are race-free).
+func groupKeys(tab *shardTable, keys []uint64, track bool, sc *batchScratch) {
+	n := len(tab.shards)
 	sc.ids = grown(sc.ids, len(keys))
 	sc.counts = grown(sc.counts, n)
 	sc.offs = grown(sc.offs, n+1)
@@ -144,7 +152,7 @@ func (s *ShardedFilter) groupKeys(keys []uint64, track bool, sc *batchScratch) {
 		sc.counts[sh] = 0
 	}
 	for j, x := range keys {
-		sh := s.shardOf(x)
+		sh := tab.part.shardOf(x)
 		sc.ids[j] = uint8(sh)
 		sc.counts[sh]++
 	}
@@ -170,17 +178,24 @@ func (s *ShardedFilter) groupKeys(keys []uint64, track bool, sc *batchScratch) {
 	}
 }
 
-// insertBatchWith is InsertBatch against caller-provided scratch.
+// insertBatchWith is InsertBatch against caller-provided scratch. A
+// sub-batch whose shard a concurrent split retired between the table load
+// and the shard lock (insertShard returns false) re-routes through a fresh
+// InsertBatch call — new table, new scratch — so every key lands exactly
+// once, in the shard that owns it when the insert applies.
 func (s *ShardedFilter) insertBatchWith(keys []uint64, sc *batchScratch) {
 	if len(keys) == 0 {
 		return
 	}
-	if s.n == 1 {
-		s.insertShard(0, keys)
+	tab := s.tab.Load()
+	n := len(tab.shards)
+	if n == 1 {
+		if !s.insertShard(tab, 0, keys) {
+			s.InsertBatch(keys)
+		}
 		return
 	}
-	s.groupKeys(keys, false, sc)
-	n := int(s.n)
+	groupKeys(tab, keys, false, sc)
 	if len(keys) >= fanOutMinKeys {
 		thr := spawnThreshold(len(keys), n, inlineMinKeys)
 		var wg sync.WaitGroup
@@ -190,7 +205,9 @@ func (s *ShardedFilter) insertBatchWith(keys []uint64, sc *batchScratch) {
 				wg.Add(1)
 				go func(sh int, sub []uint64) {
 					defer wg.Done()
-					s.insertShard(sh, sub)
+					if !s.insertShard(tab, sh, sub) {
+						s.InsertBatch(sub)
+					}
 				}(sh, sub)
 			}
 		}
@@ -198,7 +215,9 @@ func (s *ShardedFilter) insertBatchWith(keys []uint64, sc *batchScratch) {
 		for sh := 0; sh < n; sh++ {
 			sub := sc.flatKeys[sc.offs[sh]:sc.offs[sh+1]]
 			if len(sub) > 0 && len(sub) < thr {
-				s.insertShard(sh, sub)
+				if !s.insertShard(tab, sh, sub) {
+					s.InsertBatch(sub)
+				}
 			}
 		}
 		wg.Wait()
@@ -206,7 +225,9 @@ func (s *ShardedFilter) insertBatchWith(keys []uint64, sc *batchScratch) {
 	}
 	for sh := 0; sh < n; sh++ {
 		if sub := sc.flatKeys[sc.offs[sh]:sc.offs[sh+1]]; len(sub) > 0 {
-			s.insertShard(sh, sub)
+			if !s.insertShard(tab, sh, sub) {
+				s.InsertBatch(sub)
+			}
 		}
 	}
 }
@@ -225,9 +246,9 @@ func (s *ShardedFilter) InsertBatch(keys []uint64) {
 // queryShardInto probes one shard's sub-batch, writes the shard-local
 // verdicts into sout (same length as sub), scatters them to their original
 // batch positions in out, and returns the shard's positive count.
-func (s *ShardedFilter) queryShardInto(sh int, sub []uint64, pos []int, sout []bool, out []bool) uint64 {
-	s.shardPointProbes[sh].Add(uint64(len(sub)))
-	s.shards[sh].MayContainBatch(sub, sout)
+func queryShardInto(ss *shardState, sub []uint64, pos []int, sout []bool, out []bool) uint64 {
+	ss.pointProbes.Add(uint64(len(sub)))
+	ss.f.MayContainBatch(sub, sout)
 	var hits uint64
 	for i, j := range pos {
 		out[j] = sout[i]
@@ -247,9 +268,12 @@ func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batch
 		return
 	}
 	s.pointQueries.Add(uint64(len(keys)))
-	if s.n == 1 {
-		s.shardPointProbes[0].Add(uint64(len(keys)))
-		s.shards[0].MayContainBatch(keys, out)
+	tab := s.tab.Load()
+	n := len(tab.shards)
+	if n == 1 {
+		ss := tab.shards[0]
+		ss.pointProbes.Add(uint64(len(keys)))
+		ss.f.MayContainBatch(keys, out)
 		var hits uint64
 		for _, ok := range out {
 			if ok {
@@ -259,8 +283,7 @@ func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batch
 		s.pointPositives.Add(hits)
 		return
 	}
-	s.groupKeys(keys, true, sc)
-	n := int(s.n)
+	groupKeys(tab, keys, true, sc)
 	sc.flatOut = grown(sc.flatOut, len(keys))
 	if len(keys) >= fanOutMinKeys {
 		thr := spawnThreshold(len(keys), n, inlineMinKeys)
@@ -270,16 +293,16 @@ func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batch
 			lo, hi := sc.offs[sh], sc.offs[sh+1]
 			if hi-lo >= thr {
 				wg.Add(1)
-				go func(sh, lo, hi int) {
+				go func(ss *shardState, lo, hi int) {
 					defer wg.Done()
-					hits.Add(s.queryShardInto(sh, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out))
-				}(sh, lo, hi)
+					hits.Add(queryShardInto(ss, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out))
+				}(tab.shards[sh], lo, hi)
 			}
 		}
 		for sh := 0; sh < n; sh++ {
 			lo, hi := sc.offs[sh], sc.offs[sh+1]
 			if hi > lo && hi-lo < thr {
-				hits.Add(s.queryShardInto(sh, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out))
+				hits.Add(queryShardInto(tab.shards[sh], sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out))
 			}
 		}
 		wg.Wait()
@@ -290,7 +313,7 @@ func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batch
 	for sh := 0; sh < n; sh++ {
 		lo, hi := sc.offs[sh], sc.offs[sh+1]
 		if hi > lo {
-			hits += s.queryShardInto(sh, sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out)
+			hits += queryShardInto(tab.shards[sh], sc.flatKeys[lo:hi], sc.flatPos[lo:hi], sc.flatOut[lo:hi], out)
 		}
 	}
 	s.pointPositives.Add(hits)
@@ -312,8 +335,8 @@ func (s *ShardedFilter) MayContainBatch(keys []uint64, out []bool) {
 // original batch positions tracked so per-shard verdicts can be
 // OR-scattered back. Unlike keys, one range can appear in several shards'
 // segments, so the flat arrays are sized by a counting pass first.
-func (s *ShardedFilter) groupRanges(ranges [][2]uint64, sc *batchScratch) {
-	n := int(s.n)
+func groupRanges(tab *shardTable, ranges [][2]uint64, sc *batchScratch) {
+	n := len(tab.shards)
 	sc.counts = grown(sc.counts, n)
 	sc.offs = grown(sc.offs, n+1)
 	sc.cursors = grown(sc.cursors, n)
@@ -321,7 +344,7 @@ func (s *ShardedFilter) groupRanges(ranges [][2]uint64, sc *batchScratch) {
 		sc.counts[sh] = 0
 	}
 	for _, r := range ranges {
-		first, last := s.part.rangeShards(r[0], r[1])
+		first, last := tab.part.rangeShards(r[0], r[1])
 		for sh := first; sh <= last; sh++ {
 			sc.counts[sh]++
 		}
@@ -336,7 +359,7 @@ func (s *ShardedFilter) groupRanges(ranges [][2]uint64, sc *batchScratch) {
 	sc.flatRanges = grown(sc.flatRanges, off)
 	sc.flatPos = grown(sc.flatPos, off)
 	for j, r := range ranges {
-		first, last := s.part.rangeShards(r[0], r[1])
+		first, last := tab.part.rangeShards(r[0], r[1])
 		for sh := first; sh <= last; sh++ {
 			c := sc.cursors[sh]
 			sc.flatRanges[c] = r
@@ -365,36 +388,39 @@ func (s *ShardedFilter) mayContainRangeBatchWith(ranges [][2]uint64, out []bool,
 		}
 		s.rangePositives.Add(hits)
 	}()
-	if s.n == 1 {
-		s.shardRangeProbes[0].Add(uint64(len(ranges)))
-		s.shards[0].MayContainRangeBatch(ranges, out)
+	tab := s.tab.Load()
+	n := len(tab.shards)
+	if n == 1 {
+		ss := tab.shards[0]
+		ss.rangeProbes.Add(uint64(len(ranges)))
+		ss.f.MayContainRangeBatch(ranges, out)
 		return
 	}
 	if len(ranges) < fanOutMinRanges {
 		for j, r := range ranges {
-			out[j] = s.rangeOne(r[0], r[1])
+			out[j] = s.rangeOne(tab, r[0], r[1])
 		}
 		return
 	}
-	if s.part.mode() == PartitionRange {
-		s.rangeBatchPartitioned(ranges, out, sc)
+	if tab.part.mode() == PartitionRange {
+		s.rangeBatchPartitioned(tab, ranges, out, sc)
 		return
 	}
 	// Hash mode: all shards see all ranges; transpose the loops so one
 	// goroutine per shard answers the whole batch against its shard, then
 	// OR the per-shard verdict vectors. The vectors live in one flat
 	// scratch array of n·len(ranges) bools, partitioned per shard.
-	n := int(s.n)
 	sc.flatOut = grown(sc.flatOut, n*len(ranges))
 	var wg sync.WaitGroup
 	for sh := 0; sh < n; sh++ {
-		s.shardRangeProbes[sh].Add(uint64(len(ranges)))
+		ss := tab.shards[sh]
+		ss.rangeProbes.Add(uint64(len(ranges)))
 		sout := sc.flatOut[sh*len(ranges) : (sh+1)*len(ranges)]
 		wg.Add(1)
-		go func(sh int, sout []bool) {
+		go func(ss *shardState, sout []bool) {
 			defer wg.Done()
-			s.shards[sh].MayContainRangeBatch(ranges, sout)
-		}(sh, sout)
+			ss.f.MayContainRangeBatch(ranges, sout)
+		}(ss, sout)
 	}
 	wg.Wait()
 	for j := range out {
@@ -429,12 +455,12 @@ func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
 // per owning shard, answer big sub-batches on their own goroutines (small
 // ones inline), and OR-scatter the verdicts back (serially — a
 // span-straddling range may have verdicts from two shards).
-func (s *ShardedFilter) rangeBatchPartitioned(ranges [][2]uint64, out []bool, sc *batchScratch) {
-	s.groupRanges(ranges, sc)
+func (s *ShardedFilter) rangeBatchPartitioned(tab *shardTable, ranges [][2]uint64, out []bool, sc *batchScratch) {
+	groupRanges(tab, ranges, sc)
 	for j := range out {
 		out[j] = false
 	}
-	n := int(s.n)
+	n := len(tab.shards)
 	total := sc.offs[n]
 	sc.flatOut = grown(sc.flatOut, total)
 	thr := spawnThreshold(total, n, inlineMinRanges)
@@ -444,19 +470,20 @@ func (s *ShardedFilter) rangeBatchPartitioned(ranges [][2]uint64, out []bool, sc
 		if hi == lo {
 			continue
 		}
-		s.shardRangeProbes[sh].Add(uint64(hi - lo))
+		ss := tab.shards[sh]
+		ss.rangeProbes.Add(uint64(hi - lo))
 		if hi-lo >= thr {
 			wg.Add(1)
-			go func(sh, lo, hi int) {
+			go func(ss *shardState, lo, hi int) {
 				defer wg.Done()
-				s.shards[sh].MayContainRangeBatch(sc.flatRanges[lo:hi], sc.flatOut[lo:hi])
-			}(sh, lo, hi)
+				ss.f.MayContainRangeBatch(sc.flatRanges[lo:hi], sc.flatOut[lo:hi])
+			}(ss, lo, hi)
 		}
 	}
 	for sh := 0; sh < n; sh++ {
 		lo, hi := sc.offs[sh], sc.offs[sh+1]
 		if hi > lo && hi-lo < thr {
-			s.shards[sh].MayContainRangeBatch(sc.flatRanges[lo:hi], sc.flatOut[lo:hi])
+			tab.shards[sh].f.MayContainRangeBatch(sc.flatRanges[lo:hi], sc.flatOut[lo:hi])
 		}
 	}
 	wg.Wait()

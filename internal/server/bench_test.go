@@ -38,16 +38,18 @@ func benchFilter(b *testing.B, shards int) (*ShardedFilter, []uint64) {
 // fresh on every call (the live path now counting-sorts into pooled flat
 // arrays, batchexec.go).
 func (s *ShardedFilter) groupAlloc(keys []uint64, track bool) (bkeys [][]uint64, bpos [][]int) {
+	tab := s.tab.Load()
+	n := len(tab.shards)
 	ids := make([]uint8, len(keys))
-	counts := make([]int, s.n)
+	counts := make([]int, n)
 	for j, x := range keys {
-		sh := s.shardOf(x)
+		sh := tab.part.shardOf(x)
 		ids[j] = uint8(sh)
 		counts[sh]++
 	}
-	bkeys = make([][]uint64, s.n)
+	bkeys = make([][]uint64, n)
 	if track {
-		bpos = make([][]int, s.n)
+		bpos = make([][]int, n)
 	}
 	for sh, c := range counts {
 		if c == 0 {
@@ -71,10 +73,13 @@ func (s *ShardedFilter) groupAlloc(keys []uint64, track bool) (bkeys [][]uint64,
 // insertBatchSerial is the PR 1 request path: group, then shard sub-batches
 // one after another on the caller's goroutine.
 func (s *ShardedFilter) insertBatchSerial(keys []uint64) {
+	tab := s.tab.Load()
 	bkeys, _ := s.groupAlloc(keys, false)
 	for sh, sub := range bkeys {
 		if len(sub) > 0 {
-			s.insertShard(sh, sub)
+			if !s.insertShard(tab, sh, sub) {
+				s.InsertBatch(sub)
+			}
 		}
 	}
 }
@@ -82,19 +87,21 @@ func (s *ShardedFilter) insertBatchSerial(keys []uint64) {
 // queryBatchSerial is the PR 1 lookup path: per-shard verdict slices are
 // allocated per call, verdicts scattered back by tracked position.
 func (s *ShardedFilter) queryBatchSerial(keys []uint64, out []bool) {
+	tab := s.tab.Load()
 	bkeys, bpos := s.groupAlloc(keys, true)
 	for sh, sub := range bkeys {
 		if len(sub) > 0 {
 			sout := make([]bool, len(sub))
-			s.queryShardInto(sh, sub, bpos[sh], sout, out)
+			queryShardInto(tab.shards[sh], sub, bpos[sh], sout, out)
 		}
 	}
 }
 
 // rangeBatchSerial is the PR 1 range path: per range, OR across shards.
 func (s *ShardedFilter) rangeBatchSerial(ranges [][2]uint64, out []bool) {
+	tab := s.tab.Load()
 	for j, r := range ranges {
-		out[j] = s.rangeOne(r[0], r[1])
+		out[j] = s.rangeOne(tab, r[0], r[1])
 	}
 }
 

@@ -164,17 +164,24 @@ func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *Shar
 		return
 	}
 	sc.keys = keys
-	f.insertBatchWith(keys, sc)
-	a.noteMutationSkew(name, f)
 	// Apply first, append second — the same durability contract as the JSON
-	// path (durability.go). Encoding the record is skipped entirely when no
-	// WAL is attached, which keeps serving-only inserts allocation-free.
+	// path (durability.go). The beginApply/endApply bracket marks the
+	// apply+append window for a concurrent span split's drain barrier
+	// (split.go): once the splitter has drained these brackets, every
+	// mutation routed through the old table is also in the WAL below the
+	// replay ceiling. Encoding the record is skipped entirely when no WAL is
+	// attached, which keeps serving-only inserts allocation-free.
+	f.beginApply()
+	f.insertBatchWith(keys, sc)
 	if a.cfg.WAL != nil {
 		rec, encErr := encodeInsert(name, keys)
 		if !a.logWAL(w, rec, encErr) {
+			f.endApply()
 			return
 		}
 	}
+	f.endApply()
+	a.noteMutationSkew(name, f)
 	sc.resp = wire.AppendAck(sc.resp[:0], uint32(len(keys)))
 	writeBinaryResponse(w, sc)
 }

@@ -323,3 +323,191 @@ func TestManifestVersionRejection(t *testing.T) {
 		t.Fatalf("v1-shaped manifest restored with backend %q, want bloomrf", man.Options.Backend)
 	}
 }
+
+// TestGoldenV4SnapshotRestore restores the checked-in backend-era snapshot
+// (manifest format_version 4, written after backend selection but before
+// span-start tables and shard mutation epochs existed) into the current
+// code: the filter must come back range-partitioned with every key and the
+// recorded WAL position intact, its spans rebuilt by even division (the
+// only topology a v4 writer could have had), and re-snapshotting must
+// produce a v5 manifest that records the span table.
+func TestGoldenV4SnapshotRestore(t *testing.T) {
+	st, err := OpenStore(filepath.Join("testdata", "golden-v4-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, man, err := st.Restore("orders")
+	if err != nil {
+		t.Fatalf("v4 snapshot no longer restores: %v", err)
+	}
+	if man.FormatVersion != 4 || man.Seq != 1 || man.WALPos != 8192 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if man.Options.Backend != BackendBloomRF {
+		t.Fatalf("v4 manifest backend = %q, want bloomrf", man.Options.Backend)
+	}
+	if man.Spans != nil {
+		t.Fatalf("v4 manifest carries spans %v; the span table is v5", man.Spans)
+	}
+	if f.Partitioning() != PartitionRange || f.NumShards() != 4 {
+		t.Fatalf("restored filter: partitioning %q, shards %d", f.Partitioning(), f.NumShards())
+	}
+	st2 := f.Stats()
+	if st2.InsertedKeys != 1024 {
+		t.Fatalf("restored inserted_keys = %d, want 1024", st2.InsertedKeys)
+	}
+	// A pre-split-era snapshot can only have had evenly divided spans.
+	if len(st2.Spans) != 4 || st2.Spans[0] != 0 {
+		t.Fatalf("restored spans = %v", st2.Spans)
+	}
+	w := uint64(1) << 62 // keyspace / 4
+	for i, s := range st2.Spans {
+		if s != uint64(i)*w {
+			t.Fatalf("restored spans not evenly divided: %v", st2.Spans)
+		}
+	}
+	for _, k := range goldenV1Keys() { // same deterministic key sequence
+		if !f.MayContain(k) {
+			t.Fatalf("v4 snapshot lost key %#x", k)
+		}
+		if !f.MayContainRange(k, k) {
+			t.Fatalf("v4 snapshot lost key %#x for range probes", k)
+		}
+	}
+
+	// A new snapshot of the restored filter is a v5 manifest recording the
+	// span table; it restores to identical answers.
+	st3, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, err := st3.Snapshot("orders", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.FormatVersion != manifestVersion || len(man2.Spans) != 4 {
+		t.Fatalf("re-snapshot manifest = %+v", man2)
+	}
+	g, _, err := st3.Restore("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 97)
+}
+
+// TestManifestV5SpanRules pins the reader's policy on the two fields v5
+// introduced for live splitting: the span-start table and per-shard
+// mutation epochs. Pre-v5 manifests claiming either are corrupt (those
+// eras could not have written them); v5 range manifests must carry a span
+// table that tiles the keyspace and matches the shard count, and v5 hash
+// manifests must not carry one at all.
+func TestManifestV5SpanRules(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewSharded(FilterOptions{ExpectedKeys: 1000, Shards: 2, Partitioning: PartitionRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InsertBatch([]uint64{1, 2, 3, 1 << 63})
+	if _, err := st.Snapshot("spans", f); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(st.filterDir("spans"), snapDirName(1), manifestName)
+
+	rewrite := func(mutate func(m map[string]any)) {
+		t.Helper()
+		body, err := os.ReadFile(manPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		body, err = json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sanity: the snapshot just written restores, spans and all.
+	g, man, err := st.Restore("spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != manifestVersion || len(man.Spans) != 2 || len(g.Stats().Spans) != 2 {
+		t.Fatalf("v5 range manifest = %+v", man)
+	}
+	// A v4 manifest carrying a span table is corrupt: the table is v5.
+	rewrite(func(m map[string]any) { m["format_version"] = float64(4) })
+	if _, _, err := st.Restore("spans"); err == nil {
+		t.Fatal("v4 manifest with spans restored")
+	}
+	// A v4 manifest claiming a shard mutation epoch is corrupt too.
+	rewrite(func(m map[string]any) {
+		delete(m, "spans")
+		m["shards"].([]any)[0].(map[string]any)["mut"] = float64(7)
+	})
+	if _, _, err := st.Restore("spans"); err == nil {
+		t.Fatal("v4 manifest with a shard mutation epoch restored")
+	}
+	// A v5 range manifest without a span table is corrupt: v5 writers
+	// always record it (splits make the division non-uniform).
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(manifestVersion)
+		delete(m["shards"].([]any)[0].(map[string]any), "mut")
+	})
+	if _, _, err := st.Restore("spans"); err == nil {
+		t.Fatal("v5 range manifest without spans restored")
+	}
+	// A span table disagreeing with the shard count is corrupt.
+	rewrite(func(m map[string]any) { m["spans"] = []any{float64(0)} })
+	if _, _, err := st.Restore("spans"); err == nil {
+		t.Fatal("v5 range manifest with a 1-entry span table restored for 2 shards")
+	}
+	// A span table not anchored at 0 does not tile the keyspace.
+	rewrite(func(m map[string]any) { m["spans"] = []any{float64(1), float64(1 << 32)} })
+	if _, _, err := st.Restore("spans"); err == nil {
+		t.Fatal("v5 range manifest with spans not starting at 0 restored")
+	}
+	// Restored faithfully as v4 (no spans, no mut anywhere): spans rebuilt
+	// evenly.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(4)
+		delete(m, "spans")
+		for _, sh := range m["shards"].([]any) {
+			delete(sh.(map[string]any), "mut")
+		}
+	})
+	g2, man2, err := st.Restore("spans")
+	if err != nil {
+		t.Fatalf("faithful v4 shape stopped restoring: %v", err)
+	}
+	if man2.FormatVersion != 4 || len(g2.Stats().Spans) != 2 || g2.Stats().Spans[1] != 1<<63 {
+		t.Fatalf("v4-shaped manifest: %+v spans %v", man2, g2.Stats().Spans)
+	}
+
+	// The hash side: a v5 hash manifest must not carry a span table.
+	h, err := NewSharded(FilterOptions{ExpectedKeys: 1000, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot("hashed", h); err != nil {
+		t.Fatal(err)
+	}
+	manPath = filepath.Join(st.filterDir("hashed"), snapDirName(1), manifestName)
+	if _, _, err := st.Restore("hashed"); err != nil {
+		t.Fatal(err)
+	}
+	rewrite(func(m map[string]any) { m["spans"] = []any{float64(0), float64(1 << 63)} })
+	if _, _, err := st.Restore("hashed"); err == nil {
+		t.Fatal("v5 hash manifest with spans restored")
+	}
+}

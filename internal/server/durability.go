@@ -40,6 +40,10 @@ import (
 //	           The hot-path record; binary keeps the append under one
 //	           allocation and ~8 bytes per key.
 //	recDelete  the raw filter name.
+//	recSplit   binary: u16 LE name length | name | 8-byte LE split key.
+//	           A completed span split (split.go); replay re-runs the same
+//	           division, or skips it when the restored snapshot already
+//	           reflects the post-split topology.
 
 // WAL record types. The space below 128 is reserved for durable record
 // types; replication control frames (replication.go) use 128+ so the two
@@ -48,6 +52,7 @@ const (
 	recCreate byte = 1
 	recInsert byte = 2
 	recDelete byte = 3
+	recSplit  byte = 4
 )
 
 // createPayload is the JSON body of a recCreate record.
@@ -115,12 +120,38 @@ func decodeInsert(data []byte) (string, []uint64, error) {
 	return name, keys, nil
 }
 
+// encodeSplit builds a recSplit record: the filter name and the split key
+// of a completed span split.
+func encodeSplit(name string, key uint64) (wal.Record, error) {
+	if len(name) > MaxNameLen {
+		return wal.Record{}, fmt.Errorf("server: name of %d bytes in split record", len(name))
+	}
+	data := make([]byte, 2+len(name)+8)
+	binary.LittleEndian.PutUint16(data[0:2], uint16(len(name)))
+	copy(data[2:], name)
+	binary.LittleEndian.PutUint64(data[2+len(name):], key)
+	return wal.Record{Type: recSplit, Data: data}, nil
+}
+
+// decodeSplit parses a recSplit payload.
+func decodeSplit(data []byte) (string, uint64, error) {
+	if len(data) < 2 {
+		return "", 0, errors.New("server: split record shorter than its header")
+	}
+	n := int(binary.LittleEndian.Uint16(data[0:2]))
+	if len(data) != 2+n+8 {
+		return "", 0, fmt.Errorf("server: split record of %d bytes, want %d", len(data), 2+n+8)
+	}
+	return string(data[2 : 2+n]), binary.LittleEndian.Uint64(data[2+n:]), nil
+}
+
 // ReplayStats counts what a WAL replay did, for boot logging.
 type ReplayStats struct {
 	Creates int // filters created from create records
 	Deletes int // filters removed by delete records
 	Batches int // insert records applied
 	Keys    int // keys inserted by those records
+	Splits  int // span splits re-applied from split records
 	Skipped int // records below their filter's snapshot position (or orphaned)
 }
 
@@ -150,8 +181,8 @@ func ReplayWAL(l *wal.Log, reg *Registry, restoredPos map[string]uint64, logf fu
 		}
 	}
 	if logf != nil {
-		logf("server: WAL replay: %d creates, %d deletes, %d insert batches (%d keys), %d skipped",
-			st.Creates, st.Deletes, st.Batches, st.Keys, st.Skipped)
+		logf("server: WAL replay: %d creates, %d deletes, %d insert batches (%d keys), %d splits, %d skipped",
+			st.Creates, st.Deletes, st.Batches, st.Keys, st.Splits, st.Skipped)
 	}
 	return st, nil
 }
@@ -196,6 +227,29 @@ func applyRecord(reg *Registry, pos uint64, rec wal.Record, restoredPos map[stri
 		f.InsertBatch(keys)
 		st.Batches++
 		st.Keys += len(keys)
+	case recSplit:
+		name, key, err := decodeSplit(rec.Data)
+		if err != nil {
+			return err
+		}
+		if pos < restoredPos[name] {
+			st.Skipped++
+			return nil // the restored snapshot already has the post-split topology
+		}
+		f, err := reg.Get(name)
+		if err != nil {
+			st.Skipped++
+			return nil // filter deleted later in the log, or truncated away
+		}
+		did, err := f.replaySplit(name, key)
+		if err != nil {
+			return fmt.Errorf("re-splitting %q at %d: %w", name, key, err)
+		}
+		if did {
+			st.Splits++
+		} else {
+			st.Skipped++
+		}
 	case recDelete:
 		name := string(rec.Data)
 		if pos < restoredPos[name] {

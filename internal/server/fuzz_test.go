@@ -3,7 +3,9 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"net/http/httptest"
+	"slices"
 	"sync"
 	"testing"
 )
@@ -92,6 +94,60 @@ func FuzzServerBatchJSON(f *testing.F) {
 			if !single && !batch {
 				t.Fatalf("%s 200 without result(s): %v", path, resp)
 			}
+		}
+	})
+}
+
+// FuzzSplitRouting drives the span partitioner through randomized split
+// sequences and checks the invariant every live split relies on: after any
+// number of divisions, each uint64 key is owned by exactly one span. The
+// routing answer from shardOf must agree with a linear scan of the start
+// table, and the start table itself must stay sorted and anchored at 0.
+func FuzzSplitRouting(f *testing.F) {
+	f.Add(uint64(0), uint8(0), int64(1))
+	f.Add(uint64(1)<<63, uint8(8), int64(42))
+	f.Add(^uint64(0), uint8(32), int64(7))
+	f.Add(uint64(4611686018427387903), uint8(3), int64(-9))
+	f.Fuzz(func(t *testing.T, key uint64, nSplits uint8, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		starts := []uint64{0}
+		for i := 0; i < int(nSplits); i++ {
+			// Divide a random span, as Split does: insert a cut key m+1 with
+			// lo <= m < hi, skipping single-key spans.
+			h := rng.Intn(len(starts))
+			lo := starts[h]
+			hi := ^uint64(0)
+			if h+1 < len(starts) {
+				hi = starts[h+1] - 1
+			}
+			if lo == hi {
+				continue
+			}
+			m := lo + rng.Uint64()%(hi-lo) // in [lo, hi)
+			starts = slices.Insert(starts, h+1, m+1)
+		}
+		p, err := newSpanPartitioner(starts)
+		if err != nil {
+			t.Fatalf("partitioner rejected the start table %v: %v", starts, err)
+		}
+		sh := int(p.shardOf(key))
+		owners := 0
+		want := -1
+		for i := range starts {
+			hi := ^uint64(0)
+			if i+1 < len(starts) {
+				hi = starts[i+1] - 1
+			}
+			if starts[i] <= key && key <= hi {
+				owners++
+				want = i
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %#x owned by %d spans of %v, want exactly 1", key, owners, starts)
+		}
+		if sh != want {
+			t.Fatalf("shardOf(%#x) = %d, linear scan says %d (starts %v)", key, sh, want, starts)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -92,6 +93,15 @@ type Config struct {
 	// routing bug, visible in the per-shard gauges either way).
 	SkewAlertThreshold float64
 
+	// AutoSplitSkewThreshold arms automatic hot-span splitting: when a
+	// mutation-path skew evaluation finds a range-partitioned filter's
+	// key_skew above it, the server splits the filter's hottest span —
+	// repeatedly, up to maxAutoSplitsPerTrigger per episode — until the
+	// skew drops back under (split.go). <= 0 disables. bloomrfd wires its
+	// -auto-split-skew-threshold flag here. Independent of
+	// SkewAlertThreshold: alerting observes, this acts.
+	AutoSplitSkewThreshold float64
+
 	// Logf receives warnings (skew alerts, replication stream errors).
 	// nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -144,6 +154,7 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 	a.mux.HandleFunc("POST /v1/filters/{name}/query", a.handleQuery)
 	a.mux.HandleFunc("POST /v1/filters/{name}/query-range", a.handleQueryRange)
 	a.mux.HandleFunc("POST /v1/filters/{name}/snapshot", a.handleSnapshot)
+	a.mux.HandleFunc("POST /v1/filters/{name}/split", a.handleSplit)
 	a.mux.HandleFunc("GET /v1/replication/stream", a.handleReplicationStream)
 	a.mux.HandleFunc("GET /v1/replication/status", a.handleReplicationStatus)
 	return a
@@ -389,10 +400,7 @@ func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	a.skewMu.Lock()
-	delete(a.skewAlerted, name) // a recreated name starts a fresh alert episode
-	delete(a.skewChecked, name)
-	a.skewMu.Unlock()
+	a.resetSkewEpisode(name) // a recreated name starts a fresh alert episode
 	if regErr != nil {
 		writeErr(w, http.StatusNotFound, "filter %q not found", name)
 		return
@@ -453,20 +461,112 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	f.InsertBatch(keys)
-	a.noteMutationSkew(r.PathValue("name"), f)
 	// Apply first, append second (durability.go): concurrent inserts
 	// group-commit into one WAL write, and a snapshot that captured the
 	// log end P is guaranteed to contain every record below P. Without a
 	// WAL there is nothing to encode — skip building the record at all,
-	// like the binary path does.
+	// like the binary path does. The apply+append pair runs inside the
+	// filter's mutation drain gate so a concurrent span split can prove
+	// every straggler's record is in the log before it backfills
+	// (split.go phase 5).
+	f.beginApply()
+	f.InsertBatch(keys)
 	if a.cfg.WAL != nil {
 		rec, encErr := encodeInsert(r.PathValue("name"), keys)
 		if !a.logWAL(w, rec, encErr) {
+			f.endApply()
 			return
 		}
 	}
+	f.endApply()
+	a.noteMutationSkew(r.PathValue("name"), f)
 	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(keys)})
+}
+
+// splitReq is the optional body of POST /v1/filters/{name}/split; an empty
+// body (or empty object) means "pick the shard and split key for me".
+type splitReq struct {
+	// Shard, when present, names the shard to split.
+	Shard *int `json:"shard"`
+	// Key, when present, is the split key: the left replacement keeps
+	// [span start, key], the right takes the rest.
+	Key *U64 `json:"key"`
+}
+
+// handleSplit divides one span of a range-partitioned filter in two, live
+// (split.go). 409 when the filter cannot be split (hash partitioning,
+// shard ceiling, single-key span), 400 for a shard/key the topology
+// rejects.
+func (a *API) handleSplit(w http.ResponseWriter, r *http.Request) {
+	if !a.allowMutation(w, r) {
+		return
+	}
+	f, ok := a.lookup(w, r)
+	if !ok {
+		return
+	}
+	opt := SplitAuto
+	var req splitReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if req.Shard != nil {
+		opt.Shard = *req.Shard
+	}
+	if req.Key != nil {
+		opt.Key = uint64(*req.Key)
+	}
+	res, err := a.performSplit(r.PathValue("name"), f, opt)
+	switch {
+	case errors.Is(err, ErrNotSplittable):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, errSplitArg):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// performSplit runs a split and journals it, in the standard apply-before-
+// append order, then resets the filter's skew episode so the alert state
+// is re-evaluated against the new topology. Shared by the split endpoint
+// and the auto-split policy (metrics.go).
+func (a *API) performSplit(name string, f *ShardedFilter, opt SplitOptions) (SplitResult, error) {
+	res, err := f.Split(name, opt, a.cfg.WAL)
+	if err != nil {
+		return res, err
+	}
+	if a.cfg.WAL != nil {
+		rec, encErr := encodeSplit(name, res.SplitKey)
+		if encErr == nil {
+			_, encErr = a.cfg.WAL.Append(rec)
+		}
+		if encErr != nil {
+			return res, fmt.Errorf("split applied in memory but not durable (WAL append failed): %w", encErr)
+		}
+	}
+	a.resetSkewEpisode(name)
+	a.cfg.Logf("server: info=span_split filter=%q shard=%d split_key=%d shards=%d epoch=%d replayed=%d",
+		name, res.Shard, res.SplitKey, res.Shards, res.TableEpoch, res.Replayed)
+	return res, nil
+}
+
+// resetSkewEpisode clears a filter's skew-alert episode after a topology
+// change (or delete): key_skew is recomputed over the new spans on the
+// next evaluation, and an alert that fired for the old topology may fire
+// again if the new one still exceeds the threshold — without the reset, a
+// split that fixed the skew would leave the episode latched and a later
+// re-skew would never alert.
+func (a *API) resetSkewEpisode(name string) {
+	a.skewMu.Lock()
+	delete(a.skewAlerted, name)
+	delete(a.skewChecked, name)
+	a.skewMu.Unlock()
 }
 
 func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {

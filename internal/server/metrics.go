@@ -130,6 +130,8 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.sample("bloomrfd_filter_set_bits", "Bits currently set.", "gauge", fl, float64(st.SetBits))
 		m.sample("bloomrfd_filter_fill_ratio", "set_bits / size_bits.", "gauge", fl, st.FillRatio)
 		m.sample("bloomrfd_filter_key_skew", "max/mean of per-shard resident keys (1 = even, 0 = empty).", "gauge", fl, st.KeySkew)
+		m.sample("bloomrfd_filter_splits_total", "Completed live span splits since process start.", "counter", fl, float64(st.Splits))
+		m.sample("bloomrfd_filter_table_epoch", "Shard-table topology epoch of this incarnation (increments on every split).", "gauge", fl, float64(st.TableEpoch))
 		if a.cfg.SkewAlertThreshold > 0 && st.Partitioning == PartitionRange {
 			m.sample("bloomrfd_filter_skew_alert",
 				"1 while a range-partitioned filter's key_skew exceeds -skew-alert-threshold.", "gauge", fl,
@@ -140,12 +142,16 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			m.sample("bloomrfd_filter_shard_keys", "Keys resident in the shard (placement skew).", "gauge", sl, float64(st.ShardKeys[sh]))
 			m.sample("bloomrfd_filter_shard_point_probes_total", "Point probes routed to the shard.", "counter", sl, float64(st.ShardPointProbes[sh]))
 			m.sample("bloomrfd_filter_shard_range_probes_total", "Range probes routed to the shard (range partitioning routes narrow queries to one shard).", "counter", sl, float64(st.ShardRangeProbes[sh]))
+			if st.Spans != nil {
+				m.sample("bloomrfd_filter_shard_span_start", "Smallest key the shard owns (range partitioning; splits divide spans).", "gauge", sl, float64(st.Spans[sh]))
+			}
 		}
 		if snap := st.Snapshot; snap != nil {
 			m.sample("bloomrfd_filter_snapshot_seq", "Sequence number of the last durable snapshot.", "gauge", fl, float64(snap.Seq))
 			m.sample("bloomrfd_filter_snapshot_age_seconds", "Seconds since the last durable snapshot.", "gauge", fl,
 				now.Sub(time.Unix(0, snap.UnixNano)).Seconds())
 			m.sample("bloomrfd_filter_snapshot_bytes", "Total shard-blob bytes of the last durable snapshot.", "gauge", fl, float64(snap.Bytes))
+			m.sample("bloomrfd_filter_snapshot_reused_shards", "Shard blobs the last snapshot reused unchanged from its predecessor (incremental capture).", "gauge", fl, float64(snap.ReusedShards))
 		}
 		latencyMetrics(m, name, f)
 	}
@@ -215,14 +221,16 @@ func leSeconds(ns uint64) string {
 // on every request of a 100k-QPS insert flood.
 const skewCheckInterval = time.Second
 
-// noteMutationSkew evaluates the partition-skew alert after a mutation on
-// a range-partitioned filter, at most once per skewCheckInterval per
-// filter. This keeps the documented once-per-episode warning
-// scrape-independent: before this hook, noteSkew ran only from
-// handleMetrics, so a deployment without a Prometheus scraper never got
-// the log line at all.
+// noteMutationSkew evaluates the partition-skew policies after a mutation
+// on a range-partitioned filter, at most once per skewCheckInterval per
+// filter: the once-per-episode alert (so the documented warning is
+// scrape-independent — before this hook, noteSkew ran only from
+// handleMetrics, and a deployment without a Prometheus scraper never got
+// the log line at all) and the auto-split trigger.
 func (a *API) noteMutationSkew(name string, f *ShardedFilter) {
-	if a.cfg.SkewAlertThreshold <= 0 || f.Partitioning() != PartitionRange {
+	alerting := a.cfg.SkewAlertThreshold > 0
+	splitting := a.cfg.AutoSplitSkewThreshold > 0
+	if (!alerting && !splitting) || f.Partitioning() != PartitionRange {
 		return
 	}
 	now := time.Now().UnixNano()
@@ -233,7 +241,61 @@ func (a *API) noteMutationSkew(name string, f *ShardedFilter) {
 	}
 	a.skewChecked[name] = now
 	a.skewMu.Unlock()
-	a.noteSkew(name, f.KeySkew())
+	skew := f.KeySkew()
+	if alerting {
+		a.noteSkew(name, skew)
+	}
+	if splitting {
+		a.maybeAutoSplit(name, f, skew)
+	}
+}
+
+// maybeAutoSplit starts one background auto-split episode when a filter's
+// key_skew exceeds -auto-split-skew-threshold: split the hottest span,
+// re-measure, repeat until the skew drops under the threshold or the
+// episode budget (maxAutoSplitsPerTrigger) or shard ceiling is reached —
+// or until the hottest span has no observed inserts to place a cut by, so
+// every automatic cut is a real histogram median and convergence rides on
+// sustained traffic rather than blind bisection.
+// The CAS admits one episode per filter at a time, so a flood of skewed
+// inserts triggers one loop, not one split attempt per request; the loop
+// runs off the request path because a split costs a shard marshal +
+// rebuild, which no insert should wait on.
+func (a *API) maybeAutoSplit(name string, f *ShardedFilter, skew float64) {
+	thr := a.cfg.AutoSplitSkewThreshold
+	if skew <= thr || f.NumShards() >= MaxShards {
+		return
+	}
+	if !f.autoSplitting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer f.autoSplitting.Store(false)
+		for i := 0; i < maxAutoSplitsPerTrigger; i++ {
+			if f.KeySkew() <= thr || f.NumShards() >= MaxShards {
+				return
+			}
+			tab := f.tab.Load()
+			h := hottestShard(tab)
+			if h < 0 {
+				return // every span is a single key; nothing left to divide
+			}
+			if _, total := tab.shards[h].histSnapshot(); total == 0 {
+				// The hottest span has seen no inserts since it was created
+				// (a freshly split replacement, or a restored shard without
+				// traffic yet): a split now would cut blind at the span
+				// midpoint and divide the key counters half/half on no
+				// evidence, compounding into phantom counts on spans that
+				// hold nothing. End the episode; the next insert wave
+				// repopulates the histogram and re-triggers.
+				return
+			}
+			if _, err := a.performSplit(name, f, SplitOptions{Shard: h}); err != nil {
+				a.cfg.Logf("server: warn=auto_split_failed filter=%q err=%q", name, err.Error())
+				return
+			}
+		}
+	}()
 }
 
 // noteSkew evaluates the partition-skew alert for one range-partitioned

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"math/bits"
+	"slices"
+	"sort"
 
 	"repro/internal/hashutil"
 )
@@ -44,6 +46,11 @@ type partitioner interface {
 	// that may hold keys of [lo, hi] (either bound order). first ≤ last
 	// always holds.
 	rangeShards(lo, hi uint64) (first, last int)
+	// spans returns the span-start table — spans[i] is the smallest key
+	// shard i owns, spans[0] == 0, strictly increasing — or nil under hash
+	// routing, where shards own no contiguous key interval. The slice must
+	// be treated as read-only.
+	spans() []uint64
 }
 
 // newPartitioner builds the partitioner for a validated mode and shard
@@ -74,6 +81,8 @@ func (p hashPartitioner) shardOf(key uint64) uint64 {
 // rangeShards for hash routing is always every shard: hashing scatters any
 // key interval across the whole fleet.
 func (p hashPartitioner) rangeShards(lo, hi uint64) (int, int) { return 0, int(p.n) - 1 }
+
+func (p hashPartitioner) spans() []uint64 { return nil }
 
 // rangePartitioner owns the fixed-point mapping shard = floor(key·n / 2^64),
 // which splits the keyspace into n contiguous spans of near-equal width
@@ -114,3 +123,73 @@ func spanStart(i, n uint64) uint64 {
 	}
 	return q
 }
+
+func (p rangePartitioner) spans() []uint64 { return uniformStarts(p.n) }
+
+// uniformStarts is the span-start table of the uniform n-shard range
+// partitioning: starts[i] = spanStart(i, n).
+func uniformStarts(n uint64) []uint64 {
+	starts := make([]uint64, n)
+	for i := uint64(1); i < n; i++ {
+		starts[i] = spanStart(i, n)
+	}
+	return starts
+}
+
+// validateSpans checks a span-start table: non-empty, starting at key 0 and
+// strictly increasing, so the spans tile the uint64 keyspace exactly —
+// every key belongs to exactly one shard and no two shards overlap.
+func validateSpans(starts []uint64) error {
+	if len(starts) == 0 {
+		return fmt.Errorf("server: empty span table")
+	}
+	if starts[0] != 0 {
+		return fmt.Errorf("server: span table starts at %d, want 0", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return fmt.Errorf("server: span table not strictly increasing at index %d (%d after %d)",
+				i, starts[i], starts[i-1])
+		}
+	}
+	return nil
+}
+
+// newSpanPartitioner builds the explicit-span range partitioner for a
+// validated start table. When the spans are exactly the uniform ones it
+// normalizes back to the fixed-point rangePartitioner, so never-split
+// filters restored from a v5 manifest keep the division-free routing path.
+func newSpanPartitioner(starts []uint64) (partitioner, error) {
+	if err := validateSpans(starts); err != nil {
+		return nil, err
+	}
+	n := uint64(len(starts))
+	if slices.Equal(starts, uniformStarts(n)) {
+		return rangePartitioner{n: n}, nil
+	}
+	return spanPartitioner{starts: slices.Clone(starts)}, nil
+}
+
+// spanPartitioner routes keys through an explicit span-start table — the
+// general form rangePartitioner's uniform mapping is a special case of.
+// Splits produce it: dividing one span in two leaves span widths unequal,
+// which the fixed-point mapping cannot express. Routing is a binary search
+// over the start table (≤8 probes at MaxShards), still monotone, so a key
+// interval maps to a contiguous shard interval exactly as before.
+type spanPartitioner struct{ starts []uint64 }
+
+func (p spanPartitioner) mode() Partitioning { return PartitionRange }
+
+func (p spanPartitioner) shardOf(key uint64) uint64 {
+	// Greatest i with starts[i] <= key; starts[0] == 0 keeps i ≥ 0.
+	return uint64(sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > key }) - 1)
+}
+
+func (p spanPartitioner) rangeShards(lo, hi uint64) (int, int) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return int(p.shardOf(lo)), int(p.shardOf(hi))
+}
+
+func (p spanPartitioner) spans() []uint64 { return p.starts }

@@ -53,10 +53,20 @@ import (
 //	     predate the field and restore as bloomRF — the only backend
 //	     those eras could have written; one claiming a backend is
 //	     corrupt.
+//	v5 — live span splits (split.go). The manifest records "spans", the
+//	     span-start table of a range-partitioned filter, required once a
+//	     split has made the spans non-uniform (a v5 range manifest
+//	     without one is corrupt; a hash manifest with one is corrupt),
+//	     and each shard entry records "mut", the shard's mutation epoch
+//	     at capture, which lets the next snapshot pass of the same
+//	     process reuse the blob of any shard whose epoch has not moved
+//	     (incremental dirty-shard snapshots). Mut is process-local
+//	     bookkeeping: restore ignores it, and pre-v5 manifests claiming
+//	     either field are corrupt.
 
 // manifestVersion is the snapshot manifest schema version written by this
 // build. Older versions named in loadManifest remain readable.
-const manifestVersion = 4
+const manifestVersion = 5
 
 // manifestName is the per-snapshot manifest file; its atomic rename into
 // place commits the snapshot.
@@ -87,6 +97,12 @@ type ShardEntry struct {
 	// Keys is the shard's resident key count at snapshot time (v2+;
 	// absent — zero — in v1 manifests). Stats-only, like InsertedKeys.
 	Keys uint64 `json:"keys,omitempty"`
+	// Mut is the shard's mutation epoch at capture (v5+): if a later
+	// snapshot pass of the same process reads an unchanged epoch, the
+	// shard took no insert since this blob was written and the blob is
+	// reused instead of re-marshaled. Meaningless across restarts (epochs
+	// reset to zero); restore ignores it.
+	Mut uint64 `json:"mut,omitempty"`
 }
 
 // Manifest is the snapshot's JSON descriptor: everything needed to rebuild
@@ -103,6 +119,12 @@ type Manifest struct {
 	// record below it is contained in the shard blobs. 0 when no WAL was
 	// attached at snapshot time or the manifest predates v3.
 	WALPos uint64 `json:"wal_pos,omitempty"`
+	// Spans is the span-start table of a range-partitioned filter (v5+):
+	// Spans[i] is the smallest key shard i owns. Required under range
+	// partitioning — span splits make the spans non-uniform, and a filter
+	// restored without them would route keys to the wrong shards. Absent
+	// under hash partitioning.
+	Spans []uint64 `json:"spans,omitempty"`
 }
 
 // totalBytes sums the shard blob sizes.
@@ -290,6 +312,15 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 	if current != nil && !current() {
 		return Manifest{}, ErrSuperseded
 	}
+	// Hold the filter's topology lock across the whole capture: a span
+	// split swapping the shard table mid-pass could otherwise leave the
+	// manifest mixing pre- and post-split blobs under one WAL position.
+	// Lock order is name lock → splitMu → shard locks; a split takes
+	// splitMu → shard locks and never a name lock, so the order is acyclic.
+	f.splitMu.Lock()
+	defer f.splitMu.Unlock()
+	tab := f.tab.Load()
+	n := len(tab.shards)
 	dir := st.filterDir(name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
@@ -306,13 +337,16 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 	if err := os.MkdirAll(snapDir, 0o755); err != nil {
 		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
 	}
+	opt := f.opt
+	opt.Shards = n
 	man := Manifest{
 		FormatVersion: manifestVersion,
 		Name:          name,
 		Seq:           seq,
 		CreatedUnix:   time.Now().UnixNano(),
-		Options:       f.Options(),
-		Shards:        make([]ShardEntry, f.NumShards()),
+		Options:       opt,
+		Shards:        make([]ShardEntry, n),
+		Spans:         tab.part.spans(),
 	}
 	if st.walPos != nil {
 		// Capture before any shard marshal: every record below this
@@ -324,23 +358,59 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 		}
 		man.WALPos = pos
 	}
-	for i := 0; i < f.NumShards(); i++ {
-		blob, err := f.MarshalShard(i)
-		if err != nil {
-			return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
+	// Incremental capture: when the previous snapshot of this process
+	// incarnation is intact and the topology has not changed since, any
+	// shard whose mutation epoch still matches the epoch that snapshot
+	// recorded took no insert in between, so its blob is reused (hard
+	// link) instead of re-marshaled. The epoch check is racy on purpose
+	// and errs only toward re-marshaling: mut bumps before an insert
+	// applies, and an insert whose WAL append outran our walPos capture
+	// must have bumped mut before we read it (apply-before-append), so a
+	// "clean" read can never hide a record below walPos.
+	var prev *Manifest
+	var prevDir string
+	reused := 0
+	if f.incr != nil && f.incr.epoch == tab.epoch {
+		if m := st.loadManifest(name, f.incr.seq); m != nil && len(m.Shards) == n {
+			prev = m
+			prevDir = filepath.Join(dir, snapDirName(m.Seq))
 		}
+	}
+	for i := 0; i < n; i++ {
+		ss := tab.shards[i]
 		file := fmt.Sprintf("shard-%04d.bin", i)
-		if err := writeFileSync(filepath.Join(snapDir, file), blob); err != nil {
-			return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
-		}
-		// The key count is read after the marshal, so like InsertedKeys it
-		// never undercounts the blob's contents (counters bump under the
-		// shard lock the marshal just held); racing inserts may overcount.
-		man.Shards[i] = ShardEntry{
-			File:   file,
-			Bytes:  int64(len(blob)),
-			CRC32C: crc32.Checksum(blob, castagnoli),
-			Keys:   f.shardKeys[i].Load(),
+		path := filepath.Join(snapDir, file)
+		if mutNow := ss.mut.Load(); prev != nil && prev.Shards[i].Mut == mutNow {
+			if err := linkOrCopy(filepath.Join(prevDir, prev.Shards[i].File), path); err != nil {
+				return Manifest{}, fmt.Errorf("server: snapshot %q shard %d (reuse): %w", name, i, err)
+			}
+			man.Shards[i] = ShardEntry{
+				File:   file,
+				Bytes:  prev.Shards[i].Bytes,
+				CRC32C: prev.Shards[i].CRC32C,
+				Keys:   ss.keys.Load(),
+				Mut:    mutNow,
+			}
+			reused++
+		} else {
+			blob, mut, err := tab.captureShard(i)
+			if err != nil {
+				return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
+			}
+			if err := writeFileSync(path, blob); err != nil {
+				return Manifest{}, fmt.Errorf("server: snapshot %q shard %d: %w", name, i, err)
+			}
+			// The key count is read after the marshal, so like InsertedKeys
+			// it never undercounts the blob's contents (counters bump under
+			// the shard lock the marshal just held); racing inserts may
+			// overcount.
+			man.Shards[i] = ShardEntry{
+				File:   file,
+				Bytes:  int64(len(blob)),
+				CRC32C: crc32.Checksum(blob, castagnoli),
+				Keys:   ss.keys.Load(),
+				Mut:    mut,
+			}
 		}
 		if st.afterShardWrite != nil {
 			if err := st.afterShardWrite(i); err != nil {
@@ -372,8 +442,25 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 		return Manifest{}, fmt.Errorf("server: snapshot %q: %w", name, err)
 	}
 	st.prune(name, seq)
-	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes(), WALPos: man.WALPos})
+	f.incr = &incrSnapState{seq: seq, epoch: tab.epoch}
+	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes(), WALPos: man.WALPos, ReusedShards: reused})
 	return man, nil
+}
+
+// linkOrCopy makes dst another name for src's contents, preferring a hard
+// link — snapshot blobs are immutable once written, so sharing the inode
+// is safe and free, and pruning the old snapshot directory leaves the
+// inode alive — and falling back to a read + fsynced write when the
+// filesystem refuses links.
+func linkOrCopy(src, dst string) error {
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return writeFileSync(dst, data)
 }
 
 // prune removes snapshot directories other than the newest keep complete
@@ -414,6 +501,11 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 		len(man.Shards) == 0 || len(man.Shards) != man.Options.Shards {
 		return nil
 	}
+	// Every version below v5 predates span splits: a pre-v5 manifest
+	// carrying a span table or per-shard mutation epochs is corrupt.
+	if man.FormatVersion < manifestVersion && (man.Spans != nil || shardsClaimMut(&man)) {
+		return nil
+	}
 	switch man.FormatVersion {
 	case 1:
 		// v1 predates the partitioning record; hash routing is the only
@@ -436,9 +528,26 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 		if !man.Options.Partitioning.Valid() || man.Options.Backend != "" {
 			return nil
 		}
+	case 4:
+		if !man.Options.Partitioning.Valid() || !validBackend(man.Options.Backend) {
+			return nil
+		}
 	case manifestVersion:
 		if !man.Options.Partitioning.Valid() || !validBackend(man.Options.Backend) {
 			return nil
+		}
+		// v5 writers always record the span table under range partitioning
+		// and never under hash; anything else is corrupt, as is a table
+		// that does not tile the keyspace or disagrees with the shard count.
+		switch man.Options.Partitioning {
+		case PartitionRange:
+			if len(man.Spans) != len(man.Shards) || validateSpans(man.Spans) != nil {
+				return nil
+			}
+		default:
+			if man.Spans != nil {
+				return nil
+			}
 		}
 	default:
 		return nil
@@ -447,6 +556,17 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 		man.Options.Backend = BackendBloomRF // pre-v4 manifests are bloomRF by construction
 	}
 	return &man
+}
+
+// shardsClaimMut reports whether any shard entry carries a mutation epoch,
+// which only v5+ writers record.
+func shardsClaimMut(man *Manifest) bool {
+	for _, sh := range man.Shards {
+		if sh.Mut != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // restoreSnap rebuilds a filter from one snapshot, verifying every shard
@@ -494,7 +614,7 @@ func restoreFromBlobs(man *Manifest, blobs [][]byte) (*ShardedFilter, error) {
 	for i, ent := range man.Shards {
 		shardKeys[i] = ent.Keys
 	}
-	f, err := restoreSharded(man.Options, shards, man.InsertedKeys, shardKeys)
+	f, err := restoreSharded(man.Options, shards, man.InsertedKeys, shardKeys, man.Spans)
 	if err != nil {
 		return nil, err
 	}

@@ -452,7 +452,7 @@ func (fo *Follower) stream(ctx context.Context) error {
 			pending, order, cur = make(map[string]*pendingRestore), nil, nil
 		case frameHeartbeat:
 			fo.primaryPos.Store(pos)
-		case recCreate, recInsert, recDelete:
+		case recCreate, recInsert, recDelete, recSplit:
 			rec := wal.Record{Type: typ, Data: payload}
 			if err := applyRecord(fo.reg, pos, rec, fo.restoredPos, &stats); err != nil {
 				return fmt.Errorf("applying record at %d: %w", pos, err)

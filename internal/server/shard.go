@@ -21,11 +21,18 @@
 //     queries spread uniformly whatever the key distribution, but a key
 //     interval scatters across every shard, so a range query ORs all N
 //     shard answers and the range false-positive rate grows roughly N-fold.
-//   - range: the uint64 keyspace splits into N contiguous equal-width
-//     spans. Point ops still touch exactly one shard, and a range query
+//   - range: the uint64 keyspace splits into N contiguous spans (equal
+//     width at create time; live span splits may divide them further —
+//     split.go). Point ops still touch exactly one shard, and a range query
 //     probes only the shards whose span intersects the interval — typically
 //     one — keeping the range FPR near the single-filter rate, at the cost
 //     of load skew under non-uniform key distributions.
+//
+// Shard topology is a copy-on-write table (shardTable): every operation
+// loads the current table once and works against that immutable view, and
+// a span split publishes a whole new table with one atomic pointer store.
+// Surviving shards are shared between consecutive tables by pointer, so a
+// split copies O(shards) pointers, never filter state.
 //
 // The trade-off table and guidance live in docs/server.md; the layer map in
 // docs/architecture.md.
@@ -40,7 +47,9 @@ import (
 
 // MaxShards bounds the fan-out of one logical filter. 256 shards is far
 // past the point of diminishing returns for insert parallelism and keeps
-// the N-fold range-FPR inflation of hash partitioning bounded.
+// the N-fold range-FPR inflation of hash partitioning bounded. It also caps
+// how far span splits can subdivide a filter, and keeps shard ids inside
+// the uint8 the batch grouping scratch uses (batchexec.go).
 const MaxShards = 256
 
 // MaxFilterBits bounds one filter's total memory (ExpectedKeys·BitsPerKey)
@@ -60,6 +69,14 @@ const (
 	fanOutMinRanges = 16
 )
 
+// histBuckets is the resolution of the per-shard insert-key histogram that
+// drives split-point selection (split.go). 16 equal-width buckets over the
+// shard's span: enough to put a split within 1/16 of the span of the
+// weighted median, cheap enough (16 atomic counters per shard, batch-local
+// counting before one atomic add per touched bucket) to run on the insert
+// hot path.
+const histBuckets = 16
+
 // FilterOptions sizes a sharded filter. The per-shard filters divide
 // ExpectedKeys evenly; the total memory budget is ExpectedKeys·BitsPerKey
 // bits regardless of the shard count. The JSON tags are the wire schema of
@@ -73,7 +90,8 @@ type FilterOptions struct {
 	// range queries up to this width; 0 builds basic (point-oriented)
 	// filters, which still answer ranges up to ~2^14 well.
 	MaxRange float64 `json:"max_range"`
-	// Shards is the fan-out N. 0 means DefaultShards.
+	// Shards is the fan-out N. 0 means DefaultShards. Options returns the
+	// live count, which span splits grow past the created value.
 	Shards int `json:"shards"`
 	// Partitioning is the key-routing mode, PartitionHash or
 	// PartitionRange. Empty means PartitionHash (also what snapshot
@@ -104,24 +122,159 @@ type SnapshotInfo struct {
 	// segments entirely below the minimum WALPos across live filters are
 	// truncatable (durability.go). 0 when no WAL was attached.
 	WALPos uint64 `json:"wal_pos,omitempty"`
+	// ReusedShards counts shard blobs the snapshot reused from the
+	// previous one instead of re-marshaling, because the shard's mutation
+	// epoch had not moved — the dirty-shard incremental capture
+	// (persist.go). 0 for full snapshots.
+	ReusedShards int `json:"reused_shards,omitempty"`
+}
+
+// shardState is one shard of a sharded filter: the filter instance plus
+// everything that belongs to the shard rather than the logical filter — its
+// lock, its owned key span, and its per-shard counters. States are shared
+// by pointer between consecutive shard tables, so a split replaces only the
+// shard it divides and counters on surviving shards never miss an update.
+type shardState struct {
+	f shardFilter
+
+	// mu serializes marshals against inserts: insert paths hold the read
+	// side (shared, so inserts still run in parallel) and captures hold the
+	// write side, so a snapshot of a shard contains every insert that
+	// completed before it and no torn half-applied insert. A split also
+	// holds the write side of the shard it retires across the table swap —
+	// the fence that makes a concurrent insert either land before the swap
+	// (visible to the splitter via mut) or re-route through the new table.
+	mu sync.RWMutex
+
+	// lo, hi bound the shard's owned key span, inclusive (range modes).
+	// Hash routing owns no interval: lo = 0, hi = ^0, bucketW = 0.
+	lo, hi uint64
+	// bucketW is the insert-histogram bucket width, (hi-lo)/histBuckets+1;
+	// 0 disables the histogram (hash routing).
+	bucketW uint64
+
+	// mut is the shard's mutation epoch: bumped before every insert applies
+	// (inside the read-locked critical section), so an observer that reads
+	// mut, captures the shard, and later re-reads an unchanged mut knows no
+	// bit moved in between — the cheap cleanliness proof behind incremental
+	// snapshots and the split's stale-clone check. Process-local; restores
+	// reset it to zero.
+	mut atomic.Uint64
+
+	// Per-shard traffic counters, the raw data behind the partition-skew
+	// gauges in /metrics: keys resident in the shard (placement skew) and
+	// probes actually routed to it (the routing proof).
+	keys        atomic.Uint64
+	pointProbes atomic.Uint64
+	rangeProbes atomic.Uint64
+
+	// hist is the insert-key histogram over the shard's span, bucket b
+	// counting inserts of keys in [lo + b·bucketW, lo + (b+1)·bucketW).
+	// Split-point selection reads it to place the cut at the weighted
+	// median instead of the span midpoint (split.go).
+	hist [histBuckets]atomic.Uint64
+}
+
+// noteInserts records a sub-batch in the shard's key histogram. Counting
+// into a stack-local array first keeps the hot path at ≤histBuckets atomic
+// adds per sub-batch instead of one per key.
+func (ss *shardState) noteInserts(sub []uint64) {
+	if ss.bucketW == 0 {
+		return
+	}
+	var h [histBuckets]uint64
+	for _, k := range sub {
+		b := (k - ss.lo) / ss.bucketW
+		if b >= histBuckets {
+			b = histBuckets - 1 // defensive: a misrouted key must not panic
+		}
+		h[b]++
+	}
+	for b, c := range h {
+		if c != 0 {
+			ss.hist[b].Add(c)
+		}
+	}
+}
+
+// histSnapshot reads the histogram once.
+func (ss *shardState) histSnapshot() (h [histBuckets]uint64, total uint64) {
+	for b := range ss.hist {
+		h[b] = ss.hist[b].Load()
+		total += h[b]
+	}
+	return h, total
+}
+
+// shardTable is one immutable shard topology: the routing partitioner and
+// the shard states it routes to, in span order. ShardedFilter publishes a
+// new table atomically on every split; operations load the pointer once and
+// use that consistent view throughout.
+type shardTable struct {
+	part   partitioner
+	shards []*shardState
+	// epoch increments on every table swap. Restores start at 0; the value
+	// fences stale observers — incremental snapshot state recorded under an
+	// older epoch is discarded rather than trusted across a topology change.
+	epoch uint64
+}
+
+// newShardTable pairs states with a partitioner, assigning each state its
+// owned span (and histogram bucket width) from the partitioner's span
+// table.
+func newShardTable(part partitioner, filters []shardFilter, epoch uint64) *shardTable {
+	starts := part.spans()
+	shards := make([]*shardState, len(filters))
+	for i, f := range filters {
+		ss := &shardState{f: f, hi: ^uint64(0)}
+		if starts != nil {
+			ss.lo = starts[i]
+			if i+1 < len(starts) {
+				ss.hi = starts[i+1] - 1
+			}
+			ss.bucketW = (ss.hi-ss.lo)/histBuckets + 1
+		}
+		shards[i] = ss
+	}
+	return &shardTable{part: part, shards: shards, epoch: epoch}
 }
 
 // ShardedFilter is one logical bloomRF filter split across independent
-// shards, with key routing delegated to its partitioner. All methods are
-// safe for concurrent use.
-//
-// Each shard pairs its filter with a reader–writer lock: insert paths hold
-// the read side (shared, so inserts still run in parallel) and MarshalShard
-// holds the write side, so a snapshot of a shard contains every insert that
-// completed before it and no torn half-applied insert — the consistency the
-// durability layer needs (see persist.go).
+// shards, with key routing delegated to the current shard table's
+// partitioner. All methods are safe for concurrent use.
 type ShardedFilter struct {
-	shards []shardFilter
-	locks  []sync.RWMutex
-	part   partitioner
-	n      uint64
-	keys   atomic.Uint64 // inserted-key count, for stats
-	opt    FilterOptions
+	tab  atomic.Pointer[shardTable]
+	keys atomic.Uint64 // inserted-key count, for stats
+	opt  FilterOptions
+
+	// splitMu serializes topology changes and whole-table captures: span
+	// splits (split.go) and snapshot passes (persist.go) both hold it, so a
+	// snapshot can never interleave with a split's swap-and-backfill window
+	// and record post-split blobs under a pre-split WAL position.
+	splitMu sync.Mutex
+
+	// applyMu is the mutation drain gate. Mutating request handlers hold
+	// the read side across apply + WAL append (beginApply/endApply); a
+	// split, after swapping the table, acquires and releases the write side
+	// once — when that returns, every mutation that could have applied to
+	// the old table has finished its WAL append, so the split's tail replay
+	// reads a log that already contains every straggler (split.go).
+	applyMu sync.RWMutex
+
+	// incr is the incremental-snapshot state: which snapshot seq the last
+	// capture of this process wrote, under which table epoch (persist.go).
+	// Guarded by splitMu. Process-local on purpose — mutation epochs reset
+	// on restart, so the first snapshot of an incarnation is always full.
+	incr *incrSnapState
+
+	splits        atomic.Uint64 // completed span splits since process start
+	autoSplitting atomic.Bool   // one auto-split loop per filter at a time (metrics.go)
+
+	// splitHook, when non-nil, is called at each split lifecycle stage
+	// (split.go names them); the crash-injection tests use it to interleave
+	// traffic and simulated kills at exact boundaries. Set before serving;
+	// never called with locks held.
+	splitHook func(stage string)
 
 	// Query counters for /metrics; positives count "maybe" answers, so
 	// positives/queries approximates the observed hit + false-positive rate.
@@ -130,20 +283,18 @@ type ShardedFilter struct {
 	rangeQueries   atomic.Uint64
 	rangePositives atomic.Uint64
 
-	// Per-shard traffic counters, the raw data behind the partition-skew
-	// gauges in /metrics: keys resident per shard (placement skew, the
-	// range mode's risk under non-uniform keys) and probes actually routed
-	// to each shard (the routing proof — range mode sends a narrow range
-	// query to one shard, hash mode to all of them).
-	shardKeys        []atomic.Uint64
-	shardPointProbes []atomic.Uint64
-	shardRangeProbes []atomic.Uint64
-
 	// Server-side latency histograms per op × codec (latency.go). The API
 	// handlers record into them; /metrics and Stats read them.
 	lat [numLatOps][numLatCodecs]latencyHist
 
 	snap atomic.Pointer[SnapshotInfo] // last durable snapshot, nil if none
+}
+
+// incrSnapState remembers the last snapshot this process captured, so the
+// next pass can reuse blobs of shards whose mutation epoch has not moved.
+type incrSnapState struct {
+	seq   uint64 // snapshot sequence the capture committed as
+	epoch uint64 // table epoch the capture saw; a split invalidates reuse
 }
 
 // NewSharded builds a sharded filter. It validates and defaults opt.
@@ -152,20 +303,21 @@ func NewSharded(opt FilterOptions) (*ShardedFilter, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range s.shards {
+	tab := s.tab.Load()
+	for i := range tab.shards {
 		f, err := newShardFilter(s.opt, perShard)
 		if err != nil {
 			return nil, fmt.Errorf("server: building shard %d: %w", i, err)
 		}
-		s.shards[i] = f
+		tab.shards[i].f = f
 	}
 	return s, nil
 }
 
 // newShardedShell validates and defaults opt and allocates a ShardedFilter
-// with empty shard slots, returning the per-shard key budget. Shared by
-// NewSharded (which builds fresh filters) and restoreSharded (which fills
-// the slots from snapshot blobs).
+// whose shard table has empty filter slots, returning the per-shard key
+// budget. Shared by NewSharded (which builds fresh filters) and
+// restoreSharded (which fills the slots from snapshot blobs).
 func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 	if opt.Shards == 0 {
 		opt.Shards = DefaultShards
@@ -207,62 +359,121 @@ func newShardedShell(opt *FilterOptions) (*ShardedFilter, uint64, error) {
 	if perShard == 0 {
 		perShard = 1
 	}
-	s := &ShardedFilter{
-		shards:           make([]shardFilter, opt.Shards),
-		locks:            make([]sync.RWMutex, opt.Shards),
-		part:             part,
-		n:                uint64(opt.Shards),
-		opt:              *opt,
-		shardKeys:        make([]atomic.Uint64, opt.Shards),
-		shardPointProbes: make([]atomic.Uint64, opt.Shards),
-		shardRangeProbes: make([]atomic.Uint64, opt.Shards),
-	}
+	s := &ShardedFilter{opt: *opt}
+	s.tab.Store(newShardTable(part, make([]shardFilter, opt.Shards), 0))
 	return s, perShard, nil
 }
 
 // restoreSharded rebuilds a sharded filter from deserialized shards (one
-// per shard, in shard order) and the options and key counts recorded in a
-// snapshot manifest. The shard count must match opt.Shards. shardKeys is
-// the per-shard inserted-key counts; nil (v1 manifests predate them) leaves
-// the per-shard counters at zero, which only dims the skew gauges.
-func restoreSharded(opt FilterOptions, shards []shardFilter, insertedKeys uint64, shardKeys []uint64) (*ShardedFilter, error) {
+// per shard, in shard order) and the options, key counts and span table
+// recorded in a snapshot manifest. The shard count must match opt.Shards.
+// shardKeys is the per-shard inserted-key counts; nil (v1 manifests predate
+// them) leaves the per-shard counters at zero, which only dims the skew
+// gauges. spans, when non-nil (v5 range-mode manifests), is the span-start
+// table — required to restore a filter whose spans a split made non-uniform;
+// nil restores the uniform create-time spans.
+func restoreSharded(opt FilterOptions, shards []shardFilter, insertedKeys uint64, shardKeys []uint64, spans []uint64) (*ShardedFilter, error) {
 	s, _, err := newShardedShell(&opt)
 	if err != nil {
 		return nil, err
 	}
-	if len(shards) != len(s.shards) {
-		return nil, fmt.Errorf("server: restore has %d shards, options say %d", len(shards), len(s.shards))
+	tab := s.tab.Load()
+	if len(shards) != len(tab.shards) {
+		return nil, fmt.Errorf("server: restore has %d shards, options say %d", len(shards), len(tab.shards))
 	}
-	if shardKeys != nil && len(shardKeys) != len(s.shards) {
-		return nil, fmt.Errorf("server: restore has %d shard key counts, options say %d shards", len(shardKeys), len(s.shards))
+	if shardKeys != nil && len(shardKeys) != len(tab.shards) {
+		return nil, fmt.Errorf("server: restore has %d shard key counts, options say %d shards", len(shardKeys), len(tab.shards))
 	}
-	copy(s.shards, shards)
+	if spans != nil {
+		if opt.Partitioning != PartitionRange {
+			return nil, fmt.Errorf("server: restore has a span table under %s partitioning", opt.Partitioning)
+		}
+		if len(spans) != len(shards) {
+			return nil, fmt.Errorf("server: restore has %d spans for %d shards", len(spans), len(shards))
+		}
+		part, err := newSpanPartitioner(spans)
+		if err != nil {
+			return nil, err
+		}
+		tab = newShardTable(part, shards, 0)
+		s.tab.Store(tab)
+	}
+	for i, f := range shards {
+		tab.shards[i].f = f
+	}
 	s.keys.Store(insertedKeys)
 	for i, k := range shardKeys {
-		s.shardKeys[i].Store(k)
+		tab.shards[i].keys.Store(k)
 	}
 	return s, nil
 }
 
 // Options returns the validated, defaulted options the filter was built
-// with; the snapshot manifest persists them so a restore rebuilds an
-// identically-routed filter.
-func (s *ShardedFilter) Options() FilterOptions { return s.opt }
+// with, with Shards reporting the live shard count (splits grow it past the
+// created value); the snapshot manifest persists them so a restore rebuilds
+// an identically-routed filter.
+func (s *ShardedFilter) Options() FilterOptions {
+	opt := s.opt
+	opt.Shards = len(s.tab.Load().shards)
+	return opt
+}
 
-// NumShards returns the shard count.
-func (s *ShardedFilter) NumShards() int { return int(s.n) }
+// NumShards returns the current shard count.
+func (s *ShardedFilter) NumShards() int { return len(s.tab.Load().shards) }
+
+// shardOf reports which shard of the current routing table owns key.
+// Routing is table-relative: the same key may map to a different index
+// after a split swaps in a finer table.
+func (s *ShardedFilter) shardOf(key uint64) uint64 { return s.tab.Load().part.shardOf(key) }
 
 // Partitioning returns the filter's routing mode.
-func (s *ShardedFilter) Partitioning() Partitioning { return s.part.mode() }
+func (s *ShardedFilter) Partitioning() Partitioning { return s.tab.Load().part.mode() }
 
-// MarshalShard serializes shard i under the shard's write lock, so the blob
-// reflects a point between fully applied inserts on that shard (inserts
-// hold the read side for their duration). Consistency is per shard: a batch
-// spanning shards may land in some shards' blobs and not others.
+// TableEpoch returns the current shard-table epoch: how many times the
+// topology has changed since the filter was built or restored.
+func (s *ShardedFilter) TableEpoch() uint64 { return s.tab.Load().epoch }
+
+// Splits returns how many span splits completed since process start.
+func (s *ShardedFilter) Splits() uint64 { return s.splits.Load() }
+
+// beginApply opens one mutation's apply + WAL-append critical section; the
+// handler must call endApply after the record is appended (or the mutation
+// abandoned). The read side of a RWMutex, so mutations never serialize on
+// each other — only a split's post-swap drain takes the write side, and
+// only for an instant (shard.go field comment, split.go).
+func (s *ShardedFilter) beginApply() { s.applyMu.RLock() }
+
+// endApply closes the section beginApply opened.
+func (s *ShardedFilter) endApply() { s.applyMu.RUnlock() }
+
+// hook invokes the split lifecycle test hook, if any.
+func (s *ShardedFilter) hook(stage string) {
+	if s.splitHook != nil {
+		s.splitHook(stage)
+	}
+}
+
+// MarshalShard serializes shard i of the current table under the shard's
+// write lock, so the blob reflects a point between fully applied inserts on
+// that shard (inserts hold the read side for their duration). Consistency
+// is per shard: a batch spanning shards may land in some shards' blobs and
+// not others.
 func (s *ShardedFilter) MarshalShard(i int) ([]byte, error) {
-	s.locks[i].Lock()
-	defer s.locks[i].Unlock()
-	return s.shards[i].MarshalBinary()
+	blob, _, err := s.tab.Load().captureShard(i)
+	return blob, err
+}
+
+// captureShard marshals shard i under its write lock, returning the blob
+// and the shard's mutation epoch at capture. While the caller holds no
+// other guarantee, an epoch re-read that still matches proves the blob
+// still reflects every applied insert (mut bumps before apply, inside the
+// same read-locked section).
+func (tab *shardTable) captureShard(i int) ([]byte, uint64, error) {
+	ss := tab.shards[i]
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	blob, err := ss.f.MarshalBinary()
+	return blob, ss.mut.Load(), err
 }
 
 // setSnapshotInfo records the filter's latest durable snapshot for stats
@@ -273,26 +484,41 @@ func (s *ShardedFilter) setSnapshotInfo(info SnapshotInfo) { s.snap.Store(&info)
 // if the filter has never been snapshotted.
 func (s *ShardedFilter) LastSnapshot() *SnapshotInfo { return s.snap.Load() }
 
-// shardOf routes a key to its shard through the filter's partitioner.
-func (s *ShardedFilter) shardOf(key uint64) uint64 { return s.part.shardOf(key) }
-
 // Insert adds one key. The counters bump inside the shard lock so a
-// snapshot's manifest never undercounts the keys its blobs contain.
+// snapshot's manifest never undercounts the keys its blobs contain. The
+// retry loop handles a concurrent split retiring the owning shard between
+// routing and locking — validate-after-lock, re-route through the new
+// table (see insertShard).
 func (s *ShardedFilter) Insert(key uint64) {
-	sh := s.shardOf(key)
-	s.locks[sh].RLock()
-	s.shards[sh].Insert(key)
-	s.keys.Add(1)
-	s.shardKeys[sh].Add(1)
-	s.locks[sh].RUnlock()
+	for {
+		tab := s.tab.Load()
+		sh := int(tab.part.shardOf(key))
+		ss := tab.shards[sh]
+		ss.mu.RLock()
+		if s.tab.Load() != tab {
+			ss.mu.RUnlock()
+			continue
+		}
+		ss.mut.Add(1)
+		ss.f.Insert(key)
+		s.keys.Add(1)
+		ss.keys.Add(1)
+		ss.noteInserts([]uint64{key})
+		ss.mu.RUnlock()
+		return
+	}
 }
 
 // MayContain tests one key; false is definitive. Both partitioning modes
-// probe exactly the one shard owning the key.
+// probe exactly the one shard owning the key. Queries never validate the
+// table: a shard a split just retired still answers correctly for every
+// key it was ever routed (its bits are a superset of the replacement's).
 func (s *ShardedFilter) MayContain(key uint64) bool {
-	sh := s.shardOf(key)
-	s.shardPointProbes[sh].Add(1)
-	ok := s.shards[sh].MayContain(key)
+	tab := s.tab.Load()
+	sh := tab.part.shardOf(key)
+	ss := tab.shards[sh]
+	ss.pointProbes.Add(1)
+	ok := ss.f.MayContain(key)
 	s.pointQueries.Add(1)
 	if ok {
 		s.pointPositives.Add(1)
@@ -304,11 +530,12 @@ func (s *ShardedFilter) MayContain(key uint64) bool {
 // routes it to — every shard under hash partitioning, only span-overlapping
 // shards under range partitioning — ORing the answers and early-exiting on
 // the first positive. Callers account the query-level metrics.
-func (s *ShardedFilter) rangeOne(lo, hi uint64) bool {
-	first, last := s.part.rangeShards(lo, hi)
+func (s *ShardedFilter) rangeOne(tab *shardTable, lo, hi uint64) bool {
+	first, last := tab.part.rangeShards(lo, hi)
 	for sh := first; sh <= last; sh++ {
-		s.shardRangeProbes[sh].Add(1)
-		if s.shards[sh].MayContainRange(lo, hi) {
+		ss := tab.shards[sh]
+		ss.rangeProbes.Add(1)
+		if ss.f.MayContainRange(lo, hi) {
 			return true
 		}
 	}
@@ -322,7 +549,7 @@ func (s *ShardedFilter) rangeOne(lo, hi uint64) bool {
 // under range partitioning only shards whose span intersects [lo, hi] are
 // probed — one shard, when the interval sits inside a single span.
 func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
-	ok := s.rangeOne(lo, hi)
+	ok := s.rangeOne(s.tab.Load(), lo, hi)
 	s.rangeQueries.Add(1)
 	if ok {
 		s.rangePositives.Add(1)
@@ -331,15 +558,31 @@ func (s *ShardedFilter) MayContainRange(lo, hi uint64) bool {
 }
 
 // insertShard runs one shard's sub-batch under the shard's read lock,
-// counting the keys before the lock drops (see Insert). The batch
-// entry points that feed it live in batchexec.go, which owns the pooled
-// grouping scratch and the fan-out policy.
-func (s *ShardedFilter) insertShard(sh int, sub []uint64) {
-	s.locks[sh].RLock()
-	s.shards[sh].InsertBatch(sub)
+// counting the keys before the lock drops (see Insert). It reports false —
+// nothing applied — when the shard table changed between the caller's load
+// and the lock acquisition: the shard may have been retired by a split, and
+// inserting into a retired shard after its replacement was captured would
+// lose the keys. The caller re-routes the sub-batch through the new table.
+// The batch entry points that feed it live in batchexec.go, which owns the
+// pooled grouping scratch and the fan-out policy.
+func (s *ShardedFilter) insertShard(tab *shardTable, sh int, sub []uint64) bool {
+	ss := tab.shards[sh]
+	ss.mu.RLock()
+	if s.tab.Load() != tab {
+		ss.mu.RUnlock()
+		return false
+	}
+	// Bump the epoch before the bits move: a concurrent capture that read
+	// an equal epoch before and after marshaling is then guaranteed no
+	// insert landed in between (a racy observer may see the bump without
+	// the insert and conservatively re-capture — never the reverse).
+	ss.mut.Add(1)
+	ss.f.InsertBatch(sub)
 	s.keys.Add(uint64(len(sub)))
-	s.shardKeys[sh].Add(uint64(len(sub)))
-	s.locks[sh].RUnlock()
+	ss.keys.Add(uint64(len(sub)))
+	ss.noteInserts(sub)
+	ss.mu.RUnlock()
+	return true
 }
 
 // ShardedStats aggregates occupancy and traffic counters across shards.
@@ -361,6 +604,15 @@ type ShardedStats struct {
 	PointPositives uint64       `json:"point_positives"`
 	RangeQueries   uint64       `json:"range_queries"`
 	RangePositives uint64       `json:"range_positives"`
+	// Splits counts completed live span splits since process start;
+	// TableEpoch counts topology changes of the current incarnation
+	// (restores reset both).
+	Splits     uint64 `json:"splits"`
+	TableEpoch uint64 `json:"table_epoch"`
+	// Spans is the span-start table under range partitioning — Spans[i] is
+	// the smallest key shard i owns. Uniform at create time; splits divide
+	// entries. Omitted under hash routing.
+	Spans []uint64 `json:"spans,omitempty"`
 	// ShardKeys is the number of keys resident per shard; its spread is
 	// the placement skew (KeySkew summarizes it as max/mean).
 	ShardKeys []uint64 `json:"shard_keys"`
@@ -378,11 +630,13 @@ type ShardedStats struct {
 	Latency []OpLatency `json:"latency,omitempty"`
 }
 
-// Stats returns aggregate occupancy statistics.
+// Stats returns aggregate occupancy statistics over the current table.
 func (s *ShardedFilter) Stats() ShardedStats {
+	tab := s.tab.Load()
+	n := len(tab.shards)
 	st := ShardedStats{
-		Shards:           int(s.n),
-		Partitioning:     s.part.mode(),
+		Shards:           n,
+		Partitioning:     tab.part.mode(),
 		Backend:          s.opt.Backend,
 		ExpectedKeys:     s.opt.ExpectedKeys,
 		InsertedKeys:     s.keys.Load(),
@@ -392,20 +646,23 @@ func (s *ShardedFilter) Stats() ShardedStats {
 		PointPositives:   s.pointPositives.Load(),
 		RangeQueries:     s.rangeQueries.Load(),
 		RangePositives:   s.rangePositives.Load(),
-		ShardKeys:        make([]uint64, s.n),
-		ShardPointProbes: make([]uint64, s.n),
-		ShardRangeProbes: make([]uint64, s.n),
+		Splits:           s.splits.Load(),
+		TableEpoch:       tab.epoch,
+		Spans:            tab.part.spans(),
+		ShardKeys:        make([]uint64, n),
+		ShardPointProbes: make([]uint64, n),
+		ShardRangeProbes: make([]uint64, n),
 		Snapshot:         s.snap.Load(),
 	}
 	var maxKeys, sumKeys uint64
-	for i, f := range s.shards {
-		fst := f.stats()
+	for i, ss := range tab.shards {
+		fst := ss.f.stats()
 		st.SizeBits += fst.SizeBits
 		st.SetBits += fst.SetBits
 		st.K = fst.K
-		st.ShardKeys[i] = s.shardKeys[i].Load()
-		st.ShardPointProbes[i] = s.shardPointProbes[i].Load()
-		st.ShardRangeProbes[i] = s.shardRangeProbes[i].Load()
+		st.ShardKeys[i] = ss.keys.Load()
+		st.ShardPointProbes[i] = ss.pointProbes.Load()
+		st.ShardRangeProbes[i] = ss.rangeProbes.Load()
 		sumKeys += st.ShardKeys[i]
 		if st.ShardKeys[i] > maxKeys {
 			maxKeys = st.ShardKeys[i]
@@ -415,7 +672,7 @@ func (s *ShardedFilter) Stats() ShardedStats {
 		st.FillRatio = float64(st.SetBits) / float64(st.SizeBits)
 	}
 	if sumKeys > 0 {
-		st.KeySkew = float64(maxKeys) * float64(s.n) / float64(sumKeys)
+		st.KeySkew = float64(maxKeys) * float64(n) / float64(sumKeys)
 	}
 	st.Latency = s.latencySummaries()
 	return st
@@ -423,11 +680,13 @@ func (s *ShardedFilter) Stats() ShardedStats {
 
 // KeySkew returns max/mean of per-shard resident keys — the same value as
 // Stats().KeySkew without the full stats walk, cheap enough for the
-// mutation-path skew check (metrics.go).
+// mutation-path skew check (metrics.go). Computed over the current table,
+// so a split recomputes it over the new spans immediately.
 func (s *ShardedFilter) KeySkew() float64 {
+	tab := s.tab.Load()
 	var maxKeys, sumKeys uint64
-	for i := range s.shardKeys {
-		k := s.shardKeys[i].Load()
+	for _, ss := range tab.shards {
+		k := ss.keys.Load()
 		sumKeys += k
 		if k > maxKeys {
 			maxKeys = k
@@ -436,5 +695,5 @@ func (s *ShardedFilter) KeySkew() float64 {
 	if sumKeys == 0 {
 		return 0
 	}
-	return float64(maxKeys) * float64(s.n) / float64(sumKeys)
+	return float64(maxKeys) * float64(len(tab.shards)) / float64(sumKeys)
 }

@@ -6,7 +6,10 @@
 # point and range queries. A second phase then loads keys WITHOUT any
 # snapshot and SIGKILLs again: those keys exist only in the write-ahead
 # log (-wal-sync=always, so the insert acks imply fsync), proving the
-# snapshot+replay recovery path end to end.
+# snapshot+replay recovery path end to end. A third phase splits a
+# range-partitioned filter's hottest span live and SIGKILLs again: the
+# journaled split record must replay so the grown topology and every key
+# survive the crash.
 # Run from the repository root: ./scripts/restart_e2e.sh
 set -euo pipefail
 
@@ -105,6 +108,40 @@ curl -sf "$BASE/metrics" | grep 'bloomrfd_wal_end_pos' >/dev/null \
 grep -q "WAL replay" "$WORK/server.log" \
   || { echo "server log missing WAL replay line"; exit 1; }
 
+echo "== phase 3: a live span split survives SIGKILL =="
+# A range-partitioned filter with all its keys clustered in the first span:
+# the split should land there, and the journaled recSplit record must
+# replay on restart so the grown topology comes back.
+curl -sf -XPOST "$BASE/v1/filters" \
+    -d '{"name":"spans","expected_keys":100000,"shards":2,"partitioning":"range"}' >/dev/null
+curl -sf -XPOST "$BASE/v1/filters/spans/insert" \
+    -d "{\"keys\":[$(seq -s, 7000 9000)]}" >/dev/null
+span_points() {
+  curl -sf -XPOST "$BASE/v1/filters/spans/query" \
+      -d "{\"keys\":[$(seq -s, 7000 7063)]}"
+}
+span_points > "$WORK/before.spanpoints"
+curl -sf -XPOST "$BASE/v1/filters/spans/split" -d '' | tee "$WORK/split.json"
+echo
+grep -q '"split_key"' "$WORK/split.json" || { echo "split response missing split_key"; exit 1; }
+shards_now() {
+  curl -sf "$BASE/v1/filters/spans" | grep -o '"shards":[0-9]*' | head -1 | cut -d: -f2
+}
+S_BEFORE="$(shards_now)"
+[ "$S_BEFORE" -eq 3 ] || { echo "split did not grow the filter: $S_BEFORE shards"; exit 1; }
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+start_server
+S_AFTER="$(shards_now)"
+[ "$S_AFTER" -eq 3 ] || { echo "journaled split lost across SIGKILL: $S_AFTER shards"; exit 1; }
+span_points > "$WORK/after.spanpoints"
+diff "$WORK/before.spanpoints" "$WORK/after.spanpoints"
+head -c 200 "$WORK/after.spanpoints" | grep -q '"results":\[true,true,true,true' \
+  || { echo "split recovery lost keys"; exit 1; }
+curl -sf "$BASE/metrics" | grep -E 'bloomrfd_filter_splits_total\{filter="spans"\} 1' \
+  || { echo "metrics missing split counter after recovery"; exit 1; }
+
 kill "$PID"
 wait "$PID" 2>/dev/null || true
-echo "restart e2e: OK (snapshot restore and WAL tail replay both bit-identical across SIGKILL)"
+echo "restart e2e: OK (snapshot restore, WAL tail replay, and a journaled span split all survive SIGKILL)"
