@@ -45,8 +45,11 @@ func runLSMBench(o lsmBenchOptions) error {
 	}
 	for _, mr := range rep.Mixes {
 		for _, b := range mr.Backends {
-			log.Printf("lsm-bench: mix=%-5s backend=%-7s data_blocks_read=%-8d fpr=%.4f io_saved_vs_bloom=%+.1f%%",
-				mr.Mix, b.Backend, b.DataBlocksRead, b.FalsePositiveRate, b.IOSavedVsBloomPct)
+			log.Printf("lsm-bench: mix=%-5s backend=%-7s data_blocks_read=%-8d fpr=%.4f io_saved_vs_bloom=%+.1f%% "+
+				"phases(probe/deser/io)=%.0f%%/%.0f%%/%.0f%% p50=%.1fus p99=%.1fus",
+				mr.Mix, b.Backend, b.DataBlocksRead, b.FalsePositiveRate, b.IOSavedVsBloomPct,
+				100*b.Phases.FilterProbeFraction, 100*b.Phases.DeserializeFraction, 100*b.Phases.IOWaitFraction,
+				b.LatencyP50Us, b.LatencyP99Us)
 		}
 	}
 	if err := rep.WriteJSON(o.Out); err != nil {

@@ -90,6 +90,10 @@ func main() {
 		"act on skew instead of just alerting: split a range-partitioned filter's hottest span whenever its key_skew exceeds this after an insert (0 disables)")
 	maxInflight := flag.Int("max-inflight-batches", 0,
 		"admission control: bound concurrently served batch requests (insert/query/query-range); beyond it the server sheds load with 429 + Retry-After instead of queueing; 0 disables")
+	logFormat := flag.String("log-format", "text",
+		"serving-mode log rendering: text (human-readable key=value) or json (one object per line, for log shippers)")
+	slowReqThreshold := flag.Duration("slow-request-threshold", 100*time.Millisecond,
+		"emit one structured slow-request log line (full per-phase time breakdown, rate-limited to 1/s per filter) for any request slower than this; 0 disables")
 	follow := flag.String("follow", "",
 		"run as a read-only warm standby of the bloomrfd primary at this URL (e.g. http://primary:8077)")
 	probeFile := flag.String("probe-file", "",
@@ -172,6 +176,14 @@ func main() {
 		return
 	}
 
+	// Serving mode from here on: one leveled structured logger owns every
+	// line — main's operational messages, the server package's Logf hooks,
+	// snapshotter/follower diagnostics, slow-request JSON lines.
+	logger, err := newAppLogger(*logFormat)
+	if err != nil {
+		log.Fatalf("bloomrfd: %v", err)
+	}
+
 	if *pprofAddr != "" {
 		startPprof(*pprofAddr)
 	}
@@ -182,6 +194,8 @@ func main() {
 		SkewAlertThreshold:     *skewThreshold,
 		AutoSplitSkewThreshold: *autoSplitThreshold,
 		MaxInflightBatches:     *maxInflight,
+		SlowRequestThreshold:   *slowReqThreshold,
+		Logf:                   logger.logf,
 	}
 	reg := server.NewRegistry()
 	var (
@@ -196,24 +210,25 @@ func main() {
 		// Warm standby: state is owned by the primary's stream; local
 		// persistence would race it, so the two modes are exclusive.
 		if *dataDir != "" {
-			log.Fatalf("bloomrfd: -follow and -data-dir are mutually exclusive (the standby's state is the primary's stream)")
+			logger.fatalf("bloomrfd: -follow and -data-dir are mutually exclusive (the standby's state is the primary's stream)")
 		}
 		var err error
-		follower, err = server.NewFollower(*follow, reg, log.Printf)
+		follower, err = server.NewFollower(*follow, reg, logger.logf)
 		if err != nil {
-			log.Fatalf("bloomrfd: %v", err)
+			logger.fatalf("bloomrfd: %v", err)
 		}
 		// The primary's stream is token-gated whenever the primary runs
 		// with -auth-token; present the same credential.
 		follower.WithAuthToken(token)
 		cfg.ReadOnly = true
 		cfg.Replication = follower.Status
+		cfg.ReplicationLag = follower.LagSnapshot
 
 	case *dataDir != "":
 		var err error
 		store, err = server.OpenStore(filepath.Join(*dataDir, "snapshots"))
 		if err != nil {
-			log.Fatalf("bloomrfd: %v", err)
+			logger.fatalf("bloomrfd: %v", err)
 		}
 		wlog, err = wal.Open(wal.Options{
 			Dir:          filepath.Join(*dataDir, "wal"),
@@ -222,15 +237,15 @@ func main() {
 			SegmentBytes: *walSegmentBytes,
 		})
 		if err != nil {
-			log.Fatalf("bloomrfd: opening WAL: %v", err)
+			logger.fatalf("bloomrfd: opening WAL: %v", err)
 		}
 		store.SetWALSource(wlog)
-		if _, err := server.Recover(store, wlog, reg, log.Printf); err != nil {
-			log.Fatalf("bloomrfd: recovery: %v", err)
+		if _, err := server.Recover(store, wlog, reg, logger.logf); err != nil {
+			logger.fatalf("bloomrfd: recovery: %v", err)
 		}
 		cfg.WAL = wlog
 		if *snapshotInterval > 0 {
-			snapshotter = server.NewSnapshotter(reg, store, *snapshotInterval).WithWAL(wlog)
+			snapshotter = server.NewSnapshotter(reg, store, *snapshotInterval).WithWAL(wlog).WithLogf(logger.logf)
 			snapshotter.Start()
 		}
 	}
@@ -247,39 +262,39 @@ func main() {
 
 	if follower != nil {
 		go follower.Run(ctx)
-		log.Printf("bloomrfd: following %s as a read-only standby", *follow)
+		logger.logf("bloomrfd: following %s as a read-only standby", *follow)
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("bloomrfd listening on %s", *addr)
+		logger.logf("bloomrfd listening on %s", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("bloomrfd: %v", err)
+		logger.fatalf("bloomrfd: %v", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("bloomrfd: shutting down (draining for up to %s)", *shutdownTimeout)
-	drainServer(srv, *shutdownTimeout, log.Printf)
+	logger.logf("bloomrfd: shutting down (draining for up to %s)", *shutdownTimeout)
+	drainServer(srv, *shutdownTimeout, logger.logf)
 	if snapshotter != nil {
 		snapshotter.Stop()
 	}
 	if store != nil {
-		ok, failed := server.SnapshotAll(reg, store, log.Printf)
-		log.Printf("bloomrfd: final snapshot: %d ok, %d failed", ok, failed)
+		ok, failed := server.SnapshotAll(reg, store, logger.logf)
+		logger.logf("bloomrfd: final snapshot: %d ok, %d failed", ok, failed)
 		if wlog != nil {
-			server.TruncateWAL(reg, wlog, log.Printf)
+			server.TruncateWAL(reg, wlog, logger.logf)
 		}
 	}
 	if wlog != nil {
 		if err := wlog.Close(); err != nil {
-			log.Printf("bloomrfd: closing WAL: %v", err)
+			logger.logf("bloomrfd: closing WAL: %v", err)
 		}
 	}
-	log.Printf("bloomrfd: bye")
+	logger.logf("bloomrfd: bye")
 }
 
 // drainServer shuts srv down gracefully, waiting up to timeout for

@@ -16,7 +16,9 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/lsm"
 	"repro/internal/lsm/policies"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -93,6 +95,44 @@ type YCSBBackendResult struct {
 	IOSavedVsBloomPct float64 `json:"io_saved_vs_bloom_pct"`
 	// ExecSeconds is wall time plus simulated IO wait (100 µs per block).
 	ExecSeconds float64 `json:"exec_seconds"`
+	// Phases decomposes the backend's probe cost into the IOStats
+	// components — the Fig. 12.G breakdown: where does a query's time go
+	// under each filter?
+	Phases YCSBPhases `json:"phases"`
+	// LatencyP50Us/P99Us/P999Us are per-operation latency percentiles in
+	// microseconds (wall time plus that operation's simulated IO wait),
+	// bucket-upper-bound estimates from a log-linear histogram.
+	LatencyP50Us  float64 `json:"latency_p50_us"`
+	LatencyP99Us  float64 `json:"latency_p99_us"`
+	LatencyP999Us float64 `json:"latency_p999_us"`
+}
+
+// YCSBPhases is one backend's attributed time split: filter probe
+// compute, filter-block deserialization, and (simulated) IO wait.
+// Fractions are shares of the three components' sum, so they compare
+// directly across backends with different absolute costs.
+type YCSBPhases struct {
+	FilterProbeSeconds  float64 `json:"filter_probe_seconds"`
+	DeserializeSeconds  float64 `json:"deserialize_seconds"`
+	IOWaitSeconds       float64 `json:"io_wait_seconds"`
+	FilterProbeFraction float64 `json:"filter_probe_fraction"`
+	DeserializeFraction float64 `json:"deserialize_fraction"`
+	IOWaitFraction      float64 `json:"io_wait_fraction"`
+}
+
+// ycsbPhases builds the breakdown from an interval IOStats snapshot.
+func ycsbPhases(d lsm.Snapshot) YCSBPhases {
+	p := YCSBPhases{
+		FilterProbeSeconds: d.FilterProbeTime.Seconds(),
+		DeserializeSeconds: d.DeserTime.Seconds(),
+		IOWaitSeconds:      d.IOWaitTime.Seconds(),
+	}
+	if sum := p.FilterProbeSeconds + p.DeserializeSeconds + p.IOWaitSeconds; sum > 0 {
+		p.FilterProbeFraction = p.FilterProbeSeconds / sum
+		p.DeserializeFraction = p.DeserializeSeconds / sum
+		p.IOWaitFraction = p.IOWaitSeconds / sum
+	}
+	return p
 }
 
 // YCSBMixResult groups the per-backend results of one mix.
@@ -210,9 +250,12 @@ func runYCSBMixBackend(dir string, mix workload.Mix, backend string, opt YCSBOpt
 	res := &YCSBBackendResult{Backend: backend}
 	stats := env.db.Stats()
 	value := make([]byte, 16)
+	var latHist obs.Hist
 	before := stats.Snapshot()
 	start := time.Now()
 	for _, op := range ops {
+		opStart := time.Now()
+		ioWait0 := stats.IOWaitNanos.Load()
 		switch op.Kind {
 		case workload.OpRead, workload.OpReadModifyWrite:
 			present := hasKeyIn(op.Key, op.Key)
@@ -263,6 +306,9 @@ func runYCSBMixBackend(dir string, mix workload.Mix, backend string, opt YCSBOpt
 				}
 			}
 		}
+		// Per-op latency: this op's wall time plus the simulated IO wait
+		// it incurred (the stats counter only accumulates, never resets).
+		latHist.Observe(time.Since(opStart).Nanoseconds() + int64(stats.IOWaitNanos.Load()-ioWait0))
 	}
 	wall := time.Since(start)
 	d := stats.Snapshot().Sub(before)
@@ -274,6 +320,11 @@ func runYCSBMixBackend(dir string, mix workload.Mix, backend string, opt YCSBOpt
 		res.FalsePositiveRate = float64(res.EmptyQueryFalsePositives) / float64(res.EmptyQueries)
 	}
 	res.ExecSeconds = (wall + d.IOWaitTime).Seconds()
+	res.Phases = ycsbPhases(d)
+	lat := latHist.Read()
+	res.LatencyP50Us = float64(lat.Quantile(0.50)) / 1e3
+	res.LatencyP99Us = float64(lat.Quantile(0.99)) / 1e3
+	res.LatencyP999Us = float64(lat.Quantile(0.999)) / 1e3
 	return res, nil
 }
 

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear bucket geometry, shared by every histogram in the system
+// (op latency, per-phase latency, WAL fsync latency, replication lag
+// bytes). Values are dimensionless int64s — the caller decides whether
+// a bucket bound means nanoseconds or bytes.
+const (
+	// MinExp: values below 2^MinExp (4096) land in a single underflow
+	// bucket. For nanoseconds that is 4.096µs, well under the cheapest
+	// network round-trip.
+	MinExp = 12
+	// MaxExp: values at or above 2^MaxExp (~8.59e9) land in a single
+	// overflow bucket. For nanoseconds that is ~8.6s.
+	MaxExp = 33
+	// SubBits: each power-of-two octave is split into Sub = 2^SubBits
+	// linear sub-buckets, bounding relative quantization error at
+	// 1/Sub = 12.5%.
+	SubBits = 3
+	// Sub is the number of linear sub-buckets per octave.
+	Sub = 1 << SubBits
+
+	// NumBuckets = underflow + (MaxExp-MinExp) octaves × Sub + overflow.
+	NumBuckets = 1 + (MaxExp-MinExp)*Sub + 1
+)
+
+// Bucket maps a value to its bucket index.
+func Bucket(v int64) int {
+	if v < 1<<MinExp {
+		return 0
+	}
+	if v >= 1<<MaxExp {
+		return NumBuckets - 1
+	}
+	exp := bits.Len64(uint64(v)) - 1 // floor(log2 v), in [MinExp, MaxExp)
+	sub := (v >> (uint(exp) - SubBits)) & (Sub - 1)
+	return 1 + (exp-MinExp)*Sub + int(sub)
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i (the value
+// reported for quantiles that land in it). The overflow bucket reports
+// 2^MaxExp.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 1 << MinExp
+	}
+	if i >= NumBuckets-1 {
+		return 1 << MaxExp
+	}
+	i--
+	exp := MinExp + i/Sub
+	sub := int64(i%Sub) + 1
+	return (1 << uint(exp)) + sub<<(uint(exp)-SubBits)
+}
+
+// Hist is a lock-free histogram: fixed atomic buckets plus a running
+// sum. Observe is wait-free (two atomic adds); Read takes a relaxed
+// snapshot that is consistent enough for monitoring.
+type Hist struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[Bucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Read returns a point-in-time snapshot.
+func (h *Hist) Read() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Hist.
+type HistSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1), i.e. an upper estimate with ≤12.5% relative
+// error. Returns 0 for an empty snapshot; the overflow bucket reports
+// 2^MaxExp.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return 1 << MaxExp
+}

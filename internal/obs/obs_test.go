@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout pins the histogram geometry: bucket upper bounds are
+// strictly increasing, and Bucket routes a value into the bucket whose
+// [lower, upper) interval contains it.
+func TestBucketLayout(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < NumBuckets; i++ {
+		up := BucketUpper(i)
+		if up <= prev && i < NumBuckets-1 {
+			t.Fatalf("bucket %d upper %d not above previous %d", i, up, prev)
+		}
+		prev = up
+	}
+	if got := BucketUpper(NumBuckets - 1); got != 1<<MaxExp {
+		t.Fatalf("overflow bucket upper = %d, want 2^%d", got, MaxExp)
+	}
+	for _, v := range []int64{
+		0, 1, 1<<MinExp - 1, 1 << MinExp, 1<<MinExp + 1,
+		5_000, 77_000, 1_000_000, 42_000_000, 999_999_999,
+		1<<MaxExp - 1, 1 << MaxExp, 1 << 62,
+	} {
+		i := Bucket(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("Bucket(%d) = %d out of range", v, i)
+		}
+		var lower int64
+		if i > 0 {
+			lower = BucketUpper(i - 1)
+		}
+		if i == NumBuckets-1 {
+			// Overflow bucket is [2^MaxExp, ∞): only the lower bound applies.
+			if v < lower {
+				t.Fatalf("Bucket(%d) = overflow but value below 2^%d", v, MaxExp)
+			}
+			continue
+		}
+		if v < lower || v >= BucketUpper(i) {
+			t.Fatalf("Bucket(%d) = %d, bounds [%d, %d)", v, i, lower, BucketUpper(i))
+		}
+	}
+}
+
+// TestHistQuantiles feeds a known distribution and checks the reported
+// quantiles against the exact values, within the documented 1/Sub
+// relative quantization error.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1000 observations: 900 at 100µs, 90 at 1ms, 9 at 10ms, 1 at 100ms.
+	for i := 0; i < 900; i++ {
+		h.Observe(100_000)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1_000_000)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10_000_000)
+	}
+	h.Observe(100_000_000)
+
+	snap := h.Read()
+	if snap.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", snap.Count)
+	}
+	check := func(q float64, want int64) {
+		t.Helper()
+		got := snap.Quantile(q)
+		// The reported value is the bucket's upper bound: at least the
+		// true value, at most 1+1/Sub of it.
+		if got < want || float64(got) > float64(want)*(1+1.0/Sub)*1.0001 {
+			t.Fatalf("q%.3f = %d, want within [%d, %g]", q, got, want, float64(want)*(1+1.0/Sub))
+		}
+	}
+	check(0.50, 100_000)
+	check(0.90, 100_000)
+	check(0.99, 1_000_000)
+	check(0.999, 10_000_000)
+	check(1.0, 100_000_000)
+
+	var empty Hist
+	es := empty.Read()
+	if got := es.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram q99 = %d, want 0", got)
+	}
+}
+
+// TestHistConcurrent hammers one histogram from parallel recorders while
+// a scraper goroutine snapshots and walks quantiles concurrently — the
+// /metrics-scrape-during-traffic shape, checked for races under -race
+// and for lost updates by the final count.
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const writers, perWriter = 8, 5_000
+	done := make(chan struct{})
+	var scrapes int
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := h.Read()
+			_ = snap.Quantile(0.99)
+			scrapes++
+			if snap.Count > writers*perWriter {
+				t.Errorf("snapshot count %d exceeds total observations %d", snap.Count, writers*perWriter)
+				return
+			}
+			if scrapes > 1_000_000 {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64((w*perWriter + i) % 2_000_000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	done <- struct{}{}
+	<-done
+	if got := h.Read().Count; got != writers*perWriter {
+		t.Fatalf("final count = %d, want %d (lost updates)", got, writers*perWriter)
+	}
+}
+
+// TestTracePhaseAttribution drives a trace through the full phase
+// sequence with real sleeps and checks every interval lands on the
+// right phase, that phases partition the total, and that the slept
+// phase dominates.
+func TestTracePhaseAttribution(t *testing.T) {
+	var tr Trace
+	tr.Start()
+	tr.Enter(PhaseDecode)
+	tr.Enter(PhaseProbe)
+	time.Sleep(20 * time.Millisecond)
+	tr.Enter(PhaseEncode)
+	total := tr.Finish()
+
+	if tr.PhaseNs(PhaseProbe) < (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("probe phase %dns, slept 20ms", tr.PhaseNs(PhaseProbe))
+	}
+	var sum int64
+	for p := 0; p < NumPhases; p++ {
+		sum += tr.PhaseNs(Phase(p))
+	}
+	if sum > total {
+		t.Fatalf("phase sum %d exceeds total %d", sum, total)
+	}
+	// Phases chain seamlessly (every Enter closes the previous phase at
+	// the same instant it opens the next), so unattributed time is only
+	// the Start→first-Enter gap: negligible next to a 20ms sleep.
+	if unattr := total - sum; unattr > (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("unattributed time %dns too large (total %d, sum %d)", unattr, total, sum)
+	}
+	if tr.Armed() {
+		t.Fatal("trace still armed after Finish")
+	}
+}
+
+// TestTraceShift pins the fsync carve-out semantics: Shift moves time
+// between phases, clamps to what the source phase holds, and requires
+// the source phase to be closed first.
+func TestTraceShift(t *testing.T) {
+	var tr Trace
+	tr.Start()
+	tr.Enter(PhaseWALAppend)
+	time.Sleep(2 * time.Millisecond)
+	tr.Leave()
+	app := tr.PhaseNs(PhaseWALAppend)
+	if app <= 0 {
+		t.Fatal("Leave did not close the open phase")
+	}
+	tr.Shift(PhaseWALAppend, PhaseWALFsync, app/2)
+	if got := tr.PhaseNs(PhaseWALFsync); got != app/2 {
+		t.Fatalf("fsync = %d, want %d", got, app/2)
+	}
+	// Clamped: shifting more than remains moves only the remainder.
+	tr.Shift(PhaseWALAppend, PhaseWALFsync, 1<<62)
+	if got := tr.PhaseNs(PhaseWALAppend); got != 0 {
+		t.Fatalf("append = %d after clamped shift, want 0", got)
+	}
+	if got := tr.PhaseNs(PhaseWALFsync); got != app {
+		t.Fatalf("fsync = %d, want full %d", got, app)
+	}
+	tr.Finish()
+}
+
+// TestTraceDisarmed pins that the zero value and a disarmed trace are
+// inert: pooled scratch reused by non-traced callers must not
+// accumulate anything.
+func TestTraceDisarmed(t *testing.T) {
+	var tr Trace
+	tr.Enter(PhaseProbe)
+	tr.Leave()
+	if tr.Finish() != 0 {
+		t.Fatal("zero-value trace recorded time")
+	}
+	tr.Start()
+	tr.Enter(PhaseProbe)
+	tr.Disarm()
+	tr.Enter(PhaseEncode)
+	if tr.Finish() != 0 {
+		t.Fatal("disarmed trace recorded time")
+	}
+	for p := 0; p < NumPhases; p++ {
+		// Start reset the array; Disarm froze it with at most the
+		// pre-Disarm probe interval — but Enter-after-Disarm must not add.
+		if p != int(PhaseProbe) && tr.PhaseNs(Phase(p)) != 0 {
+			t.Fatalf("phase %s accumulated %dns while disarmed", Phase(p), tr.PhaseNs(Phase(p)))
+		}
+	}
+}
+
+// TestPhaseNames pins the label set used on /metrics.
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseDecode:        "decode",
+		PhaseAdmissionWait: "admission-wait",
+		PhaseShardDispatch: "shard-dispatch",
+		PhaseProbe:         "probe",
+		PhaseWALAppend:     "wal-append",
+		PhaseWALFsync:      "wal-fsync",
+		PhaseEncode:        "encode",
+	}
+	if len(want) != NumPhases {
+		t.Fatalf("test covers %d phases, NumPhases = %d", len(want), NumPhases)
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Fatalf("phase %d = %q, want %q", p, p.String(), name)
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase should stringify as unknown")
+	}
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Pooled batch execution. Every batch operation on a ShardedFilter needs
@@ -95,6 +97,14 @@ type batchScratch struct {
 	flatRanges [][2]uint64
 	flatPos    []int
 	flatOut    []bool
+
+	// tr is the request's phase trace (internal/obs). Handlers arm it with
+	// Start; the executors below mark shard-dispatch and probe boundaries
+	// on it. A plain value with no pointers: embedding it here keeps the
+	// traced hot path allocation-free, and the zero (disarmed) state makes
+	// every mark a no-op for callers that use the public batch APIs
+	// without tracing.
+	tr obs.Trace
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -120,8 +130,11 @@ func (sc *batchScratch) retainedBytes() int {
 }
 
 // putScratch recycles sc unless its buffers outgrew the retention cap, in
-// which case it is left for the garbage collector.
+// which case it is left for the garbage collector. The trace is disarmed
+// either way: a handler that errored out mid-request leaves its trace
+// armed, and the next checkout must not accumulate into that stale state.
 func putScratch(sc *batchScratch) {
+	sc.tr.Disarm()
 	if sc.retainedBytes() > maxRetainedScratchBytes {
 		return
 	}
@@ -190,12 +203,15 @@ func (s *ShardedFilter) insertBatchWith(keys []uint64, sc *batchScratch) {
 	tab := s.tab.Load()
 	n := len(tab.shards)
 	if n == 1 {
+		sc.tr.Enter(obs.PhaseProbe)
 		if !s.insertShard(tab, 0, keys) {
 			s.InsertBatch(keys)
 		}
 		return
 	}
+	sc.tr.Enter(obs.PhaseShardDispatch)
 	groupKeys(tab, keys, false, sc)
+	sc.tr.Enter(obs.PhaseProbe)
 	if len(keys) >= fanOutMinKeys {
 		thr := spawnThreshold(len(keys), n, inlineMinKeys)
 		var wg sync.WaitGroup
@@ -271,6 +287,7 @@ func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batch
 	tab := s.tab.Load()
 	n := len(tab.shards)
 	if n == 1 {
+		sc.tr.Enter(obs.PhaseProbe)
 		ss := tab.shards[0]
 		ss.pointProbes.Add(uint64(len(keys)))
 		ss.f.MayContainBatch(keys, out)
@@ -283,8 +300,10 @@ func (s *ShardedFilter) mayContainBatchWith(keys []uint64, out []bool, sc *batch
 		s.pointPositives.Add(hits)
 		return
 	}
+	sc.tr.Enter(obs.PhaseShardDispatch)
 	groupKeys(tab, keys, true, sc)
 	sc.flatOut = grown(sc.flatOut, len(keys))
+	sc.tr.Enter(obs.PhaseProbe)
 	if len(keys) >= fanOutMinKeys {
 		thr := spawnThreshold(len(keys), n, inlineMinKeys)
 		var wg sync.WaitGroup
@@ -391,12 +410,14 @@ func (s *ShardedFilter) mayContainRangeBatchWith(ranges [][2]uint64, out []bool,
 	tab := s.tab.Load()
 	n := len(tab.shards)
 	if n == 1 {
+		sc.tr.Enter(obs.PhaseProbe)
 		ss := tab.shards[0]
 		ss.rangeProbes.Add(uint64(len(ranges)))
 		ss.f.MayContainRangeBatch(ranges, out)
 		return
 	}
 	if len(ranges) < fanOutMinRanges {
+		sc.tr.Enter(obs.PhaseProbe)
 		for j, r := range ranges {
 			out[j] = s.rangeOne(tab, r[0], r[1])
 		}
@@ -410,6 +431,7 @@ func (s *ShardedFilter) mayContainRangeBatchWith(ranges [][2]uint64, out []bool,
 	// goroutine per shard answers the whole batch against its shard, then
 	// OR the per-shard verdict vectors. The vectors live in one flat
 	// scratch array of n·len(ranges) bools, partitioned per shard.
+	sc.tr.Enter(obs.PhaseProbe)
 	sc.flatOut = grown(sc.flatOut, n*len(ranges))
 	var wg sync.WaitGroup
 	for sh := 0; sh < n; sh++ {
@@ -456,6 +478,7 @@ func (s *ShardedFilter) MayContainRangeBatch(ranges [][2]uint64, out []bool) {
 // ones inline), and OR-scatter the verdicts back (serially — a
 // span-straddling range may have verdicts from two shards).
 func (s *ShardedFilter) rangeBatchPartitioned(tab *shardTable, ranges [][2]uint64, out []bool, sc *batchScratch) {
+	sc.tr.Enter(obs.PhaseShardDispatch)
 	groupRanges(tab, ranges, sc)
 	for j := range out {
 		out[j] = false
@@ -463,6 +486,7 @@ func (s *ShardedFilter) rangeBatchPartitioned(tab *shardTable, ranges [][2]uint6
 	n := len(tab.shards)
 	total := sc.offs[n]
 	sc.flatOut = grown(sc.flatOut, total)
+	sc.tr.Enter(obs.PhaseProbe)
 	thr := spawnThreshold(total, n, inlineMinRanges)
 	var wg sync.WaitGroup
 	for sh := 0; sh < n; sh++ {

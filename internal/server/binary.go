@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -86,9 +87,9 @@ func (a *API) serveBinaryFast(w http.ResponseWriter, r *http.Request) bool {
 	case "insert":
 		a.handleInsertBinary(w, r, f, name)
 	case "query":
-		a.handleQueryBinary(w, r, f)
+		a.handleQueryBinary(w, r, f, name)
 	case "query-range":
-		a.handleQueryRangeBinary(w, r, f)
+		a.handleQueryRangeBinary(w, r, f, name)
 	}
 	return true
 }
@@ -143,13 +144,16 @@ func decodeBadFrame(w http.ResponseWriter, err error) {
 // registry name (passed explicitly because the fast route bypasses the
 // mux's PathValue machinery).
 func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter, name string) {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tr.Start()
+	sc.tr.Enter(obs.PhaseAdmissionWait)
 	if !a.admit(w) {
 		return
 	}
 	defer a.adm.release()
 	defer f.observeLatency(opInsert, codecBinary, time.Now())
-	sc := getScratch()
-	defer putScratch(sc)
+	sc.tr.Enter(obs.PhaseDecode)
 	h, ok := readBinaryFrame(w, r, sc)
 	if !ok {
 		return
@@ -174,27 +178,35 @@ func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *Shar
 	f.beginApply()
 	f.insertBatchWith(keys, sc)
 	if a.cfg.WAL != nil {
+		sc.tr.Enter(obs.PhaseWALAppend)
 		rec, encErr := encodeInsert(name, keys)
-		if !a.logWAL(w, rec, encErr) {
+		if !a.logWALTraced(w, rec, encErr, &sc.tr) {
 			f.endApply()
 			return
 		}
 	}
 	f.endApply()
 	a.noteMutationSkew(name, f)
+	sc.tr.Enter(obs.PhaseEncode)
 	sc.resp = wire.AppendAck(sc.resp[:0], uint32(len(keys)))
 	writeBinaryResponse(w, sc)
+	a.recordTrace(name, f, opInsert, codecBinary, &sc.tr)
 }
 
-// handleQueryBinary is the binary-codec point-query path.
-func (a *API) handleQueryBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter) {
+// handleQueryBinary is the binary-codec point-query path. name is passed
+// explicitly for the same reason as on the insert path: the fast route
+// bypasses the mux's PathValue machinery.
+func (a *API) handleQueryBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter, name string) {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tr.Start()
+	sc.tr.Enter(obs.PhaseAdmissionWait)
 	if !a.admit(w) {
 		return
 	}
 	defer a.adm.release()
 	defer f.observeLatency(opQuery, codecBinary, time.Now())
-	sc := getScratch()
-	defer putScratch(sc)
+	sc.tr.Enter(obs.PhaseDecode)
 	h, ok := readBinaryFrame(w, r, sc)
 	if !ok {
 		return
@@ -211,19 +223,24 @@ func (a *API) handleQueryBinary(w http.ResponseWriter, r *http.Request, f *Shard
 	sc.keys = keys
 	sc.out = grown(sc.out, len(keys))
 	f.mayContainBatchWith(keys, sc.out, sc)
+	sc.tr.Enter(obs.PhaseEncode)
 	sc.resp = wire.AppendResult(sc.resp[:0], sc.out)
 	writeBinaryResponse(w, sc)
+	a.recordTrace(name, f, opQuery, codecBinary, &sc.tr)
 }
 
 // handleQueryRangeBinary is the binary-codec range-query path.
-func (a *API) handleQueryRangeBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter) {
+func (a *API) handleQueryRangeBinary(w http.ResponseWriter, r *http.Request, f *ShardedFilter, name string) {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tr.Start()
+	sc.tr.Enter(obs.PhaseAdmissionWait)
 	if !a.admit(w) {
 		return
 	}
 	defer a.adm.release()
 	defer f.observeLatency(opQueryRange, codecBinary, time.Now())
-	sc := getScratch()
-	defer putScratch(sc)
+	sc.tr.Enter(obs.PhaseDecode)
 	h, ok := readBinaryFrame(w, r, sc)
 	if !ok {
 		return
@@ -240,6 +257,8 @@ func (a *API) handleQueryRangeBinary(w http.ResponseWriter, r *http.Request, f *
 	sc.ranges = ranges
 	sc.out = grown(sc.out, len(ranges))
 	f.mayContainRangeBatchWith(ranges, sc.out, sc)
+	sc.tr.Enter(obs.PhaseEncode)
 	sc.resp = wire.AppendResult(sc.resp[:0], sc.out)
 	writeBinaryResponse(w, sc)
+	a.recordTrace(name, f, opQueryRange, codecBinary, &sc.tr)
 }

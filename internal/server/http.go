@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -78,6 +79,20 @@ type Config struct {
 	// /metrics and GET /v1/replication/status.
 	Replication func() ReplicationStatus
 
+	// ReplicationLag, when non-nil, snapshots the follower's per-record
+	// lag histogram (replication.go) for the
+	// bloomrfd_replication_record_lag_bytes family on /metrics. Separate
+	// from Replication because the gauge-style status and the histogram
+	// have different costs and consumers.
+	ReplicationLag func() obs.HistSnapshot
+
+	// SlowRequestThreshold arms the slow-request log (phases.go): a
+	// served insert/query/query-range request whose total time reaches
+	// the threshold emits one structured JSON line with its per-phase
+	// breakdown, rate-limited to 1/s per filter. <= 0 disables. bloomrfd
+	// wires its -slow-request-threshold flag here (default 100ms).
+	SlowRequestThreshold time.Duration
+
 	// MaxInflightBatches bounds how many insert/query/query-range requests
 	// (either codec) may execute concurrently; excess load is shed with
 	// 429 + Retry-After instead of queueing unboundedly (admission.go).
@@ -109,12 +124,13 @@ type Config struct {
 
 // API serves the filter registry over HTTP.
 type API struct {
-	reg   *Registry
-	store *Store // nil when persistence is disabled
-	cfg   Config
-	start time.Time
-	mux   *http.ServeMux
-	adm   *admission // nil when MaxInflightBatches is unset
+	reg    *Registry
+	store  *Store // nil when persistence is disabled
+	cfg    Config
+	start  time.Time
+	mux    *http.ServeMux
+	adm    *admission  // nil when MaxInflightBatches is unset
+	phases *phaseTable // global per-(phase, op, codec) histograms (phases.go)
 
 	skewMu      sync.Mutex
 	skewAlerted map[string]bool  // filters currently above the skew threshold
@@ -140,6 +156,7 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 	a := &API{
 		reg: reg, store: store, cfg: cfg, start: time.Now(),
 		mux: http.NewServeMux(), adm: newAdmission(cfg.MaxInflightBatches),
+		phases:      &phaseTable{},
 		skewAlerted: make(map[string]bool), skewChecked: make(map[string]int64),
 	}
 	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -444,15 +461,21 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	name := r.PathValue("name")
 	if isBinaryBatch(r) {
-		a.handleInsertBinary(w, r, f, r.PathValue("name"))
+		a.handleInsertBinary(w, r, f, name)
 		return
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tr.Start()
+	sc.tr.Enter(obs.PhaseAdmissionWait)
 	if !a.admit(w) {
 		return
 	}
 	defer a.adm.release()
 	defer f.observeLatency(opInsert, codecJSON, time.Now())
+	sc.tr.Enter(obs.PhaseDecode)
 	var req keysReq
 	if !decode(w, r, &req) {
 		return
@@ -470,17 +493,20 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// every straggler's record is in the log before it backfills
 	// (split.go phase 5).
 	f.beginApply()
-	f.InsertBatch(keys)
+	f.insertBatchWith(keys, sc)
 	if a.cfg.WAL != nil {
-		rec, encErr := encodeInsert(r.PathValue("name"), keys)
-		if !a.logWAL(w, rec, encErr) {
+		sc.tr.Enter(obs.PhaseWALAppend)
+		rec, encErr := encodeInsert(name, keys)
+		if !a.logWALTraced(w, rec, encErr, &sc.tr) {
 			f.endApply()
 			return
 		}
 	}
 	f.endApply()
-	a.noteMutationSkew(r.PathValue("name"), f)
+	a.noteMutationSkew(name, f)
+	sc.tr.Enter(obs.PhaseEncode)
 	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(keys)})
+	a.recordTrace(name, f, opInsert, codecJSON, &sc.tr)
 }
 
 // splitReq is the optional body of POST /v1/filters/{name}/split; an empty
@@ -574,15 +600,21 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	name := r.PathValue("name")
 	if isBinaryBatch(r) {
-		a.handleQueryBinary(w, r, f)
+		a.handleQueryBinary(w, r, f, name)
 		return
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tr.Start()
+	sc.tr.Enter(obs.PhaseAdmissionWait)
 	if !a.admit(w) {
 		return
 	}
 	defer a.adm.release()
 	defer f.observeLatency(opQuery, codecJSON, time.Now())
+	sc.tr.Enter(obs.PhaseDecode)
 	var req keysReq
 	if !decode(w, r, &req) {
 		return
@@ -592,12 +624,14 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]bool, len(keys))
-	f.MayContainBatch(keys, out)
+	f.mayContainBatchWith(keys, out, sc)
+	sc.tr.Enter(obs.PhaseEncode)
 	if single {
 		writeJSON(w, http.StatusOK, map[string]any{"result": out[0]})
-		return
+	} else {
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	a.recordTrace(name, f, opQuery, codecJSON, &sc.tr)
 }
 
 // rangeReq is one inclusive [lo, hi] interval; either bound order is
@@ -620,15 +654,21 @@ func (a *API) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	name := r.PathValue("name")
 	if isBinaryBatch(r) {
-		a.handleQueryRangeBinary(w, r, f)
+		a.handleQueryRangeBinary(w, r, f, name)
 		return
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tr.Start()
+	sc.tr.Enter(obs.PhaseAdmissionWait)
 	if !a.admit(w) {
 		return
 	}
 	defer a.adm.release()
 	defer f.observeLatency(opQueryRange, codecJSON, time.Now())
+	sc.tr.Enter(obs.PhaseDecode)
 	var req rangesReq
 	if !decode(w, r, &req) {
 		return
@@ -643,9 +683,11 @@ func (a *API) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, `both "lo" and "hi" are required`)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"result": f.MayContainRange(uint64(*req.Lo), uint64(*req.Hi)),
-		})
+		sc.tr.Enter(obs.PhaseProbe)
+		result := f.MayContainRange(uint64(*req.Lo), uint64(*req.Hi))
+		sc.tr.Enter(obs.PhaseEncode)
+		writeJSON(w, http.StatusOK, map[string]any{"result": result})
+		a.recordTrace(name, f, opQueryRange, codecJSON, &sc.tr)
 		return
 	}
 	if len(req.Ranges) > MaxBatch {
@@ -657,6 +699,8 @@ func (a *API) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 		ranges[i] = [2]uint64{uint64(rr.Lo), uint64(rr.Hi)}
 	}
 	out := make([]bool, len(ranges))
-	f.MayContainRangeBatch(ranges, out)
+	f.mayContainRangeBatchWith(ranges, out, sc)
+	sc.tr.Enter(obs.PhaseEncode)
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	a.recordTrace(name, f, opQueryRange, codecJSON, &sc.tr)
 }

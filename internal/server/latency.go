@@ -1,132 +1,24 @@
 package server
 
-import (
-	"math"
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "time"
 
 // Per-operation latency histograms. Every served insert / query /
 // query-range request — JSON or binary — records its server-side latency
 // (handler entry to response written) into one of six histograms per
-// filter. The histogram is dependency-free and lock-free: fixed log-spaced
-// buckets of atomic counters, so the hot path costs one Len64, two atomic
-// adds and no allocation, and a /metrics scrape reads the counters without
-// stopping recorders.
+// filter. The histogram machinery lives in internal/obs (obs.Hist): it
+// is dependency-free and lock-free — fixed log-spaced buckets of atomic
+// counters — so the hot path costs one Len64, three atomic adds and no
+// allocation, and a /metrics scrape reads the counters without stopping
+// recorders.
 //
-// Bucket layout (HDR-style log-linear): bucket 0 catches everything below
-// 2^latMinExp ns (~4 µs — faster than any real handler pass); then each
-// power-of-two octave up to 2^latMaxExp ns (~8.6 s) splits into
-// 2^latSubBits linear sub-buckets, bounding the relative quantization
-// error at 1/2^latSubBits (12.5%); a final bucket catches everything
-// slower. /metrics exports the histogram at octave granularity (22 `le`
-// bounds + +Inf) to keep scrapes small, while the percentile gauges and
-// the stats summary are computed from the full fine-grained buckets.
-
-const (
-	latMinExp  = 12 // 2^12 ns = 4.096 µs: lower edge of the resolved region
-	latMaxExp  = 33 // 2^33 ns ≈ 8.59 s: upper edge of the resolved region
-	latSubBits = 3  // 8 linear sub-buckets per octave
-	latSub     = 1 << latSubBits
-
-	// numLatBuckets = underflow + (octaves × sub-buckets) + overflow.
-	numLatBuckets = 1 + (latMaxExp-latMinExp)*latSub + 1
-)
-
-// latBucket maps a latency in nanoseconds to its bucket index.
-func latBucket(ns int64) int {
-	if ns < 1<<latMinExp {
-		return 0
-	}
-	if ns >= 1<<latMaxExp {
-		return numLatBuckets - 1
-	}
-	e := bits.Len64(uint64(ns)) - 1 // floor(log2), in [latMinExp, latMaxExp)
-	sub := int(ns>>(uint(e)-latSubBits)) & (latSub - 1)
-	return 1 + (e-latMinExp)*latSub + sub
-}
-
-// latBucketUpperNs returns bucket i's exclusive upper bound in nanoseconds;
-// the overflow bucket reports +Inf.
-func latBucketUpperNs(i int) float64 {
-	if i <= 0 {
-		return 1 << latMinExp
-	}
-	if i >= numLatBuckets-1 {
-		return math.Inf(1)
-	}
-	i--
-	e := latMinExp + i/latSub
-	s := i % latSub
-	return float64(uint64(1)<<e + uint64(s+1)<<(e-latSubBits))
-}
-
-// latencyHist is one op×codec histogram: atomic bucket counters plus a
-// nanosecond sum for the mean and the Prometheus _sum series. The total
-// count is derived from the buckets, so a percentile walk is always
-// consistent with the counts it ranks against.
-type latencyHist struct {
-	buckets [numLatBuckets]atomic.Uint64
-	sumNs   atomic.Uint64
-}
-
-// observe records one request's latency.
-func (h *latencyHist) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	h.buckets[latBucket(ns)].Add(1)
-	h.sumNs.Add(uint64(ns))
-}
-
-// latencySnapshot is a point-in-time copy of a histogram's counters. The
-// copy is not atomic across buckets — recorders keep running during a
-// scrape — so totals may be off by the handful of requests that completed
-// mid-read, which is harmless for monitoring.
-type latencySnapshot struct {
-	buckets [numLatBuckets]uint64
-	count   uint64
-	sumNs   uint64
-}
-
-// read snapshots the histogram.
-func (h *latencyHist) read() latencySnapshot {
-	var s latencySnapshot
-	for i := range h.buckets {
-		s.buckets[i] = h.buckets[i].Load()
-		s.count += s.buckets[i]
-	}
-	s.sumNs = h.sumNs.Load()
-	return s
-}
-
-// quantileNs returns the latency below which fraction q of observations
-// fall, as the upper bound of the bucket holding that rank (conservative:
-// the true quantile is at most the reported value, at least the bucket's
-// lower edge). The overflow bucket clamps to 2^latMaxExp. Returns 0 on an
-// empty snapshot.
-func (s *latencySnapshot) quantileNs(q float64) float64 {
-	if s.count == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(s.count)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum uint64
-	for i := range s.buckets {
-		cum += s.buckets[i]
-		if cum >= rank {
-			if i == numLatBuckets-1 {
-				return 1 << latMaxExp
-			}
-			return latBucketUpperNs(i)
-		}
-	}
-	return 1 << latMaxExp
-}
+// Bucket layout (HDR-style log-linear, see internal/obs/hist.go): an
+// underflow bucket below 2^obs.MinExp ns (~4 µs — faster than any real
+// handler pass); then each power-of-two octave up to 2^obs.MaxExp ns
+// (~8.6 s) splits into obs.Sub linear sub-buckets, bounding the relative
+// quantization error at 12.5%; a final bucket catches everything slower.
+// /metrics exports histograms at octave granularity (22 `le` bounds +
+// +Inf) to keep scrapes small, while the percentile gauges and the stats
+// summary are computed from the full fine-grained buckets.
 
 // latOp / latCodec index a filter's histogram table.
 type latOp uint8
@@ -158,7 +50,7 @@ var (
 // (429) and malformed requests are not recorded — the histograms describe
 // served work, not the rejection fast path.
 func (s *ShardedFilter) observeLatency(op latOp, c latCodec, start time.Time) {
-	s.lat[op][c].observe(time.Since(start))
+	s.lat[op][c].Observe(time.Since(start).Nanoseconds())
 }
 
 // OpLatency is one op×codec server-side latency summary in a filter's
@@ -179,19 +71,19 @@ func (s *ShardedFilter) latencySummaries() []OpLatency {
 	var out []OpLatency
 	for op := latOp(0); op < numLatOps; op++ {
 		for c := latCodec(0); c < numLatCodecs; c++ {
-			snap := s.lat[op][c].read()
-			if snap.count == 0 {
+			snap := s.lat[op][c].Read()
+			if snap.Count == 0 {
 				continue
 			}
 			const msPerNs = 1e-6
 			out = append(out, OpLatency{
 				Op:     latOpNames[op],
 				Codec:  latCodecNames[c],
-				Count:  snap.count,
-				MeanMs: float64(snap.sumNs) / float64(snap.count) * msPerNs,
-				P50Ms:  snap.quantileNs(0.50) * msPerNs,
-				P99Ms:  snap.quantileNs(0.99) * msPerNs,
-				P999Ms: snap.quantileNs(0.999) * msPerNs,
+				Count:  snap.Count,
+				MeanMs: float64(snap.Sum) / float64(snap.Count) * msPerNs,
+				P50Ms:  float64(snap.Quantile(0.50)) * msPerNs,
+				P99Ms:  float64(snap.Quantile(0.99)) * msPerNs,
+				P999Ms: float64(snap.Quantile(0.999)) * msPerNs,
 			})
 		}
 	}

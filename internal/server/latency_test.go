@@ -3,139 +3,17 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"strings"
-	"sync"
 	"testing"
-	"time"
 
 	"repro/internal/wire"
 )
 
-// TestLatencyBucketLayout pins the histogram geometry: every bucket's
-// bounds are monotonically increasing, and latBucket routes a value into
-// the bucket whose [lower, upper) interval contains it.
-func TestLatencyBucketLayout(t *testing.T) {
-	prev := 0.0
-	for i := 0; i < numLatBuckets; i++ {
-		up := latBucketUpperNs(i)
-		if up <= prev {
-			t.Fatalf("bucket %d upper %g not above previous %g", i, up, prev)
-		}
-		prev = up
-	}
-	if !math.IsInf(latBucketUpperNs(numLatBuckets-1), 1) {
-		t.Fatalf("overflow bucket upper = %g, want +Inf", latBucketUpperNs(numLatBuckets-1))
-	}
-	for _, ns := range []int64{
-		0, 1, 1<<latMinExp - 1, 1 << latMinExp, 1<<latMinExp + 1,
-		5_000, 77_000, 1_000_000, 42_000_000, 999_999_999,
-		1<<latMaxExp - 1, 1 << latMaxExp, 1 << 62,
-	} {
-		i := latBucket(ns)
-		if i < 0 || i >= numLatBuckets {
-			t.Fatalf("latBucket(%d) = %d out of range", ns, i)
-		}
-		lower := 0.0
-		if i > 0 {
-			lower = latBucketUpperNs(i - 1)
-		}
-		if float64(ns) < lower || float64(ns) >= latBucketUpperNs(i) {
-			t.Fatalf("latBucket(%d) = %d, bounds [%g, %g)", ns, i, lower, latBucketUpperNs(i))
-		}
-	}
-}
-
-// TestLatencyQuantiles feeds a known distribution and checks the reported
-// quantiles against the exact values, within the histogram's documented
-// 1/8 relative quantization error.
-func TestLatencyQuantiles(t *testing.T) {
-	var h latencyHist
-	// 1000 observations: 900 at 100µs, 90 at 1ms, 9 at 10ms, 1 at 100ms.
-	for i := 0; i < 900; i++ {
-		h.observe(100 * time.Microsecond)
-	}
-	for i := 0; i < 90; i++ {
-		h.observe(time.Millisecond)
-	}
-	for i := 0; i < 9; i++ {
-		h.observe(10 * time.Millisecond)
-	}
-	h.observe(100 * time.Millisecond)
-
-	snap := h.read()
-	if snap.count != 1000 {
-		t.Fatalf("count = %d, want 1000", snap.count)
-	}
-	check := func(q, wantNs float64) {
-		t.Helper()
-		got := snap.quantileNs(q)
-		// The reported value is the bucket's upper bound: at least the true
-		// value, at most 1+1/8 of it (plus one ulp of slack).
-		if got < wantNs || got > wantNs*(1+1.0/latSub)*1.0001 {
-			t.Fatalf("q%.3f = %gns, want within [%g, %g]", q, got, wantNs, wantNs*(1+1.0/latSub))
-		}
-	}
-	check(0.50, 100_000)
-	check(0.90, 100_000)
-	check(0.99, 1_000_000)
-	check(0.999, 10_000_000)
-	check(1.0, 100_000_000)
-
-	var empty latencyHist
-	es := empty.read()
-	if got := es.quantileNs(0.99); got != 0 {
-		t.Fatalf("empty histogram q99 = %g, want 0", got)
-	}
-}
-
-// TestLatencyHistogramConcurrent hammers one histogram from parallel
-// recorders while a scraper goroutine snapshots and walks quantiles
-// concurrently — the /metrics-scrape-during-traffic shape, checked for
-// races under -race and for lost updates by the final count.
-func TestLatencyHistogramConcurrent(t *testing.T) {
-	var h latencyHist
-	const writers, perWriter = 8, 5_000
-	done := make(chan struct{})
-	var scrapes int
-	go func() {
-		defer close(done)
-		for {
-			select {
-			case <-done:
-				return
-			default:
-			}
-			snap := h.read()
-			_ = snap.quantileNs(0.99)
-			scrapes++
-			if snap.count > writers*perWriter {
-				t.Errorf("snapshot count %d exceeds total observations %d", snap.count, writers*perWriter)
-				return
-			}
-			if scrapes > 1_000_000 {
-				return
-			}
-		}
-	}()
-	var wg sync.WaitGroup
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < perWriter; i++ {
-				h.observe(time.Duration((w*perWriter+i)%2_000_000) * time.Nanosecond)
-			}
-		}(w)
-	}
-	wg.Wait()
-	done <- struct{}{}
-	<-done
-	if got := h.read().count; got != writers*perWriter {
-		t.Fatalf("final count = %d, want %d (lost updates)", got, writers*perWriter)
-	}
-}
+// The histogram geometry and quantile tests moved to internal/obs with
+// the bucket machinery itself (obs_test.go); what stays here is the
+// serving-layer contract: both codecs observe into the same histograms,
+// and /metrics renders them.
 
 // TestLatencyCodecCountEquivalence pins that the JSON and binary paths
 // observe into the same histograms at the same rate: N requests per op per
@@ -171,7 +49,7 @@ func TestLatencyCodecCountEquivalence(t *testing.T) {
 
 	for op := latOp(0); op < numLatOps; op++ {
 		for c := latCodec(0); c < numLatCodecs; c++ {
-			if got := f.lat[op][c].read().count; got != n {
+			if got := f.lat[op][c].Read().Count; got != n {
 				t.Errorf("histogram[%s][%s].count = %d, want %d",
 					latOpNames[op], latCodecNames[c], got, n)
 			}

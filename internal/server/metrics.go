@@ -3,10 +3,15 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/metrics"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // GET /metrics renders the registry's counters in the Prometheus text
@@ -94,6 +99,30 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.sample("bloomrfd_wal_oldest_pos", "Start of the oldest retained WAL segment (grows with truncation).", "counter", nil, float64(st.Oldest))
 		m.sample("bloomrfd_wal_retained_bytes", "WAL bytes currently on disk (end - oldest).", "gauge", nil, float64(st.End-st.Oldest))
 		m.sample("bloomrfd_wal_segments", "Number of WAL segment files.", "gauge", nil, float64(st.Segments))
+		m.sample("bloomrfd_wal_appends_total", "WAL records acknowledged to writers.", "counter", nil, float64(st.Appends))
+		m.sample("bloomrfd_wal_group_commits_total", "Group-commit batches written (appends/group_commits = mean batch size).", "counter", nil, float64(st.GroupCommits))
+		m.sample("bloomrfd_wal_rotations_total", "Segments sealed by size-based rotation.", "counter", nil, float64(st.Rotations))
+		m.sample("bloomrfd_wal_truncated_segments_total", "Segments removed by retention truncation.", "counter", nil, float64(st.TruncatedSegments))
+		m.sample("bloomrfd_wal_fsyncs_total", "fsync calls issued by the WAL (commit, interval, rotation, explicit).", "counter", nil, float64(st.Fsyncs))
+		if st.FsyncLatency.Count > 0 {
+			histogramFamily(m, "bloomrfd_wal_fsync_seconds",
+				"WAL fsync latency.", nil, st.FsyncLatency, 1e-9)
+		}
+		if st.GroupCommits > 0 {
+			m.header("bloomrfd_wal_commit_batch_records",
+				"Records per group-commit batch (batch sizes sum to appends).", "histogram")
+			var cum uint64
+			for i := 0; i < wal.BatchBuckets; i++ {
+				cum += st.CommitBatchRecords[i]
+				le := "+Inf"
+				if b := wal.BatchBucketLE(i); b >= 0 {
+					le = strconv.Itoa(b)
+				}
+				m.raw("bloomrfd_wal_commit_batch_records_bucket", []label{{"le", le}}, float64(cum))
+			}
+			m.raw("bloomrfd_wal_commit_batch_records_sum", nil, float64(st.Appends))
+			m.raw("bloomrfd_wal_commit_batch_records_count", nil, float64(cum))
+		}
 	}
 	if a.cfg.Replication != nil {
 		rs := a.cfg.Replication()
@@ -109,7 +138,17 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			m.sample("bloomrfd_replication_last_frame_age_seconds", "Seconds since any frame arrived from the primary.", "gauge", nil,
 				now.Sub(time.Unix(0, rs.LastFrameUnixNano)).Seconds())
 		}
+		m.sample("bloomrfd_replication_reconnects_total", "Times the follower re-dialed the primary after a stream break.", "counter", nil,
+			float64(rs.Reconnects))
 	}
+	if a.cfg.ReplicationLag != nil {
+		if snap := a.cfg.ReplicationLag(); snap.Count > 0 {
+			histogramFamily(m, "bloomrfd_replication_record_lag_bytes",
+				"Follower lag in WAL bytes, sampled at every applied record (catches spikes between scrapes that the instantaneous gauge misses).",
+				nil, snap, 1)
+		}
+	}
+	goRuntimeMetrics(m)
 	sort.Strings(names)
 	for _, name := range names {
 		f, err := a.reg.Get(name)
@@ -146,15 +185,27 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				m.sample("bloomrfd_filter_shard_span_start", "Smallest key the shard owns (range partitioning; splits divide spans).", "gauge", sl, float64(st.Spans[sh]))
 			}
 		}
+		if st.Splits > 0 {
+			m.sample("bloomrfd_filter_split_seconds_total", "Cumulative wall time spent performing live span splits.", "counter", fl,
+				float64(f.splitNs.Load())*1e-9)
+			m.sample("bloomrfd_filter_split_replayed_records_total", "WAL records replayed through split drain barriers.", "counter", fl,
+				float64(f.splitReplayed.Load()))
+		}
 		if snap := st.Snapshot; snap != nil {
 			m.sample("bloomrfd_filter_snapshot_seq", "Sequence number of the last durable snapshot.", "gauge", fl, float64(snap.Seq))
 			m.sample("bloomrfd_filter_snapshot_age_seconds", "Seconds since the last durable snapshot.", "gauge", fl,
 				now.Sub(time.Unix(0, snap.UnixNano)).Seconds())
 			m.sample("bloomrfd_filter_snapshot_bytes", "Total shard-blob bytes of the last durable snapshot.", "gauge", fl, float64(snap.Bytes))
 			m.sample("bloomrfd_filter_snapshot_reused_shards", "Shard blobs the last snapshot reused unchanged from its predecessor (incremental capture).", "gauge", fl, float64(snap.ReusedShards))
+			if snap.DurationNanos > 0 {
+				m.sample("bloomrfd_filter_snapshot_duration_seconds", "Wall time the last snapshot capture took.", "gauge", fl,
+					float64(snap.DurationNanos)*1e-9)
+			}
 		}
 		latencyMetrics(m, name, f)
+		filterPhaseMetrics(m, name, f)
 	}
+	a.phaseMetrics(m)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(m.b.String()))
@@ -167,53 +218,135 @@ func boolGauge(b bool) float64 {
 	return 0
 }
 
-// latencyMetrics renders one filter's per-op latency histograms: a
-// Prometheus histogram family (bloomrfd_op_latency_seconds with octave
-// `le` bounds — the fine-grained internal buckets would cost ~170 lines
-// per series on every scrape) plus precomputed p50/p99/p999 gauges walked
-// over the full-resolution buckets. Series with zero observations are
-// omitted so idle filters do not bloat the exposition.
+// histogramFamily renders one obs.HistSnapshot as a Prometheus histogram
+// at octave granularity: the fine-grained internal sub-buckets would cost
+// ~170 lines per series on every scrape, so each octave's counts collapse
+// into one cumulative `le` bound (22 bounds plus +Inf). scale converts the
+// histogram's native unit into the exported one — 1e-9 for nanosecond
+// histograms exported in seconds, 1 for byte histograms.
+func histogramFamily(m *metricsWriter, family, help string, base []label, snap obs.HistSnapshot, scale float64) {
+	m.header(family, help, "histogram")
+	n := len(base)
+	cum := snap.Buckets[0]
+	m.raw(family+"_bucket",
+		append(base[:n:n], label{"le", leScaled(1<<obs.MinExp, scale)}), float64(cum))
+	idx := 1
+	for e := obs.MinExp; e < obs.MaxExp; e++ {
+		for s := 0; s < obs.Sub; s++ {
+			cum += snap.Buckets[idx]
+			idx++
+		}
+		m.raw(family+"_bucket",
+			append(base[:n:n], label{"le", leScaled(1<<(e+1), scale)}), float64(cum))
+	}
+	cum += snap.Buckets[idx]
+	m.raw(family+"_bucket",
+		append(base[:n:n], label{"le", "+Inf"}), float64(cum))
+	m.raw(family+"_sum", base, float64(snap.Sum)*scale)
+	m.raw(family+"_count", base, float64(cum))
+}
+
+// latencyMetrics renders one filter's per-op latency histograms plus
+// precomputed p50/p99/p999 gauges walked over the full-resolution
+// buckets. Series with zero observations are omitted so idle filters do
+// not bloat the exposition.
 func latencyMetrics(m *metricsWriter, name string, f *ShardedFilter) {
 	for op := latOp(0); op < numLatOps; op++ {
 		for c := latCodec(0); c < numLatCodecs; c++ {
-			snap := f.lat[op][c].read()
-			if snap.count == 0 {
+			snap := f.lat[op][c].Read()
+			if snap.Count == 0 {
 				continue
 			}
 			base := []label{{"filter", name}, {"op", latOpNames[op]}, {"codec", latCodecNames[c]}}
-			m.header("bloomrfd_op_latency_seconds",
-				"Server-side request latency by operation and codec (handler entry to response written).", "histogram")
-			cum := snap.buckets[0]
-			m.raw("bloomrfd_op_latency_seconds_bucket",
-				append(base[:3:3], label{"le", leSeconds(1 << latMinExp)}), float64(cum))
-			idx := 1
-			for e := latMinExp; e < latMaxExp; e++ {
-				for s := 0; s < latSub; s++ {
-					cum += snap.buckets[idx]
-					idx++
-				}
-				m.raw("bloomrfd_op_latency_seconds_bucket",
-					append(base[:3:3], label{"le", leSeconds(1 << (e + 1))}), float64(cum))
-			}
-			cum += snap.buckets[idx]
-			m.raw("bloomrfd_op_latency_seconds_bucket",
-				append(base[:3:3], label{"le", "+Inf"}), float64(cum))
-			m.raw("bloomrfd_op_latency_seconds_sum", base, float64(snap.sumNs)*1e-9)
-			m.raw("bloomrfd_op_latency_seconds_count", base, float64(cum))
+			histogramFamily(m, "bloomrfd_op_latency_seconds",
+				"Server-side request latency by operation and codec (handler entry to response written).",
+				base, snap, 1e-9)
 			m.sample("bloomrfd_op_latency_p50_seconds",
-				"Median server-side latency (bucket upper bound).", "gauge", base, snap.quantileNs(0.50)*1e-9)
+				"Median server-side latency (bucket upper bound).", "gauge", base, float64(snap.Quantile(0.50))*1e-9)
 			m.sample("bloomrfd_op_latency_p99_seconds",
-				"99th-percentile server-side latency (bucket upper bound).", "gauge", base, snap.quantileNs(0.99)*1e-9)
+				"99th-percentile server-side latency (bucket upper bound).", "gauge", base, float64(snap.Quantile(0.99))*1e-9)
 			m.sample("bloomrfd_op_latency_p999_seconds",
-				"99.9th-percentile server-side latency (bucket upper bound).", "gauge", base, snap.quantileNs(0.999)*1e-9)
+				"99.9th-percentile server-side latency (bucket upper bound).", "gauge", base, float64(snap.Quantile(0.999))*1e-9)
 		}
 	}
 }
 
-// leSeconds formats a nanosecond bucket bound as a Prometheus `le` label
-// value in seconds.
-func leSeconds(ns uint64) string {
-	return strconv.FormatFloat(float64(ns)*1e-9, 'g', -1, 64)
+// phaseMetrics renders the API-global per-phase histograms — the
+// Fig. 12.G-style decomposition of server-side latency into pipeline
+// phases — plus p50/p99 gauges per series.
+func (a *API) phaseMetrics(m *metricsWriter) {
+	for p := 0; p < obs.NumPhases; p++ {
+		for op := latOp(0); op < numLatOps; op++ {
+			for c := latCodec(0); c < numLatCodecs; c++ {
+				snap := a.phases.h[p][op][c].Read()
+				if snap.Count == 0 {
+					continue
+				}
+				base := []label{{"phase", obs.Phase(p).String()}, {"op", latOpNames[op]}, {"codec", latCodecNames[c]}}
+				histogramFamily(m, "bloomrfd_phase_seconds",
+					"Time spent in one request pipeline phase (decode, admission-wait, shard-dispatch, probe, wal-append, wal-fsync, encode), by operation and codec.",
+					base, snap, 1e-9)
+				m.sample("bloomrfd_phase_p50_seconds",
+					"Median per-request time in the phase (bucket upper bound).", "gauge", base, float64(snap.Quantile(0.50))*1e-9)
+				m.sample("bloomrfd_phase_p99_seconds",
+					"99th-percentile per-request time in the phase (bucket upper bound).", "gauge", base, float64(snap.Quantile(0.99))*1e-9)
+			}
+		}
+	}
+}
+
+// filterPhaseMetrics renders one filter's cumulative per-phase counters:
+// coarser than the global histograms (no distribution) but attributable
+// to a filter, which the pooled global table is not.
+func filterPhaseMetrics(m *metricsWriter, name string, f *ShardedFilter) {
+	count := f.traceCount.Load()
+	if count == 0 {
+		return
+	}
+	fl := []label{{"filter", name}}
+	for p := 0; p < obs.NumPhases; p++ {
+		if ns := f.phaseNs[p].Load(); ns > 0 {
+			m.sample("bloomrfd_filter_phase_seconds_total",
+				"Cumulative time the filter's traced requests spent in one pipeline phase.", "counter",
+				[]label{{"filter", name}, {"phase", obs.Phase(p).String()}}, float64(ns)*1e-9)
+		}
+	}
+	m.sample("bloomrfd_filter_traced_requests_total",
+		"Requests whose phase trace completed (success responses).", "counter", fl, float64(count))
+	m.sample("bloomrfd_filter_trace_unattributed_seconds_total",
+		"Traced request time not attributed to any phase (should stay a small fraction).", "counter", fl,
+		float64(f.traceUnattrNs.Load())*1e-9)
+}
+
+// goRuntimeMetrics exports process-health gauges from runtime/metrics,
+// read fresh per scrape, plus the build-info gauge.
+func goRuntimeMetrics(m *metricsWriter) {
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/cpu/classes/gc/pause:cpu-seconds"},
+	}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		m.sample("bloomrfd_go_goroutines", "Live goroutines.", "gauge", nil,
+			float64(samples[0].Value.Uint64()))
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		m.sample("bloomrfd_go_heap_objects_bytes", "Bytes of live heap objects.", "gauge", nil,
+			float64(samples[1].Value.Uint64()))
+	}
+	if samples[2].Value.Kind() == metrics.KindFloat64 {
+		m.sample("bloomrfd_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter", nil,
+			samples[2].Value.Float64())
+	}
+	m.sample("bloomrfd_build_info", "Build metadata; value is always 1.", "gauge",
+		[]label{{"go_version", runtime.Version()}, {"os", runtime.GOOS}, {"arch", runtime.GOARCH}}, 1)
+}
+
+// leScaled formats a native-unit bucket bound as a Prometheus `le` label
+// value in the exported unit.
+func leScaled(bound int64, scale float64) string {
+	return strconv.FormatFloat(float64(bound)*scale, 'g', -1, 64)
 }
 
 // skewCheckInterval throttles the mutation-path skew evaluation: computing

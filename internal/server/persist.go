@@ -306,6 +306,7 @@ func (st *Store) Snapshot(name string, f *ShardedFilter) (Manifest, error) {
 // fetched the filter just before DELETE removed it would re-create the
 // on-disk state after Remove, resurrecting the filter on restart.
 func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() bool) (Manifest, error) {
+	snapStart := time.Now()
 	l := st.nameLock(name)
 	l.Lock()
 	defer l.Unlock()
@@ -443,7 +444,8 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 	}
 	st.prune(name, seq)
 	f.incr = &incrSnapState{seq: seq, epoch: tab.epoch}
-	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes(), WALPos: man.WALPos, ReusedShards: reused})
+	f.setSnapshotInfo(SnapshotInfo{Seq: seq, UnixNano: man.CreatedUnix, Bytes: man.totalBytes(), WALPos: man.WALPos, ReusedShards: reused,
+		DurationNanos: time.Since(snapStart).Nanoseconds()})
 	return man, nil
 }
 

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// phaseTestAPI wires a WAL-backed API with a slow-request threshold and a
+// captured log, the full tracing configuration bloomrfd runs with.
+func phaseTestAPI(t *testing.T, thr time.Duration) (*API, *Registry, *syncLog) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := OpenStore(filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlog := openWALT(t, filepath.Join(dir, "wal"))
+	t.Cleanup(func() { wlog.Close() })
+	logs := &syncLog{}
+	reg := NewRegistry()
+	api := NewConfiguredAPI(reg, store, Config{
+		WAL:                  wlog,
+		SlowRequestThreshold: thr,
+		Logf:                 logs.logf,
+	})
+	return api, reg, logs
+}
+
+// syncLog captures Logf output for assertions, safe for concurrent use.
+type syncLog struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *syncLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	fmt.Fprintf(&l.b, format+"\n", args...)
+	l.mu.Unlock()
+}
+
+func (l *syncLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// drivePhaseTraffic sends binary inserts, point queries and range queries
+// at a 4-shard filter — multi-key batches, so the shard-dispatch phase is
+// exercised alongside decode/probe/encode, and the WAL (SyncAlways)
+// exercises wal-append/wal-fsync.
+func drivePhaseTraffic(t *testing.T, a *API, rounds int) {
+	t.Helper()
+	keys := make([]uint64, 64)
+	ranges := make([][2]uint64, 8)
+	for i := range keys {
+		keys[i] = uint64(i)*7919 + 1
+	}
+	for i := range ranges {
+		lo := uint64(i) * 1000
+		ranges[i] = [2]uint64{lo, lo + 50}
+	}
+	ins := wire.AppendKeysRequest(nil, wire.OpInsert, keys)
+	q := wire.AppendKeysRequest(nil, wire.OpQuery, keys)
+	qr := wire.AppendRangesRequest(nil, ranges)
+	for i := 0; i < rounds; i++ {
+		for _, req := range []struct {
+			path string
+			body []byte
+		}{
+			{"/v1/filters/ph/insert", ins},
+			{"/v1/filters/ph/query", q},
+			{"/v1/filters/ph/query-range", qr},
+		} {
+			if rec := doBinReq(t, a, "POST", req.path, wire.ContentType, req.body); rec.Code != http.StatusOK {
+				t.Fatalf("%s: %d %s", req.path, rec.Code, rec.Body.String())
+			}
+		}
+	}
+}
+
+// TestPhaseMetricsCoverAllPhases drives traced traffic through every
+// pipeline stage and requires /metrics to expose a bloomrfd_phase_seconds
+// series for each of the seven phases, with consistent histogram
+// plumbing (+Inf terminal, p50/p99 gauges) and the per-filter counters.
+func TestPhaseMetricsCoverAllPhases(t *testing.T) {
+	a, reg, _ := phaseTestAPI(t, 0)
+	if _, err := reg.Create("ph", FilterOptions{ExpectedKeys: 100_000, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	drivePhaseTraffic(t, a, 50)
+
+	_, body := doReq(t, a, "GET", "/metrics", "")
+	for p := 0; p < obs.NumPhases; p++ {
+		want := fmt.Sprintf(`bloomrfd_phase_seconds_bucket{phase=%q`, obs.Phase(p).String())
+		if !strings.Contains(body, want) {
+			t.Errorf("missing phase series %s:\n%s", want, grepLines(body, "bloomrfd_phase_seconds_bucket{phase"))
+		}
+	}
+	// WAL phases only exist on the insert op; probe exists on all three.
+	for _, want := range []string{
+		`bloomrfd_phase_seconds_bucket{phase="wal-fsync",op="insert",codec="binary",le="+Inf"}`,
+		`bloomrfd_phase_seconds_count{phase="probe",op="query",codec="binary"}`,
+		`bloomrfd_phase_seconds_count{phase="probe",op="query-range",codec="binary"}`,
+		`bloomrfd_phase_p50_seconds{phase="probe",op="query",codec="binary"}`,
+		`bloomrfd_phase_p99_seconds{phase="probe",op="query",codec="binary"}`,
+		`bloomrfd_filter_phase_seconds_total{filter="ph",phase="probe"}`,
+		`bloomrfd_filter_traced_requests_total{filter="ph"} 150`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+	// A slow-request threshold of 0 disables the slow log entirely.
+	if strings.Contains(body, "slow_request") {
+		t.Fatalf("slow-request machinery leaked into /metrics")
+	}
+}
+
+// TestPhaseSumBoundsTotal is the attribution sanity check: phases are
+// marked back-to-back (each Enter closes the previous phase at the same
+// instant it opens the next), so the per-phase sums must account for
+// essentially all traced wall time — the unattributed remainder is only
+// the Start→first-Enter gap.
+func TestPhaseSumBoundsTotal(t *testing.T) {
+	a, reg, _ := phaseTestAPI(t, 0)
+	f, err := reg.Create("ph", FilterOptions{ExpectedKeys: 100_000, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drivePhaseTraffic(t, a, 30)
+
+	st := f.Stats()
+	if len(st.Phases) == 0 {
+		t.Fatal("stats phases block empty after traced traffic")
+	}
+	var fracSum, unattr float64
+	for _, ps := range st.Phases {
+		fracSum += ps.Fraction
+		if ps.Phase == "unattributed" {
+			unattr = ps.Fraction
+		}
+	}
+	// Fractions partition the total exactly (same accumulators), so their
+	// sum is 1 modulo float rounding.
+	if fracSum < 0.999 || fracSum > 1.001 {
+		t.Fatalf("phase fractions sum to %.4f, want ~1: %+v", fracSum, st.Phases)
+	}
+	// The unattributed share must stay a small fraction; 25%% is far above
+	// anything but a pathological scheduler stall.
+	if unattr > 0.25 {
+		t.Fatalf("unattributed fraction %.4f exceeds bound: %+v", unattr, st.Phases)
+	}
+	// The JSON stats endpoint carries the same block.
+	_, body := doReq(t, a, "GET", "/v1/filters/ph", "")
+	var got ShardedStats
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Phases) != len(st.Phases) {
+		t.Fatalf("stats endpoint phases = %d rows, want %d", len(got.Phases), len(st.Phases))
+	}
+}
+
+// TestSlowRequestLog pins the slow-request log line: with a threshold
+// every request crosses, exactly one structured line per rate-limit
+// window is emitted, carrying the full phase breakdown.
+func TestSlowRequestLog(t *testing.T) {
+	a, reg, logs := phaseTestAPI(t, time.Nanosecond)
+	if _, err := reg.Create("ph", FilterOptions{ExpectedKeys: 100_000, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	drivePhaseTraffic(t, a, 10) // 30 "slow" requests, usually inside one 1s window
+	elapsed := time.Since(start)
+
+	out := logs.String()
+	n := strings.Count(out, `"event":"slow_request"`)
+	// One line per 1s window per filter: normally exactly 1, but allow one
+	// extra per elapsed second in case a loaded machine stretched the
+	// traffic past a window boundary.
+	allowed := 1 + int(elapsed/time.Second)
+	if n < 1 || n > allowed {
+		t.Fatalf("slow-request lines = %d, want in [1, %d] (rate limit): %s", n, allowed, out)
+	}
+	line := strings.SplitN(grepLines(out, `"event":"slow_request"`), "\n", 2)[0]
+	var rec slowRequestLine
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow-request line is not JSON: %v: %s", err, line)
+	}
+	if rec.Filter != "ph" || rec.TotalMs <= 0 || rec.Shards != 4 || len(rec.Phases) == 0 {
+		t.Fatalf("slow-request line incomplete: %+v", rec)
+	}
+	for phase := range rec.Phases {
+		if phase == "unknown" {
+			t.Fatalf("slow-request line has unknown phase: %+v", rec)
+		}
+	}
+}

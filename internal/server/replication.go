@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -289,6 +290,9 @@ type ReplicationStatus struct {
 	LagBytes uint64 `json:"lag_bytes"`
 	// LastFrameUnixNano is when the last frame of any kind arrived.
 	LastFrameUnixNano int64 `json:"last_frame_unix_nano"`
+	// Reconnects counts re-dials after a stream break (0 while the first
+	// connection holds).
+	Reconnects uint64 `json:"reconnects"`
 }
 
 // Follower tails a primary's replication stream into a local registry,
@@ -308,6 +312,13 @@ type Follower struct {
 	primaryPos atomic.Uint64
 	connected  atomic.Bool
 	lastFrame  atomic.Int64
+	reconnects atomic.Uint64
+
+	// lagHist samples PrimaryPos - AppliedPos (bytes) at every applied
+	// record, so a lag spike that builds and drains entirely between two
+	// /metrics scrapes still shows up in the histogram — the
+	// instantaneous LagBytes gauge would read 0 at both scrapes.
+	lagHist obs.Hist
 
 	// restoredPos is the snapshot-coverage skip map from the latest
 	// bootstrap; only the Run goroutine touches it.
@@ -355,8 +366,14 @@ func (fo *Follower) Status() ReplicationStatus {
 		PrimaryPos:        end,
 		LagBytes:          lag,
 		LastFrameUnixNano: fo.lastFrame.Load(),
+		Reconnects:        fo.reconnects.Load(),
 	}
 }
+
+// LagSnapshot returns the per-record lag histogram (bytes). Wire it to
+// Config.ReplicationLag so /metrics exports it as
+// bloomrfd_replication_record_lag_bytes.
+func (fo *Follower) LagSnapshot() obs.HistSnapshot { return fo.lagHist.Read() }
 
 // reconnectDelay paces reconnection attempts after a stream drops.
 const reconnectDelay = time.Second
@@ -370,6 +387,7 @@ func (fo *Follower) Run(ctx context.Context) {
 		if ctx.Err() != nil {
 			return
 		}
+		fo.reconnects.Add(1)
 		fo.logf("bloomrfd: replication stream ended: %v; reconnecting in %s", err, reconnectDelay)
 		select {
 		case <-ctx.Done():
@@ -462,6 +480,13 @@ func (fo *Follower) stream(ctx context.Context) error {
 			if next > fo.primaryPos.Load() {
 				fo.primaryPos.Store(next)
 			}
+			// Sample lag per applied record, not per scrape: during catch-up
+			// after a burst, every record observes how far behind it was.
+			var lag int64
+			if end := fo.primaryPos.Load(); end > next {
+				lag = int64(end - next)
+			}
+			fo.lagHist.Observe(lag)
 		default:
 			return fmt.Errorf("unknown replication frame type %d", typ)
 		}

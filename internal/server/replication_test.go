@@ -377,3 +377,59 @@ func TestReplicationStreamAuth(t *testing.T) {
 	cancel()
 	wlog.Close()
 }
+
+// TestReplicationLagHistogramSeesBetweenScrapeSpikes pins the reason the
+// lag histogram exists: a lag spike that builds and fully drains between
+// two /metrics scrapes is invisible to the instantaneous lag_bytes gauge
+// (it reads ~0 at both scrapes) but must be present in the per-record
+// histogram, because every applied record sampled how far behind it was.
+func TestReplicationLagHistogramSeesBetweenScrapeSpikes(t *testing.T) {
+	srv, api, _ := primaryT(t, t.TempDir())
+	resp, err := http.Post(srv.URL+"/v1/filters", "application/json",
+		strings.NewReader(`{"name":"burst","expected_keys":100000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	// "Scrape 1" equivalent: the burst lands entirely before the follower
+	// connects, so no scrape of the follower could observe it building.
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]uint64, 500)
+	for i := 0; i < 20; i++ {
+		for j := range batch {
+			batch[j] = rng.Uint64()
+		}
+		insertHTTP(t, srv, "burst", batch)
+	}
+	end := api.cfg.WAL.End()
+
+	freg := NewRegistry()
+	fo, err := NewFollower(srv.URL, freg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go fo.Run(ctx)
+	waitCaughtUp(t, fo, end)
+
+	// "Scrape 2": the spike has fully drained — the gauge is back to zero.
+	if st := fo.Status(); st.LagBytes != 0 {
+		t.Fatalf("gauge lag = %d after catch-up, want 0: %+v", st.LagBytes, st)
+	}
+	snap := fo.LagSnapshot()
+	if snap.Count == 0 {
+		t.Fatal("lag histogram empty after catch-up")
+	}
+	// The whole backlog (tens of KiB) was ahead of the first applied
+	// records, so the histogram's tail must show a large spike even
+	// though both "scrapes" saw lag 0.
+	if maxLag := snap.Quantile(1.0); maxLag < 16_384 {
+		t.Fatalf("lag histogram max = %d bytes, want >= 16384 (spike lost)", maxLag)
+	}
+	cancel()
+}

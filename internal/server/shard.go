@@ -43,6 +43,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // MaxShards bounds the fan-out of one logical filter. 256 shards is far
@@ -127,6 +129,9 @@ type SnapshotInfo struct {
 	// epoch had not moved — the dirty-shard incremental capture
 	// (persist.go). 0 for full snapshots.
 	ReusedShards int `json:"reused_shards,omitempty"`
+	// DurationNanos is how long the snapshot pass took (capture through
+	// manifest commit). Stats-only; not persisted in the manifest.
+	DurationNanos int64 `json:"duration_nanos,omitempty"`
 }
 
 // shardState is one shard of a sharded filter: the filter instance plus
@@ -285,7 +290,26 @@ type ShardedFilter struct {
 
 	// Server-side latency histograms per op × codec (latency.go). The API
 	// handlers record into them; /metrics and Stats read them.
-	lat [numLatOps][numLatCodecs]latencyHist
+	lat [numLatOps][numLatCodecs]obs.Hist
+
+	// Per-phase request-time accumulators (phases.go). Global per-phase
+	// *histograms* live on the API (one table across filters, labeled by
+	// op and codec); here the filter keeps only cheap counters — total
+	// nanoseconds per phase, trace count, total and unattributed time —
+	// enough for the stats "phases" block and the per-filter /metrics
+	// counters without 42 more histograms per filter.
+	phaseNs       [obs.NumPhases]atomic.Uint64
+	traceCount    atomic.Uint64
+	traceTotalNs  atomic.Uint64
+	traceUnattrNs atomic.Uint64
+	// slowLogUnixNs is the wall time of the filter's last slow-request
+	// log line, the 1/s/filter rate limit (phases.go).
+	slowLogUnixNs atomic.Int64
+
+	// Split instrumentation: cumulative wall time spent in completed
+	// splits and WAL-tail keys replayed by them (split.go).
+	splitNs       atomic.Uint64
+	splitReplayed atomic.Uint64
 
 	snap atomic.Pointer[SnapshotInfo] // last durable snapshot, nil if none
 }
@@ -628,6 +652,10 @@ type ShardedStats struct {
 	// Latency summarizes server-side per-op latency, one entry per
 	// op × codec pair that has served at least one request (latency.go).
 	Latency []OpLatency `json:"latency,omitempty"`
+	// Phases breaks the filter's served request time down by pipeline
+	// phase (phases.go); present once at least one traced request
+	// completed. The final entry is the unattributed remainder.
+	Phases []PhaseStat `json:"phases,omitempty"`
 }
 
 // Stats returns aggregate occupancy statistics over the current table.
@@ -675,6 +703,7 @@ func (s *ShardedFilter) Stats() ShardedStats {
 		st.KeySkew = float64(maxKeys) * float64(n) / float64(sumKeys)
 	}
 	st.Latency = s.latencySummaries()
+	st.Phases = s.phaseSummaries()
 	return st
 }
 

@@ -38,6 +38,16 @@ func NewSnapshotter(reg *Registry, store *Store, interval time.Duration) *Snapsh
 	}
 }
 
+// WithLogf routes the snapshotter's failure lines through logf instead of
+// the default log.Printf, so bloomrfd can point it at its structured
+// logger. Call before Start; a nil logf keeps the default.
+func (s *Snapshotter) WithLogf(logf func(format string, args ...any)) *Snapshotter {
+	if logf != nil {
+		s.logf = logf
+	}
+	return s
+}
+
 // WithWAL attaches a write-ahead log: after each full snapshot pass the
 // snapshotter truncates WAL segments that every live filter's latest
 // snapshot already covers, bounding log growth to roughly one snapshot

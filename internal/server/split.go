@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -108,6 +109,8 @@ type SplitResult struct {
 	// Replayed is how many straggler keys the WAL tail backfill re-applied
 	// (0 without a WAL, where stragglers are handled by re-capture).
 	Replayed int `json:"replayed_keys"`
+	// DurationNanos is the wall time the split took, lock wait included.
+	DurationNanos int64 `json:"duration_nanos"`
 }
 
 // Split divides one span of a range-partitioned filter in two, live: the
@@ -122,6 +125,7 @@ type SplitResult struct {
 // after Split returns (the HTTP layer's performSplit), so crash replay
 // re-runs the same division.
 func (s *ShardedFilter) Split(name string, opt SplitOptions, l *wal.Log) (SplitResult, error) {
+	splitStart := time.Now()
 	s.splitMu.Lock()
 	defer s.splitMu.Unlock()
 	tab := s.tab.Load()
@@ -253,12 +257,16 @@ func (s *ShardedFilter) Split(name string, opt SplitOptions, l *wal.Log) (SplitR
 	s.hook("after-swap")
 	s.splits.Add(1)
 	s.hook("replayed")
+	d := time.Since(splitStart)
+	s.splitNs.Add(uint64(d.Nanoseconds()))
+	s.splitReplayed.Add(uint64(replayed))
 	return SplitResult{
-		Shard:      h,
-		SplitKey:   m,
-		Shards:     len(newTab.shards),
-		TableEpoch: newTab.epoch,
-		Replayed:   replayed,
+		Shard:         h,
+		SplitKey:      m,
+		Shards:        len(newTab.shards),
+		TableEpoch:    newTab.epoch,
+		Replayed:      replayed,
+		DurationNanos: d.Nanoseconds(),
 	}, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appends are fsynced.
@@ -93,10 +96,11 @@ type segMeta struct {
 
 // appendReq is one queued Append awaiting group commit.
 type appendReq struct {
-	rec  Record
-	pos  uint64 // assigned by the writer goroutine
-	err  error
-	done chan struct{}
+	rec     Record
+	pos     uint64 // assigned by the writer goroutine
+	fsyncNs int64  // fsync time of the group commit this record rode in
+	err     error
+	done    chan struct{}
 }
 
 // Log is an append-only record log. All methods are safe for concurrent
@@ -121,6 +125,58 @@ type Log struct {
 	written      chan struct{} // writer goroutine exited
 	stopSync     chan struct{} // stops the interval-sync goroutine
 	syncDone     chan struct{}
+
+	// Instrumentation, all wait-free on the commit path.
+	appends       atomic.Uint64 // records acknowledged
+	groupCommits  atomic.Uint64 // batches written
+	rotations     atomic.Uint64 // segments sealed by rotation
+	truncatedSegs atomic.Uint64 // segments removed by TruncateBefore
+	fsyncs        atomic.Uint64 // fsync calls (commit, interval, explicit, seal)
+	fsyncHist     obs.Hist      // fsync latency, nanoseconds
+	batchHist     [BatchBuckets]atomic.Uint64
+}
+
+// Group-commit batch-size histogram geometry: power-of-two buckets with
+// upper bounds 1, 2, 4, ..., groupLimit (512), plus an overflow bucket.
+// The obs.Hist geometry starts at 2^12 and would fold every batch size
+// into its underflow bucket, so batch sizes get their own tiny layout.
+const BatchBuckets = 11
+
+// batchBucket maps a batch size (≥1) to its bucket: index i covers
+// (2^(i-1), 2^i] so the le bounds are exact powers of two.
+func batchBucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	i := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if i >= BatchBuckets {
+		return BatchBuckets - 1
+	}
+	return i
+}
+
+// BatchBucketLE returns the inclusive upper bound of batch-size bucket
+// i, or -1 for the overflow bucket (rendered as +Inf).
+func BatchBucketLE(i int) int {
+	if i >= BatchBuckets-1 {
+		return -1
+	}
+	return 1 << i
+}
+
+// noteFsync records one fsync and its duration.
+func (l *Log) noteFsync(d time.Duration) {
+	l.fsyncs.Add(1)
+	l.fsyncHist.Observe(d.Nanoseconds())
+}
+
+// timedSync fsyncs the active segment and records the latency. Caller
+// holds l.mu.
+func (l *Log) timedSync() error {
+	t0 := time.Now()
+	err := l.active.Sync()
+	l.noteFsync(time.Since(t0))
+	return err
 }
 
 // segName formats a segment file name from its base offset.
@@ -287,33 +343,69 @@ type Stats struct {
 	Durable  uint64
 	Oldest   uint64
 	Segments int
+
+	// Cumulative instrumentation counters.
+	Appends           uint64 // records acknowledged
+	GroupCommits      uint64 // batches written (Appends/GroupCommits = mean batch)
+	Rotations         uint64 // segments sealed by rotation
+	TruncatedSegments uint64 // segments removed by TruncateBefore
+	Fsyncs            uint64 // fsync calls
+
+	// FsyncLatency is the fsync duration histogram (nanoseconds).
+	FsyncLatency obs.HistSnapshot
+	// CommitBatchRecords[i] counts group commits whose batch size fell
+	// in bucket i (bounds via BatchBucketLE). The per-bucket counts sum
+	// to GroupCommits; the batch sizes themselves sum to Appends.
+	CommitBatchRecords [BatchBuckets]uint64
 }
 
-// Stats returns the log's current positions and segment count.
+// Stats returns the log's current positions, segment count and
+// instrumentation counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	n := len(l.segs)
 	l.mu.Unlock()
-	return Stats{End: l.End(), Durable: l.Durable(), Oldest: l.OldestPos(), Segments: n}
+	s := Stats{
+		End: l.End(), Durable: l.Durable(), Oldest: l.OldestPos(), Segments: n,
+		Appends:           l.appends.Load(),
+		GroupCommits:      l.groupCommits.Load(),
+		Rotations:         l.rotations.Load(),
+		TruncatedSegments: l.truncatedSegs.Load(),
+		Fsyncs:            l.fsyncs.Load(),
+		FsyncLatency:      l.fsyncHist.Read(),
+	}
+	for i := range l.batchHist {
+		s.CommitBatchRecords[i] = l.batchHist[i].Load()
+	}
+	return s
 }
 
 // Append queues rec for group commit and blocks until it is acknowledged
 // per the sync policy (written and fsynced under SyncAlways; written under
 // SyncInterval/SyncNone). It returns the record's start position.
 func (l *Log) Append(rec Record) (uint64, error) {
+	pos, _, err := l.AppendTraced(rec)
+	return pos, err
+}
+
+// AppendTraced is Append plus attribution: it additionally returns the
+// nanoseconds the acknowledging group commit spent in fsync (0 unless
+// the policy is SyncAlways), so a request-scoped tracer can carve the
+// fsync wait out of its opaque append interval.
+func (l *Log) AppendTraced(rec Record) (pos uint64, fsyncNs int64, err error) {
 	if len(rec.Data) > MaxRecordBytes {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(rec.Data), MaxRecordBytes)
+		return 0, 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(rec.Data), MaxRecordBytes)
 	}
 	req := &appendReq{rec: rec, done: make(chan struct{})}
 	l.closeMu.RLock()
 	if l.appendClosed {
 		l.closeMu.RUnlock()
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	l.appendCh <- req
 	l.closeMu.RUnlock()
 	<-req.done
-	return req.pos, req.err
+	return req.pos, req.fsyncNs, req.err
 }
 
 // groupLimit bounds one group commit: at most this many records or
@@ -389,15 +481,25 @@ func (l *Log) commit(batch []*appendReq, buf []byte) {
 		return
 	}
 	if l.opt.Policy == SyncAlways {
-		if err := l.active.Sync(); err != nil {
+		t0 := time.Now()
+		err := l.active.Sync()
+		d := time.Since(t0)
+		l.noteFsync(d)
+		if err != nil {
 			l.mu.Unlock()
 			l.fail(batch, fmt.Errorf("wal: fsync: %w", err))
 			return
+		}
+		for _, req := range batch {
+			req.fsyncNs = d.Nanoseconds()
 		}
 		l.durable.Store(pos)
 	}
 	tail.size += int64(len(buf))
 	l.committed.Store(pos)
+	l.appends.Add(uint64(len(batch)))
+	l.groupCommits.Add(1)
+	l.batchHist[batchBucket(len(batch))].Add(1)
 	close(l.notify)
 	l.notify = make(chan struct{})
 	l.mu.Unlock()
@@ -417,7 +519,7 @@ func (l *Log) fail(batch []*appendReq, err error) {
 // rotateLocked seals the active segment (fsync, close) and starts a new
 // one at the current end. Caller holds l.mu.
 func (l *Log) rotateLocked() error {
-	if err := l.active.Sync(); err != nil {
+	if err := l.timedSync(); err != nil {
 		return fmt.Errorf("wal: sealing segment: %w", err)
 	}
 	if err := l.active.Close(); err != nil {
@@ -438,6 +540,7 @@ func (l *Log) rotateLocked() error {
 	}
 	l.active = f
 	l.segs = append(l.segs, segMeta{base: end})
+	l.rotations.Add(1)
 	return nil
 }
 
@@ -468,7 +571,7 @@ func (l *Log) syncNow() {
 	if c == l.durable.Load() {
 		return
 	}
-	if err := l.active.Sync(); err == nil {
+	if err := l.timedSync(); err == nil {
 		l.durable.Store(c)
 	}
 }
@@ -483,7 +586,7 @@ func (l *Log) Sync() error {
 		return ErrClosed
 	}
 	c := l.committed.Load()
-	if err := l.active.Sync(); err != nil {
+	if err := l.timedSync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	if c > l.durable.Load() {
@@ -516,6 +619,7 @@ func (l *Log) TruncateBefore(pos uint64) error {
 	if removed == 0 {
 		return nil
 	}
+	l.truncatedSegs.Add(uint64(removed))
 	l.segs = append(l.segs[:0], l.segs[removed:]...)
 	l.oldest.Store(l.segs[0].base)
 	return syncDir(l.opt.Dir)

@@ -493,3 +493,97 @@ func collect2(t *testing.T, l *Log) []Record {
 		out = append(out, Record{Type: rec.Type, Data: append([]byte(nil), rec.Data...)})
 	}
 }
+
+// TestStatsInstrumentation exercises the commit/rotation/truncation
+// counters and the fsync + batch-size histograms added for /metrics.
+func TestStatsInstrumentation(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir) // SyncAlways, 1KiB segments
+	const n = 40
+	payload := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Record{Type: 1, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != n {
+		t.Fatalf("Appends = %d, want %d", st.Appends, n)
+	}
+	if st.GroupCommits == 0 || st.GroupCommits > n {
+		t.Fatalf("GroupCommits = %d, want in [1, %d]", st.GroupCommits, n)
+	}
+	// 40 × ~76-byte records across 1KiB segments forces rotations.
+	if st.Rotations == 0 {
+		t.Fatal("no rotations despite overflowing the segment size")
+	}
+	if st.Fsyncs == 0 || st.FsyncLatency.Count == 0 {
+		t.Fatalf("fsyncs = %d, hist count = %d, want > 0 under SyncAlways", st.Fsyncs, st.FsyncLatency.Count)
+	}
+	var batches uint64
+	for _, c := range st.CommitBatchRecords {
+		batches += c
+	}
+	if batches != st.GroupCommits {
+		t.Fatalf("batch-size buckets sum to %d, want GroupCommits %d", batches, st.GroupCommits)
+	}
+	if err := l.TruncateBefore(l.End()); err != nil {
+		t.Fatal(err)
+	}
+	if st = l.Stats(); st.TruncatedSegments == 0 {
+		t.Fatal("TruncateBefore removed no segments despite sealed prefix")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendTracedFsyncAttribution pins that under SyncAlways an append
+// reports a positive fsync share no larger than plausible, and that
+// non-fsync policies report zero.
+func TestAppendTracedFsyncAttribution(t *testing.T) {
+	l := openT(t, t.TempDir())
+	_, fsyncNs, err := l.AppendTraced(Record{Type: 1, Data: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsyncNs <= 0 {
+		t.Fatalf("fsyncNs = %d under SyncAlways, want > 0", fsyncNs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ln := openT(t, t.TempDir(), func(o *Options) { o.Policy = SyncNone })
+	_, fsyncNs, err = ln.AppendTraced(Record{Type: 1, Data: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsyncNs != 0 {
+		t.Fatalf("fsyncNs = %d under SyncNone, want 0", fsyncNs)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchBucketLayout pins the power-of-two batch-size geometry.
+func TestBatchBucketLayout(t *testing.T) {
+	for _, tc := range []struct{ n, bucket int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{512, 9}, {513, 10}, {100000, 10},
+	} {
+		if got := batchBucket(tc.n); got != tc.bucket {
+			t.Errorf("batchBucket(%d) = %d, want %d", tc.n, got, tc.bucket)
+		}
+	}
+	if got := BatchBucketLE(0); got != 1 {
+		t.Errorf("BatchBucketLE(0) = %d, want 1", got)
+	}
+	if got := BatchBucketLE(9); got != 512 {
+		t.Errorf("BatchBucketLE(9) = %d, want 512", got)
+	}
+	if got := BatchBucketLE(BatchBuckets - 1); got != -1 {
+		t.Errorf("overflow bucket LE = %d, want -1 (+Inf)", got)
+	}
+}

@@ -9,19 +9,21 @@
 #
 # Usage, from the repository root:
 #
-#   ./scripts/latency_bench.sh                      # writes BENCH_PR7.json
+#   ./scripts/latency_bench.sh                      # writes BENCH_PR9.json
 #   QPS_LEVELS="200 2000" DURATION=10s ./scripts/latency_bench.sh
 #   ASSERT=1 ./scripts/latency_bench.sh             # CI: fail unless /metrics
-#                                                   # shows latency histograms
-#                                                   # and the saturating run
-#                                                   # was shed with ≥1 429
+#                                                   # shows latency + per-phase
+#                                                   # histograms, the saturating
+#                                                   # run was shed with ≥1 429,
+#                                                   # and it logged ≥1
+#                                                   # slow_request line
 set -euo pipefail
 
 QPS_LEVELS="${QPS_LEVELS:-200 1000}"
 DURATION="${DURATION:-5s}"
 BATCH="${BATCH:-1024}"
 KEYS="${KEYS:-50000}"
-OUT="${OUT:-BENCH_PR7.json}"
+OUT="${OUT:-BENCH_PR9.json}"
 ASSERT="${ASSERT:-0}"
 
 ADDR="127.0.0.1:18087";  BASE="http://$ADDR"
@@ -78,8 +80,42 @@ grep -c '^bloomrfd_op_latency_seconds_bucket' "$WORK/metrics.txt" >/dev/null || 
 }
 grep '^bloomrfd_op_latency_p99_seconds' "$WORK/metrics.txt" || true
 
+echo "== per-phase breakdown (bloomrfd_phase_seconds) =="
+# This server runs without -data-dir, so the WAL phases are legitimately
+# absent here; the serve-side phases must all be present.
+for phase in decode shard-dispatch probe encode; do
+  if ! grep -q "^bloomrfd_phase_seconds_bucket{phase=\"$phase\"" "$WORK/metrics.txt"; then
+    if [ "$ASSERT" = "1" ]; then
+      echo "ASSERT FAILED: /metrics has no bloomrfd_phase_seconds series for phase=$phase" >&2
+      exit 1
+    fi
+    echo "warning: no bloomrfd_phase_seconds series for phase=$phase" >&2
+  fi
+done
+grep '^bloomrfd_phase_p99_seconds' "$WORK/metrics.txt" || true
+
+# Aggregate per-phase wall time across op/codec into a JSON object that is
+# embedded in the report, so the benchmark records where request time went.
+PHASES_JSON="{"
+sep=""
+for phase in decode admission-wait shard-dispatch probe wal-append wal-fsync encode; do
+  secs="$(awk -v ph="phase=\"$phase\"" '
+    index($0, "bloomrfd_phase_seconds_sum{") == 1 && index($0, ph) { t += $NF }
+    END { printf "%.9f", t }' "$WORK/metrics.txt")"
+  PHASES_JSON="$PHASES_JSON$sep\"$phase\": $secs"
+  sep=", "
+done
+PHASES_JSON="$PHASES_JSON}"
+export PHASES_JSON
+echo "phase seconds: $PHASES_JSON"
+
 echo "== saturation run against -max-inflight-batches 1 =="
+# A deliberately low slow-request threshold: under admission pressure every
+# queued batch blows through 100us, so the tracer's sampled slow-request
+# log must fire (rate-limited to 1/s/filter). JSON log format keeps the
+# emitted line machine-parseable straight out of the server log.
 "$WORK/bloomrfd" -addr "$ADDR2" -max-inflight-batches 1 \
+    -slow-request-threshold 100us -log-format json \
     >>"$WORK/server2.log" 2>&1 &
 PID2=$!
 wait_healthy "$BASE2" "$WORK/server2.log"
@@ -102,6 +138,19 @@ else
   echo "saturation shed $REJECTED requests with 429 (admission control held)"
 fi
 
+SLOW_LINES="$(grep -c 'slow_request' "$WORK/server2.log" || true)"
+if [ "${SLOW_LINES:-0}" -lt 1 ]; then
+  if [ "$ASSERT" = "1" ]; then
+    echo "ASSERT FAILED: saturated server logged no slow_request lines (threshold 100us)" >&2
+    cat "$WORK/server2.log" >&2
+    exit 1
+  fi
+  echo "warning: saturated server logged no slow_request lines" >&2
+else
+  echo "saturated server logged $SLOW_LINES slow_request line(s):"
+  grep 'slow_request' "$WORK/server2.log" | head -2
+fi
+
 awk -v go_version="$(go version | cut -d' ' -f3)" \
     -v duration="$DURATION" -v batch="$BATCH" \
     -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -110,6 +159,7 @@ END {
   printf "{\n"
   printf "  \"meta\": {\"go\": \"%s\", \"duration\": \"%s\", \"batch\": %s, \"generated\": \"%s\",\n", go_version, duration, batch, now
   printf "           \"methodology\": \"open-loop fixed schedule; latency measured from scheduled send time (no coordinated omission); saturation run targets a -max-inflight-batches 1 server\"},\n"
+  printf "  \"phases_seconds\": %s,\n", ENVIRON["PHASES_JSON"]
   printf "  \"runs\": [\n"
   for (i = 1; i <= n; i++) printf "    %s%s\n", runs[i], (i < n ? "," : "")
   printf "  ]\n}\n"
