@@ -30,6 +30,14 @@
 // GET /v1/replication/status. When the primary runs with -auth-token, the
 // standby presents the same token on the stream.
 //
+// Adding -data-dir alongside -follow gives the standby a promotion target:
+// POST /v1/replication/promote turns it into a writable primary at a bumped
+// epoch, seeding a fresh WAL and snapshots in -data-dir, and a restarted
+// old primary is fenced off by the epoch handshake (docs/replication.md).
+// -replication-heartbeat-timeout surfaces primary_unreachable when the
+// stream goes silent, and -auto-promote (off by default) promotes a fully
+// caught-up standby automatically once that timeout expires.
+//
 // With -probe-file set, bloomrfd is a load-generation client instead of a
 // server: it reads keys (or "lo hi" ranges) from the file and fires them
 // at -probe-url in batches, over the JSON or the binary wire codec, and
@@ -95,7 +103,13 @@ func main() {
 	slowReqThreshold := flag.Duration("slow-request-threshold", 100*time.Millisecond,
 		"emit one structured slow-request log line (full per-phase time breakdown, rate-limited to 1/s per filter) for any request slower than this; 0 disables")
 	follow := flag.String("follow", "",
-		"run as a read-only warm standby of the bloomrfd primary at this URL (e.g. http://primary:8077)")
+		"run as a read-only warm standby of the bloomrfd primary at this URL (e.g. http://primary:8077); add -data-dir to arm POST /v1/replication/promote")
+	hbTimeout := flag.Duration("replication-heartbeat-timeout", 0,
+		"with -follow: report primary_unreachable in /v1/replication/status and /metrics when no stream frame has arrived within this window (0 disables); also the detection window for -auto-promote")
+	autoPromote := flag.Bool("auto-promote", false,
+		"with -follow, -data-dir and -replication-heartbeat-timeout: promote this standby to a writable primary automatically once the primary has been unreachable past the timeout and the standby is fully caught up (never promotes over known lag)")
+	stepDown := flag.Bool("step-down-on-higher-epoch", true,
+		"with -follow: when the primary announces a higher promotion epoch, discard local stream state and re-bootstrap from the new primary; =false exits the stream loop with a terminal error instead")
 	probeFile := flag.String("probe-file", "",
 		"run as a load-generation client instead of a server: read keys (one per line) or ranges (\"lo hi\" per line) from this file and fire them at -probe-url in batches")
 	probeURL := flag.String("probe-url", "http://127.0.0.1:8077",
@@ -207,10 +221,15 @@ func main() {
 
 	switch {
 	case *follow != "":
-		// Warm standby: state is owned by the primary's stream; local
-		// persistence would race it, so the two modes are exclusive.
-		if *dataDir != "" {
-			logger.fatalf("bloomrfd: -follow and -data-dir are mutually exclusive (the standby's state is the primary's stream)")
+		// Warm standby: the registry's state is owned by the primary's
+		// stream. A -data-dir here is NOT recovered from — it is the
+		// promotion target: the store and WAL options are held idle until
+		// POST /v1/replication/promote seeds them at the bumped epoch.
+		if *autoPromote && *dataDir == "" {
+			logger.fatalf("bloomrfd: -auto-promote requires -data-dir (the promotion target) alongside -follow")
+		}
+		if *autoPromote && *hbTimeout <= 0 {
+			logger.fatalf("bloomrfd: -auto-promote requires -replication-heartbeat-timeout > 0 (the detection window)")
 		}
 		var err error
 		follower, err = server.NewFollower(*follow, reg, logger.logf)
@@ -219,10 +238,38 @@ func main() {
 		}
 		// The primary's stream is token-gated whenever the primary runs
 		// with -auth-token; present the same credential.
-		follower.WithAuthToken(token)
+		follower.WithAuthToken(token).WithHeartbeatTimeout(*hbTimeout).WithStepDown(*stepDown)
 		cfg.ReadOnly = true
 		cfg.Replication = follower.Status
 		cfg.ReplicationLag = follower.LagSnapshot
+		cfg.HeartbeatTimeout = *hbTimeout
+		if *dataDir != "" {
+			store, err = server.OpenStore(filepath.Join(*dataDir, "snapshots"))
+			if err != nil {
+				logger.fatalf("bloomrfd: %v", err)
+			}
+			walOpts := wal.Options{
+				Dir:          filepath.Join(*dataDir, "wal"),
+				Policy:       syncPolicy,
+				SyncInterval: *walSyncInterval,
+				SegmentBytes: *walSegmentBytes,
+			}
+			// A fenced-then-restarted old primary must announce the epoch
+			// it once served at, or a stale primary could bootstrap it.
+			recovered, err := server.RecoverEpoch(store, walOpts)
+			if err != nil {
+				logger.fatalf("bloomrfd: recovering promotion epoch: %v", err)
+			}
+			follower.WithEpoch(recovered)
+			cfg.Promotion = &server.PromotionConfig{
+				Store:            store,
+				WALOptions:       walOpts,
+				SnapshotInterval: *snapshotInterval,
+				Follower:         follower,
+				RecoveredEpoch:   recovered,
+			}
+			cfg.AutoPromote = *autoPromote
+		}
 
 	case *dataDir != "":
 		var err error
@@ -240,9 +287,18 @@ func main() {
 			logger.fatalf("bloomrfd: opening WAL: %v", err)
 		}
 		store.SetWALSource(wlog)
-		if _, err := server.Recover(store, wlog, reg, logger.logf); err != nil {
+		stats, err := server.Recover(store, wlog, reg, logger.logf)
+		if err != nil {
 			logger.fatalf("bloomrfd: recovery: %v", err)
 		}
+		// A primary that predates any failover serves at epoch 1; one that
+		// was promoted in a previous life resumes at its recovered epoch.
+		epoch := stats.Epoch
+		if epoch == 0 {
+			epoch = 1
+		}
+		cfg.Epoch = epoch
+		store.SetEpochSource(func() uint64 { return epoch })
 		cfg.WAL = wlog
 		if *snapshotInterval > 0 {
 			snapshotter = server.NewSnapshotter(reg, store, *snapshotInterval).WithWAL(wlog).WithLogf(logger.logf)
@@ -261,7 +317,17 @@ func main() {
 	defer stop()
 
 	if follower != nil {
-		go follower.Run(ctx)
+		go func() {
+			follower.Run(ctx)
+			// A terminal stream error (e.g. the primary reports a higher
+			// epoch and -step-down-on-higher-epoch=false) means this node
+			// can never catch up again; shut down rather than serve
+			// silently stale reads forever.
+			if err := follower.TerminalErr(); err != nil {
+				logger.logf("bloomrfd: follower: %v; shutting down", err)
+				stop()
+			}
+		}()
 		logger.logf("bloomrfd: following %s as a read-only standby", *follow)
 	}
 
@@ -279,15 +345,18 @@ func main() {
 
 	logger.logf("bloomrfd: shutting down (draining for up to %s)", *shutdownTimeout)
 	drainServer(srv, *shutdownTimeout, logger.logf)
+	// api.Close tears down whatever a promotion built (snapshotter, final
+	// snapshot, promoted WAL); a never-promoted server only closes its
+	// signal channel. The boot-time snapshotter/store/WAL below belong to
+	// main and are torn down here.
+	api.Close()
 	if snapshotter != nil {
 		snapshotter.Stop()
 	}
-	if store != nil {
+	if store != nil && wlog != nil {
 		ok, failed := server.SnapshotAll(reg, store, logger.logf)
 		logger.logf("bloomrfd: final snapshot: %d ok, %d failed", ok, failed)
-		if wlog != nil {
-			server.TruncateWAL(reg, wlog, logger.logf)
-		}
+		server.TruncateWAL(reg, wlog, logger.logf)
 	}
 	if wlog != nil {
 		if err := wlog.Close(); err != nil {

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Do("never.armed"); err != nil {
+		t.Fatalf("disarmed failpoint returned %v", err)
+	}
+}
+
+func TestArmedCountsDownAndDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm("x", Action{Err: boom, Remaining: 2})
+	for i := 0; i < 2; i++ {
+		if err := Do("x"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d: got %v, want boom", i, err)
+		}
+	}
+	if err := Do("x"); err != nil {
+		t.Fatalf("exhausted failpoint still fires: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after self-disarm, want 0", armed.Load())
+	}
+}
+
+func TestUnlimitedAndDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm("y", Action{Err: boom})
+	for i := 0; i < 5; i++ {
+		if err := Do("y"); !errors.Is(err, boom) {
+			t.Fatalf("unlimited failpoint stopped firing at hit %d: %v", i, err)
+		}
+	}
+	Disarm("y")
+	if err := Do("y"); err != nil {
+		t.Fatalf("disarmed failpoint fired: %v", err)
+	}
+}
+
+func TestHookOverridesErr(t *testing.T) {
+	t.Cleanup(Reset)
+	hookErr := errors.New("from hook")
+	var hits int
+	Arm("z", Action{Err: errors.New("static"), Hook: func() error {
+		hits++
+		return hookErr
+	}})
+	if err := Do("z"); !errors.Is(err, hookErr) {
+		t.Fatalf("got %v, want hook error", err)
+	}
+	if hits != 1 {
+		t.Fatalf("hook ran %d times, want 1", hits)
+	}
+	// A hook returning nil falls back to the static error.
+	static := errors.New("static")
+	Arm("z", Action{Err: static, Hook: func() error { return nil }})
+	if err := Do("z"); !errors.Is(err, static) {
+		t.Fatalf("got %v, want static error", err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("slow", Action{Delay: 30 * time.Millisecond})
+	t0 := time.Now()
+	if err := Do("slow"); err != nil {
+		t.Fatalf("delay-only failpoint returned %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+}
+
+func TestRearmResetsRemaining(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm("r", Action{Err: boom, Remaining: 1})
+	Arm("r", Action{Err: boom, Remaining: 3})
+	n := 0
+	for i := 0; i < 5; i++ {
+		if Do("r") != nil {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("re-armed failpoint fired %d times, want 3", n)
+	}
+}

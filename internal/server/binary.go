@@ -177,7 +177,7 @@ func (a *API) handleInsertBinary(w http.ResponseWriter, r *http.Request, f *Shar
 	// attached, which keeps serving-only inserts allocation-free.
 	f.beginApply()
 	f.insertBatchWith(keys, sc)
-	if a.cfg.WAL != nil {
+	if a.wal() != nil {
 		sc.tr.Enter(obs.PhaseWALAppend)
 		rec, encErr := encodeInsert(name, keys)
 		if !a.logWALTraced(w, rec, encErr, &sc.tr) {

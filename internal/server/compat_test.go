@@ -305,12 +305,13 @@ func TestManifestVersionRejection(t *testing.T) {
 	if _, _, err := st.Restore("users"); err == nil {
 		t.Fatal("v4 manifest without a backend restored")
 	}
-	// And back to a faithful v1 shape (no partitioning or backend keys at
-	// all): restores as a hash-routed bloomRF filter.
+	// And back to a faithful v1 shape (no partitioning, backend or epoch
+	// keys at all): restores as a hash-routed bloomRF filter.
 	rewrite(func(m map[string]any) {
 		m["format_version"] = float64(1)
 		delete(m["options"].(map[string]any), "partitioning")
 		delete(m, "wal_pos")
+		delete(m, "epoch")
 	})
 	g, man, err := st.Restore("users")
 	if err != nil {
@@ -395,6 +396,65 @@ func TestGoldenV4SnapshotRestore(t *testing.T) {
 	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 97)
 }
 
+// TestGoldenV5SnapshotRestore restores the checked-in split-era snapshot
+// (manifest format_version 5, written after live splitting but before
+// promotion epochs existed) into the current code: the filter must come
+// back range-partitioned with every key, the recorded span table and WAL
+// position intact, and re-snapshotting must produce a v6 manifest that
+// records an epoch.
+func TestGoldenV5SnapshotRestore(t *testing.T) {
+	st, err := OpenStore(filepath.Join("testdata", "golden-v5-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, man, err := st.Restore("ledger")
+	if err != nil {
+		t.Fatalf("v5 snapshot no longer restores: %v", err)
+	}
+	if man.FormatVersion != 5 || man.Seq != 1 || man.WALPos != 8192 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if man.Epoch != 0 {
+		t.Fatalf("v5 manifest claims epoch %d; promotion epochs are v6", man.Epoch)
+	}
+	if len(man.Spans) != 4 || man.Spans[0] != 0 {
+		t.Fatalf("v5 manifest spans = %v", man.Spans)
+	}
+	if f.Partitioning() != PartitionRange || f.NumShards() != 4 {
+		t.Fatalf("restored filter: partitioning %q, shards %d", f.Partitioning(), f.NumShards())
+	}
+	if got := f.Stats().InsertedKeys; got != 1024 {
+		t.Fatalf("restored inserted_keys = %d, want 1024", got)
+	}
+	for _, k := range goldenV1Keys() { // same deterministic key sequence
+		if !f.MayContain(k) {
+			t.Fatalf("v5 snapshot lost key %#x", k)
+		}
+		if !f.MayContainRange(k, k) {
+			t.Fatalf("v5 snapshot lost key %#x for range probes", k)
+		}
+	}
+
+	// A new snapshot of the restored filter is a v6 manifest recording a
+	// promotion epoch; it restores to identical answers.
+	st2, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, err := st2.Snapshot("ledger", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.FormatVersion != manifestVersion || man2.Epoch != 1 || len(man2.Spans) != 4 {
+		t.Fatalf("re-snapshot manifest = %+v", man2)
+	}
+	g, _, err := st2.Restore("ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalAnswers(t, f, g, goldenV1Keys(), 98)
+}
+
 // TestManifestV5SpanRules pins the reader's policy on the two fields v5
 // introduced for live splitting: the span-start table and per-shard
 // mutation epochs. Pre-v5 manifests claiming either are corrupt (those
@@ -477,11 +537,12 @@ func TestManifestV5SpanRules(t *testing.T) {
 	if _, _, err := st.Restore("spans"); err == nil {
 		t.Fatal("v5 range manifest with spans not starting at 0 restored")
 	}
-	// Restored faithfully as v4 (no spans, no mut anywhere): spans rebuilt
-	// evenly.
+	// Restored faithfully as v4 (no spans, no mut, no epoch anywhere):
+	// spans rebuilt evenly.
 	rewrite(func(m map[string]any) {
 		m["format_version"] = float64(4)
 		delete(m, "spans")
+		delete(m, "epoch")
 		for _, sh := range m["shards"].([]any) {
 			delete(sh.(map[string]any), "mut")
 		}
@@ -509,5 +570,93 @@ func TestManifestV5SpanRules(t *testing.T) {
 	rewrite(func(m map[string]any) { m["spans"] = []any{float64(0), float64(1 << 63)} })
 	if _, _, err := st.Restore("hashed"); err == nil {
 		t.Fatal("v5 hash manifest with spans restored")
+	}
+}
+
+// TestManifestV6EpochRules pins the reader's policy on the field v6
+// introduced for failover: the promotion epoch. Pre-v6 manifests claiming
+// one are corrupt (those eras had no failover), and v6 writers always
+// record it, so a v6 manifest without one is corrupt too.
+func TestManifestV6EpochRules(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewSharded(FilterOptions{ExpectedKeys: 1000, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InsertBatch([]uint64{1, 2, 3})
+	if _, err := st.Snapshot("epochs", f); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(st.filterDir("epochs"), snapDirName(1), manifestName)
+
+	rewrite := func(mutate func(m map[string]any)) {
+		t.Helper()
+		body, err := os.ReadFile(manPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		body, err = json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sanity: a fresh snapshot is a v6 manifest recording epoch 1 (a store
+	// with no epoch source predates any promotion).
+	_, man, err := st.Restore("epochs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != manifestVersion || man.Epoch != 1 {
+		t.Fatalf("fresh manifest = version %d epoch %d, want version %d epoch 1",
+			man.FormatVersion, man.Epoch, manifestVersion)
+	}
+	// The store's epoch source flows into new manifests (the promoted
+	// primary's snapshots carry its bumped epoch). A separate filter name
+	// keeps "epochs" at a single snapshot for the rewrite tests below.
+	st.SetEpochSource(func() uint64 { return 7 })
+	if _, err := st.Snapshot("promoted", f); err != nil {
+		t.Fatal(err)
+	}
+	if _, man, err = st.Restore("promoted"); err != nil || man.Epoch != 7 {
+		t.Fatalf("epoch-source manifest = %+v, err %v; want epoch 7", man, err)
+	}
+	// A v5 manifest claiming an epoch is corrupt: epochs are v6.
+	rewrite(func(m map[string]any) { m["format_version"] = float64(5) })
+	if _, _, err := st.Restore("epochs"); err == nil {
+		t.Fatal("v5 manifest with an epoch restored")
+	}
+	// A v6 manifest without an epoch is corrupt: v6 writers always record it.
+	rewrite(func(m map[string]any) {
+		m["format_version"] = float64(manifestVersion)
+		delete(m, "epoch")
+	})
+	if _, _, err := st.Restore("epochs"); err == nil {
+		t.Fatal("v6 manifest without an epoch restored")
+	}
+	// A faithful v5 shape (no epoch key at all) restores: that era simply
+	// predates failover, and recovery treats it as epoch 0 (→ boot at 1).
+	rewrite(func(m map[string]any) { m["format_version"] = float64(5) })
+	g, man2, err := st.Restore("epochs")
+	if err != nil {
+		t.Fatalf("faithful v5 shape stopped restoring: %v", err)
+	}
+	if man2.FormatVersion != 5 || man2.Epoch != 0 {
+		t.Fatalf("v5-shaped manifest = version %d epoch %d", man2.FormatVersion, man2.Epoch)
+	}
+	if !g.MayContain(2) {
+		t.Fatal("v5-shaped restore lost key 2")
 	}
 }

@@ -44,6 +44,10 @@ import (
 //	           A completed span split (split.go); replay re-runs the same
 //	           division, or skips it when the restored snapshot already
 //	           reflects the post-split topology.
+//	recEpoch   8-byte LE promotion epoch. The first record a promoted
+//	           primary writes into its fresh WAL; replay (and the follower
+//	           stream) adopt the highest epoch seen, so a restarted node
+//	           knows which era its log belongs to (failover.go).
 
 // WAL record types. The space below 128 is reserved for durable record
 // types; replication control frames (replication.go) use 128+ so the two
@@ -53,6 +57,7 @@ const (
 	recInsert byte = 2
 	recDelete byte = 3
 	recSplit  byte = 4
+	recEpoch  byte = 5
 )
 
 // createPayload is the JSON body of a recCreate record.
@@ -133,6 +138,29 @@ func encodeSplit(name string, key uint64) (wal.Record, error) {
 	return wal.Record{Type: recSplit, Data: data}, nil
 }
 
+// encodeEpoch builds a recEpoch record. Epoch 0 means "before epochs
+// existed" and is never written.
+func encodeEpoch(epoch uint64) (wal.Record, error) {
+	if epoch == 0 {
+		return wal.Record{}, errors.New("server: epoch record with epoch 0")
+	}
+	data := make([]byte, 8)
+	binary.LittleEndian.PutUint64(data, epoch)
+	return wal.Record{Type: recEpoch, Data: data}, nil
+}
+
+// decodeEpoch parses a recEpoch payload.
+func decodeEpoch(data []byte) (uint64, error) {
+	if len(data) != 8 {
+		return 0, fmt.Errorf("server: epoch record of %d bytes, want 8", len(data))
+	}
+	e := binary.LittleEndian.Uint64(data)
+	if e == 0 {
+		return 0, errors.New("server: epoch record carries epoch 0")
+	}
+	return e, nil
+}
+
 // decodeSplit parses a recSplit payload.
 func decodeSplit(data []byte) (string, uint64, error) {
 	if len(data) < 2 {
@@ -153,6 +181,10 @@ type ReplayStats struct {
 	Keys    int // keys inserted by those records
 	Splits  int // span splits re-applied from split records
 	Skipped int // records below their filter's snapshot position (or orphaned)
+
+	// Epoch is the highest promotion epoch seen in epoch records (0 when
+	// the log predates epochs). Recover folds in manifest epochs too.
+	Epoch uint64
 }
 
 // ReplayWAL applies every retained WAL record to reg, from the log's
@@ -261,6 +293,14 @@ func applyRecord(reg *Registry, pos uint64, rec wal.Record, restoredPos map[stri
 			return nil // never created in the retained log, or already gone
 		}
 		st.Deletes++
+	case recEpoch:
+		e, err := decodeEpoch(rec.Data)
+		if err != nil {
+			return err
+		}
+		if e > st.Epoch {
+			st.Epoch = e
+		}
 	default:
 		return fmt.Errorf("unknown WAL record type %d", rec.Type)
 	}
@@ -296,7 +336,15 @@ func Recover(store *Store, l *wal.Log, reg *Registry, logf func(format string, a
 	if logf != nil {
 		logf("server: restored %d filter(s) from snapshots", len(restored))
 	}
-	return ReplayWAL(l, reg, restoredPos, logf)
+	stats, err := ReplayWAL(l, reg, restoredPos, logf)
+	// Manifests record the epoch too (v6); a log truncated past its epoch
+	// record must not make the node forget which era it belongs to.
+	for _, man := range restored {
+		if man.Epoch > stats.Epoch {
+			stats.Epoch = man.Epoch
+		}
+	}
+	return stats, err
 }
 
 // TruncatableBefore returns the highest WAL position every live filter's

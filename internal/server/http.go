@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -108,6 +109,28 @@ type Config struct {
 	// routing bug, visible in the per-shard gauges either way).
 	SkewAlertThreshold float64
 
+	// Epoch is the promotion epoch this server boots at. 0 means "derive":
+	// 1 for a WAL-backed primary, the stream's epoch for a follower.
+	// bloomrfd sets it from WAL/manifest recovery (ReplayStats.Epoch).
+	Epoch uint64
+
+	// Promotion, when non-nil, gives a follower what it needs to become a
+	// primary on POST /v1/replication/promote: a snapshot store and WAL
+	// options for the fresh log it seeds at epoch n+1 (failover.go).
+	Promotion *PromotionConfig
+
+	// HeartbeatTimeout arms follower-side failure detection: when the
+	// stream has delivered no frame (heartbeats included) for this long,
+	// /v1/replication/status reports primary_unreachable and the
+	// auto-promotion loop (if armed) may act. <= 0 disables.
+	HeartbeatTimeout time.Duration
+
+	// AutoPromote lets a follower promote itself when the primary has been
+	// unreachable for HeartbeatTimeout and the follower is caught up. Off
+	// by default: with only two nodes there is no quorum, so automatic
+	// promotion can split-brain a partitioned pair (docs/replication.md).
+	AutoPromote bool
+
 	// AutoSplitSkewThreshold arms automatic hot-span splitting: when a
 	// mutation-path skew evaluation finds a range-partitioned filter's
 	// key_skew above it, the server splits the filter's hottest span —
@@ -135,6 +158,26 @@ type API struct {
 	skewMu      sync.Mutex
 	skewAlerted map[string]bool  // filters currently above the skew threshold
 	skewChecked map[string]int64 // last mutation-path skew evaluation, unix nanos
+
+	// Runtime role state (failover.go). The WAL pointer is atomic because
+	// promotion installs a fresh log while mutations may be in flight;
+	// cfg.WAL stays as the boot-time value for tests and the stream setup.
+	wlog      atomic.Pointer[wal.Log]
+	following atomic.Bool // consuming a primary's stream (clears on promote)
+	readOnly  atomic.Bool // mutations 403 (follower mode; clears on promote)
+	fenced    atomic.Bool // superseded by a higher epoch; mutations/stream 409
+	walFailed atomic.Bool // WAL can't append; degraded read-only, mutations 503
+	probeAt   atomic.Int64
+	epoch     atomic.Uint64
+
+	fencingRejections atomic.Uint64
+	promotions        atomic.Uint64
+
+	promoteMu sync.Mutex
+	promoted  *promotedState // non-nil once this process promoted itself
+
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // NewAPI builds the HTTP API around a registry, without persistence: the
@@ -158,6 +201,14 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 		mux: http.NewServeMux(), adm: newAdmission(cfg.MaxInflightBatches),
 		phases:      &phaseTable{},
 		skewAlerted: make(map[string]bool), skewChecked: make(map[string]int64),
+		closed:      make(chan struct{}),
+	}
+	a.wlog.Store(cfg.WAL)
+	a.following.Store(cfg.Replication != nil)
+	a.readOnly.Store(cfg.ReadOnly)
+	a.epoch.Store(cfg.Epoch)
+	if cfg.AutoPromote && cfg.Promotion != nil && cfg.Replication != nil && cfg.HeartbeatTimeout > 0 {
+		go a.autoPromoteLoop()
 	}
 	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -174,8 +225,13 @@ func NewConfiguredAPI(reg *Registry, store *Store, cfg Config) *API {
 	a.mux.HandleFunc("POST /v1/filters/{name}/split", a.handleSplit)
 	a.mux.HandleFunc("GET /v1/replication/stream", a.handleReplicationStream)
 	a.mux.HandleFunc("GET /v1/replication/status", a.handleReplicationStatus)
+	a.mux.HandleFunc("POST /v1/replication/promote", a.handlePromote)
 	return a
 }
+
+// wal returns the log mutations commit to right now: the boot-time WAL for
+// a primary, nil for a follower, the freshly seeded log after promotion.
+func (a *API) wal() *wal.Log { return a.wlog.Load() }
 
 // ServeHTTP implements http.Handler. Binary batch requests take an
 // allocation-free route around the mux (serveBinaryFast, binary.go);
@@ -207,11 +263,24 @@ func denyUnauthorized(w http.ResponseWriter, what string) {
 	writeErr(w, http.StatusUnauthorized, "%s requires a valid bearer token", what)
 }
 
-// allowMutation gates the mutating endpoints: a read-only follower rejects
-// outright (403), and when an auth token is configured the request must
-// carry it as a bearer credential (401 otherwise).
+// epochHeader is the optional request header carrying the client's view of
+// the primary's promotion epoch. A router or failover-aware client sets it
+// so a demoted primary rejects the write instead of silently diverging.
+const epochHeader = "X-Bloomrfd-Epoch"
+
+// allowMutation gates the mutating endpoints: a fenced ex-primary rejects
+// with 409, a read-only follower with 403, unauthorized requests with 401,
+// epoch-mismatched requests with 409, and a primary whose WAL cannot append
+// sheds with 503 + Retry-After. The epoch check runs after auth on purpose:
+// an unauthenticated client must not be able to fence a primary.
 func (a *API) allowMutation(w http.ResponseWriter, r *http.Request) bool {
-	if a.cfg.ReadOnly {
+	if a.fenced.Load() {
+		a.fencingRejections.Add(1)
+		writeErr(w, http.StatusConflict,
+			"fencing: this server was demoted (a primary with a higher epoch exists); write to the new primary")
+		return false
+	}
+	if a.readOnly.Load() {
 		writeErr(w, http.StatusForbidden, "this server is a read-only replication follower; write to the primary")
 		return false
 	}
@@ -219,25 +288,59 @@ func (a *API) allowMutation(w http.ResponseWriter, r *http.Request) bool {
 		denyUnauthorized(w, "mutating endpoints")
 		return false
 	}
+	if s := r.Header.Get(epochHeader); s != "" {
+		e, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid %s header %q: %v", epochHeader, s, err)
+			return false
+		}
+		mine := a.epochValue()
+		switch {
+		case e > mine:
+			a.fence(fmt.Sprintf("mutation carried epoch %d, ours is %d", e, mine))
+			a.fencingRejections.Add(1)
+			writeErr(w, http.StatusConflict,
+				"fencing: request epoch %d exceeds this server's epoch %d; a newer primary exists", e, mine)
+			return false
+		case e < mine:
+			a.fencingRejections.Add(1)
+			writeErr(w, http.StatusConflict,
+				"fencing: request epoch %d is stale (this server is at epoch %d); refresh the primary address", e, mine)
+			return false
+		}
+	}
+	if a.walFailed.Load() && a.degradedReject() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable,
+			"WAL cannot append (disk failure?); serving reads only until appends succeed again")
+		return false
+	}
 	return true
 }
 
-// logWAL appends a record to the configured WAL, if any, translating an
-// append failure into a 500. The in-memory mutation has already been
-// applied by the time this runs (apply-before-append, durability.go); a
-// false return means the client must not treat the mutation as durable.
+// logWAL appends a record to the current WAL, if any, translating an append
+// failure into 503 + Retry-After and latching the degraded read-only mode
+// (failover.go). The in-memory mutation has already been applied by the
+// time this runs (apply-before-append, durability.go); a false return means
+// the client must not treat the mutation as durable — safe to retry, since
+// replay is idempotent.
 func (a *API) logWAL(w http.ResponseWriter, rec wal.Record, err error) bool {
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "encoding WAL record: %v", err)
 		return false
 	}
-	if a.cfg.WAL == nil {
+	l := a.wal()
+	if l == nil {
 		return true
 	}
-	if _, err := a.cfg.WAL.Append(rec); err != nil {
-		writeErr(w, http.StatusInternalServerError, "WAL append failed (mutation applied in memory but not durable): %v", err)
+	if _, err := l.Append(rec); err != nil {
+		a.noteWALAppendError(err)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable,
+			"WAL append failed (mutation applied in memory but not durable; server is read-only until appends recover): %v", err)
 		return false
 	}
+	a.noteWALAppendOK()
 	return true
 }
 
@@ -494,7 +597,7 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// (split.go phase 5).
 	f.beginApply()
 	f.insertBatchWith(keys, sc)
-	if a.cfg.WAL != nil {
+	if a.wal() != nil {
 		sc.tr.Enter(obs.PhaseWALAppend)
 		rec, encErr := encodeInsert(name, keys)
 		if !a.logWALTraced(w, rec, encErr, &sc.tr) {
@@ -563,14 +666,15 @@ func (a *API) handleSplit(w http.ResponseWriter, r *http.Request) {
 // is re-evaluated against the new topology. Shared by the split endpoint
 // and the auto-split policy (metrics.go).
 func (a *API) performSplit(name string, f *ShardedFilter, opt SplitOptions) (SplitResult, error) {
-	res, err := f.Split(name, opt, a.cfg.WAL)
+	wlog := a.wal()
+	res, err := f.Split(name, opt, wlog)
 	if err != nil {
 		return res, err
 	}
-	if a.cfg.WAL != nil {
+	if wlog != nil {
 		rec, encErr := encodeSplit(name, res.SplitKey)
 		if encErr == nil {
-			_, encErr = a.cfg.WAL.Append(rec)
+			_, encErr = wlog.Append(rec)
 		}
 		if encErr != nil {
 			return res, fmt.Errorf("split applied in memory but not durable (WAL append failed): %w", encErr)

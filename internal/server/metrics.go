@@ -91,8 +91,18 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			float64(ad.rejected.Load()))
 	}
 	m.sample("bloomrfd_readonly", "1 when this server rejects mutations (replication follower).", "gauge", nil,
-		boolGauge(a.cfg.ReadOnly))
-	if l := a.cfg.WAL; l != nil {
+		boolGauge(a.readOnly.Load()))
+	m.sample("bloomrfd_role", "1 for the server's current serving role (primary/follower/read-only/fenced/standalone).", "gauge",
+		[]label{{"role", a.role()}}, 1)
+	m.sample("bloomrfd_epoch", "Promotion epoch this server serves at (0 outside any replication topology).", "gauge", nil,
+		float64(a.epochValue()))
+	m.sample("bloomrfd_promotions_total", "Times this process promoted itself from follower to primary.", "counter", nil,
+		float64(a.promotions.Load()))
+	m.sample("bloomrfd_fencing_rejections_total", "Mutations and stream requests rejected with a fencing error (epoch mismatch or fenced node).", "counter", nil,
+		float64(a.fencingRejections.Load()))
+	m.sample("bloomrfd_readonly_mode", "1 while the WAL cannot append and mutations answer 503 (degraded read-only).", "gauge", nil,
+		boolGauge(a.walFailed.Load()))
+	if l := a.wal(); l != nil {
 		st := l.Stats()
 		m.sample("bloomrfd_wal_end_pos", "Logical end of the write-ahead log (bytes ever appended).", "counter", nil, float64(st.End))
 		m.sample("bloomrfd_wal_durable_pos", "WAL prefix known to be fsynced.", "counter", nil, float64(st.Durable))
@@ -140,6 +150,10 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		m.sample("bloomrfd_replication_reconnects_total", "Times the follower re-dialed the primary after a stream break.", "counter", nil,
 			float64(rs.Reconnects))
+		m.sample("bloomrfd_replication_primary_unreachable", "1 while no frame has arrived within -replication-heartbeat-timeout.", "gauge", nil,
+			boolGauge(rs.PrimaryUnreachable))
+		m.sample("bloomrfd_replication_backoff_seconds", "Reconnect delay before the follower's next dial (0 while connected).", "gauge", nil,
+			rs.BackoffSeconds)
 	}
 	if a.cfg.ReplicationLag != nil {
 		if snap := a.cfg.ReplicationLag(); snap.Count > 0 {

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/wal"
 )
 
@@ -63,10 +64,17 @@ import (
 //	     (incremental dirty-shard snapshots). Mut is process-local
 //	     bookkeeping: restore ignores it, and pre-v5 manifests claiming
 //	     either field are corrupt.
+//	v6 — failover (failover.go). The manifest records "epoch", the
+//	     promotion epoch the writing server was serving at — 1 for a
+//	     server that was never part of a failover — so a node restarted
+//	     from snapshots alone (WAL truncated past its epoch record, or a
+//	     standby's promotion target) still knows which era its state
+//	     belongs to. v6 writers always record it; a pre-v6 manifest
+//	     claiming one, or a v6 manifest without one, is corrupt.
 
 // manifestVersion is the snapshot manifest schema version written by this
 // build. Older versions named in loadManifest remain readable.
-const manifestVersion = 5
+const manifestVersion = 6
 
 // manifestName is the per-snapshot manifest file; its atomic rename into
 // place commits the snapshot.
@@ -125,6 +133,11 @@ type Manifest struct {
 	// restored without them would route keys to the wrong shards. Absent
 	// under hash partitioning.
 	Spans []uint64 `json:"spans,omitempty"`
+	// Epoch is the promotion epoch of the writing server (v6+): 1 for a
+	// server never involved in a failover, n+1 after the n-th promotion.
+	// v6 writers always record it; restore feeds it into epoch recovery
+	// so positions from different eras are never compared.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // totalBytes sums the shard blob sizes.
@@ -152,6 +165,11 @@ type Store struct {
 	// it reads the log end and makes it durable, so the recorded position
 	// never outruns the log (see SetWALSource).
 	walPos func() (uint64, error)
+
+	// epochSource, when non-nil, supplies the promotion epoch manifests
+	// record (see SetEpochSource). Nil — a store never wired into the
+	// failover machinery — writes epoch 1, the pre-failover era.
+	epochSource func() uint64
 
 	// afterShardWrite, when non-nil, runs after each shard blob is written
 	// and before the manifest commits. Tests inject failures here to
@@ -200,6 +218,14 @@ func (st *Store) SetWALSource(l *wal.Log) {
 		}
 		return pos, nil
 	}
+}
+
+// SetEpochSource attaches a promotion-epoch source to the store: every
+// manifest from now on records the epoch the serving layer reports
+// (failover.go). Must be set before the first snapshot that should carry
+// a non-default epoch; without one, manifests record epoch 1.
+func (st *Store) SetEpochSource(fn func() uint64) {
+	st.epochSource = fn
 }
 
 // escapeName maps a filter name to a directory name: URL-path escaping,
@@ -348,6 +374,12 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 		Options:       opt,
 		Shards:        make([]ShardEntry, n),
 		Spans:         tab.part.spans(),
+		Epoch:         1, // v6 writers always record an epoch; 1 = pre-failover era
+	}
+	if st.epochSource != nil {
+		if e := st.epochSource(); e > 0 {
+			man.Epoch = e
+		}
 	}
 	if st.walPos != nil {
 		// Capture before any shard marshal: every record below this
@@ -433,6 +465,9 @@ func (st *Store) SnapshotGuarded(name string, f *ShardedFilter, current func() b
 	if err := writeFileSync(tmp, body); err != nil {
 		return Manifest{}, fmt.Errorf("server: snapshot %q manifest: %w", name, err)
 	}
+	if ferr := faults.Do("snapshot.manifest.rename"); ferr != nil {
+		return Manifest{}, fmt.Errorf("server: snapshot %q manifest: %w", name, ferr)
+	}
 	if err := os.Rename(tmp, filepath.Join(snapDir, manifestName)); err != nil {
 		return Manifest{}, fmt.Errorf("server: snapshot %q manifest: %w", name, err)
 	}
@@ -505,7 +540,11 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 	}
 	// Every version below v5 predates span splits: a pre-v5 manifest
 	// carrying a span table or per-shard mutation epochs is corrupt.
-	if man.FormatVersion < manifestVersion && (man.Spans != nil || shardsClaimMut(&man)) {
+	if man.FormatVersion < 5 && (man.Spans != nil || shardsClaimMut(&man)) {
+		return nil
+	}
+	// Every version below v6 predates promotion epochs.
+	if man.FormatVersion < 6 && man.Epoch != 0 {
 		return nil
 	}
 	switch man.FormatVersion {
@@ -534,11 +573,11 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 		if !man.Options.Partitioning.Valid() || !validBackend(man.Options.Backend) {
 			return nil
 		}
-	case manifestVersion:
+	case 5, manifestVersion:
 		if !man.Options.Partitioning.Valid() || !validBackend(man.Options.Backend) {
 			return nil
 		}
-		// v5 writers always record the span table under range partitioning
+		// v5+ writers always record the span table under range partitioning
 		// and never under hash; anything else is corrupt, as is a table
 		// that does not tile the keyspace or disagrees with the shard count.
 		switch man.Options.Partitioning {
@@ -550,6 +589,10 @@ func (st *Store) loadManifest(name string, seq uint64) *Manifest {
 			if man.Spans != nil {
 				return nil
 			}
+		}
+		// v6 writers always record the promotion epoch.
+		if man.FormatVersion == manifestVersion && man.Epoch == 0 {
+			return nil
 		}
 	default:
 		return nil

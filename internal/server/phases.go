@@ -121,19 +121,24 @@ func (a *API) logWALTraced(w http.ResponseWriter, rec wal.Record, err error, tr 
 		writeErr(w, http.StatusInternalServerError, "encoding WAL record: %v", err)
 		return false
 	}
-	if a.cfg.WAL == nil {
+	l := a.wal()
+	if l == nil {
 		tr.Leave()
 		return true
 	}
-	_, fsyncNs, err := a.cfg.WAL.AppendTraced(rec)
+	_, fsyncNs, err := l.AppendTraced(rec)
 	// Close the open wal-append phase before shifting: Shift only moves
 	// already-attributed time.
 	tr.Leave()
 	tr.Shift(obs.PhaseWALAppend, obs.PhaseWALFsync, fsyncNs)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "WAL append failed (mutation applied in memory but not durable): %v", err)
+		a.noteWALAppendError(err)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable,
+			"WAL append failed (mutation applied in memory but not durable; server is read-only until appends recover): %v", err)
 		return false
 	}
+	a.noteWALAppendOK()
 	return true
 }
 

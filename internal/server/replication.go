@@ -9,12 +9,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/wal"
 )
@@ -50,12 +53,19 @@ import (
 //	frameSnapShard      payload = raw shard blob; pos = shard index
 //	frameBootstrapDone  payload empty; pos = position the tail starts at
 //	frameHeartbeat      payload empty; pos = primary log end (lag anchor)
+//	frameEpoch          payload empty; pos = the primary's promotion epoch.
+//	                    Sent first on every stream, before any data: the
+//	                    follower learns which era the positions that follow
+//	                    belong to, steps down (or refuses) on a higher
+//	                    epoch, and rejects a demoted primary's lower one
+//	                    (failover.go).
 
 const (
 	frameSnapBegin     byte = 128
 	frameSnapShard     byte = 129
 	frameBootstrapDone byte = 130
 	frameHeartbeat     byte = 131
+	frameEpoch         byte = 132
 )
 
 // frameHeaderSize is the fixed frame header length.
@@ -133,7 +143,17 @@ func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
 		denyUnauthorized(w, "the replication stream")
 		return
 	}
-	l := a.cfg.WAL
+	if err := faults.Do("replication.stream.serve"); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream unavailable: %v", err)
+		return
+	}
+	if a.fenced.Load() {
+		a.fencingRejections.Add(1)
+		writeErr(w, http.StatusConflict,
+			"fencing: this server was demoted (a primary with a higher epoch exists); stream from the new primary")
+		return
+	}
+	l := a.wal()
 	if l == nil {
 		writeErr(w, http.StatusBadRequest, "replication requires a write-ahead log (start bloomrfd with -data-dir)")
 		return
@@ -147,6 +167,30 @@ func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
 		}
 		from = v
 	}
+	mine := a.epochValue()
+	if s := r.URL.Query().Get("epoch"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "epoch %q is not an unsigned 64-bit integer", s)
+			return
+		}
+		switch {
+		case v > mine:
+			// The follower served at (or observed) a higher epoch than we
+			// ever did: we are the demoted primary of a completed failover.
+			// Fence permanently — this is how a restarted old primary that
+			// is re-pointed at (or dialed by) the new world learns its fate.
+			a.fence(fmt.Sprintf("stream handshake carried epoch %d, ours is %d", v, mine))
+			a.fencingRejections.Add(1)
+			writeErr(w, http.StatusConflict,
+				"fencing: follower at epoch %d supersedes this primary (epoch %d)", v, mine)
+			return
+		case v != 0 && v < mine:
+			// A follower from an older epoch: its positions name bytes in a
+			// log that no longer exists. Force a snapshot bootstrap.
+			from = 0
+		}
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeErr(w, http.StatusInternalServerError, "response writer cannot stream")
@@ -157,6 +201,11 @@ func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fw := &frameWriter{w: w}
 
+	// Announce the epoch before anything else: every position that follows
+	// is only meaningful within it.
+	if err := fw.write(frameEpoch, mine, nil); err != nil {
+		return
+	}
 	// Lead with a heartbeat carrying the current log end: the follower's
 	// lag gauge is honest from the first frame, instead of reading zero
 	// until the catch-up completes.
@@ -221,6 +270,18 @@ func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		pos, rec, err := rd.Next()
 		if errors.Is(err, io.EOF) {
+			// A fenced ex-primary stops serving even streams that were open
+			// when the fencing landed: the follower reconnects and gets the
+			// 409 above. Checked at the idle point so a caught-up stream
+			// notices within a heartbeat interval.
+			if a.fenced.Load() {
+				a.cfg.Logf("server: replication: dropping stream (fenced)")
+				return
+			}
+			if ferr := faults.Do("replication.stream.drop"); ferr != nil {
+				a.cfg.Logf("server: replication: dropping stream (injected): %v", ferr)
+				return
+			}
 			// Caught up: surface the current end as a heartbeat (the
 			// follower's lag anchor), then block for more data or the
 			// heartbeat timer, whichever first.
@@ -252,25 +313,30 @@ func (a *API) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReplicationStatus reports which replication role this server plays
-// and where it stands.
+// right now — roles change at runtime (promotion, fencing, degradation),
+// so this reads the live state, not the boot configuration.
 func (a *API) handleReplicationStatus(w http.ResponseWriter, r *http.Request) {
-	if a.cfg.Replication != nil {
-		st := a.cfg.Replication()
-		writeJSON(w, http.StatusOK, map[string]any{"role": "follower", "replication": st})
-		return
+	resp := map[string]any{
+		"role":  a.role(),
+		"epoch": a.epochValue(),
 	}
-	if a.cfg.WAL != nil {
-		st := a.cfg.WAL.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"role": "primary",
-			"wal": map[string]any{
-				"end_pos": st.End, "durable_pos": st.Durable,
-				"oldest_pos": st.Oldest, "segments": st.Segments,
-			},
-		})
-		return
+	if a.fenced.Load() {
+		resp["fenced"] = true
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"role": "standalone"})
+	if a.walFailed.Load() {
+		resp["degraded"] = "wal-append"
+	}
+	if a.cfg.Replication != nil && a.following.Load() {
+		resp["replication"] = a.cfg.Replication()
+	}
+	if l := a.wal(); l != nil {
+		st := l.Stats()
+		resp["wal"] = map[string]any{
+			"end_pos": st.End, "durable_pos": st.Durable,
+			"oldest_pos": st.Oldest, "segments": st.Segments,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ReplicationStatus is a follower's view of its stream, surfaced through
@@ -293,6 +359,19 @@ type ReplicationStatus struct {
 	// Reconnects counts re-dials after a stream break (0 while the first
 	// connection holds).
 	Reconnects uint64 `json:"reconnects"`
+	// Epoch is the promotion epoch the stream announced (0 until the first
+	// frameEpoch arrives).
+	Epoch uint64 `json:"epoch"`
+	// PrimaryUnreachable reports heartbeat loss: no frame (heartbeats
+	// included) within the configured timeout. Always false when no
+	// timeout is armed.
+	PrimaryUnreachable bool `json:"primary_unreachable"`
+	// BackoffSeconds is the reconnect delay the follower will wait (or is
+	// waiting) before its next dial; 0 while connected.
+	BackoffSeconds float64 `json:"backoff_seconds"`
+	// ConsecutiveFailures counts stream attempts since the last successful
+	// connection; 0 while connected.
+	ConsecutiveFailures uint64 `json:"consecutive_failures"`
 }
 
 // Follower tails a primary's replication stream into a local registry,
@@ -308,11 +387,32 @@ type Follower struct {
 	logf    func(format string, args ...any)
 	token   string // bearer credential for a token-gated primary stream
 
+	// hbTimeout arms heartbeat-loss detection (WithHeartbeatTimeout); 0
+	// means Status never reports PrimaryUnreachable. stepDown picks the
+	// reaction to a higher-epoch primary: adopt it and resync (true, the
+	// default) or stop with a terminal error (false). started anchors
+	// unreachability before the first frame ever arrives.
+	hbTimeout time.Duration
+	stepDown  bool
+	started   time.Time
+
 	applied    atomic.Uint64
 	primaryPos atomic.Uint64
 	connected  atomic.Bool
 	lastFrame  atomic.Int64
 	reconnects atomic.Uint64
+	epoch      atomic.Uint64
+
+	backoffNanos atomic.Int64  // current reconnect delay; 0 while connected
+	failStreak   atomic.Uint64 // attempts since the last successful connect
+	running      atomic.Bool   // Run was started (Stop only waits if so)
+
+	termMu  sync.Mutex
+	termErr error // set when the follower stopped for a terminal reason
+
+	stopOnce sync.Once
+	stop     chan struct{} // closed by Stop; Run exits at the next check
+	done     chan struct{} // closed when Run returns
 
 	// lagHist samples PrimaryPos - AppliedPos (bytes) at every applied
 	// record, so a lag spike that builds and drains entirely between two
@@ -341,6 +441,10 @@ func NewFollower(primaryURL string, reg *Registry, logf func(format string, args
 		client:      &http.Client{}, // no overall timeout: the stream is unbounded
 		logf:        logf,
 		restoredPos: make(map[string]uint64),
+		stepDown:    true,
+		started:     time.Now(),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}, nil
 }
 
@@ -352,21 +456,107 @@ func (fo *Follower) WithAuthToken(token string) *Follower {
 	return fo
 }
 
-// Status returns the follower's current replication state.
+// WithHeartbeatTimeout arms heartbeat-loss detection: when no frame has
+// arrived within d, Status reports PrimaryUnreachable. <= 0 disables.
+// Returns fo for chaining; call before Run.
+func (fo *Follower) WithHeartbeatTimeout(d time.Duration) *Follower {
+	fo.hbTimeout = d
+	return fo
+}
+
+// WithStepDown picks the reaction to a primary announcing a higher epoch:
+// true (the default) adopts it and resyncs from a bootstrap; false stops
+// the follower with a terminal error, for operators who want a superseded
+// node inspected before it rejoins. Call before Run.
+func (fo *Follower) WithStepDown(b bool) *Follower {
+	fo.stepDown = b
+	return fo
+}
+
+// WithEpoch seeds the epoch the follower announces in its handshake before
+// the stream has taught it one — the recovered epoch of a restarted node
+// (RecoverEpoch), so a demoted primary rejoining as a follower fences its
+// stale peer instead of being bootstrapped by it. Call before Run.
+func (fo *Follower) WithEpoch(e uint64) *Follower {
+	fo.epoch.Store(e)
+	return fo
+}
+
+// Epoch returns the highest promotion epoch the follower has seen.
+func (fo *Follower) Epoch() uint64 { return fo.epoch.Load() }
+
+// TerminalErr returns the error that permanently stopped the follower, or
+// nil. Run returns without one only on context cancellation or Stop.
+func (fo *Follower) TerminalErr() error {
+	fo.termMu.Lock()
+	defer fo.termMu.Unlock()
+	return fo.termErr
+}
+
+// setTerminal records a terminal error and returns it.
+func (fo *Follower) setTerminal(err error) error {
+	fo.termMu.Lock()
+	fo.termErr = err
+	fo.termMu.Unlock()
+	return err
+}
+
+// Stop ends Run from outside its context and waits for it to return; the
+// promotion path calls it so no stream frame mutates the registry after
+// the takeover decision. Safe to call more than once; when Run was never
+// started it only marks the stop (a later Run returns immediately).
+func (fo *Follower) Stop() {
+	fo.stopOnce.Do(func() { close(fo.stop) })
+	if !fo.running.Load() {
+		return
+	}
+	select {
+	case <-fo.done:
+	case <-time.After(10 * time.Second):
+		fo.logf("bloomrfd: replication: follower did not stop within 10s")
+	}
+}
+
+// stopped reports whether Stop was called.
+func (fo *Follower) stopped() bool {
+	select {
+	case <-fo.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Status returns the follower's current replication state. Unreachability
+// is computed lazily against the last frame time (or the follower's start,
+// before any frame arrived), so a stalled-but-connected stream — a
+// partition the TCP stack has not noticed — trips it too.
 func (fo *Follower) Status() ReplicationStatus {
 	applied, end := fo.applied.Load(), fo.primaryPos.Load()
 	var lag uint64
 	if end > applied {
 		lag = end - applied
 	}
+	unreachable := false
+	if fo.hbTimeout > 0 {
+		last := fo.lastFrame.Load()
+		if last == 0 {
+			last = fo.started.UnixNano()
+		}
+		unreachable = time.Since(time.Unix(0, last)) > fo.hbTimeout
+	}
 	return ReplicationStatus{
-		Primary:           fo.primary,
-		Connected:         fo.connected.Load(),
-		AppliedPos:        applied,
-		PrimaryPos:        end,
-		LagBytes:          lag,
-		LastFrameUnixNano: fo.lastFrame.Load(),
-		Reconnects:        fo.reconnects.Load(),
+		Primary:             fo.primary,
+		Connected:           fo.connected.Load(),
+		AppliedPos:          applied,
+		PrimaryPos:          end,
+		LagBytes:            lag,
+		LastFrameUnixNano:   fo.lastFrame.Load(),
+		Reconnects:          fo.reconnects.Load(),
+		Epoch:               fo.epoch.Load(),
+		PrimaryUnreachable:  unreachable,
+		BackoffSeconds:      time.Duration(fo.backoffNanos.Load()).Seconds(),
+		ConsecutiveFailures: fo.failStreak.Load(),
 	}
 }
 
@@ -375,24 +565,77 @@ func (fo *Follower) Status() ReplicationStatus {
 // bloomrfd_replication_record_lag_bytes.
 func (fo *Follower) LagSnapshot() obs.HistSnapshot { return fo.lagHist.Read() }
 
-// reconnectDelay paces reconnection attempts after a stream drops.
-const reconnectDelay = time.Second
+// Reconnect pacing: jittered exponential backoff. A fixed delay makes a
+// fleet of followers stampede a recovering primary in lockstep; the jitter
+// (a uniform 50–100% of the current backoff) decorrelates them and the
+// exponential growth keeps a long outage from burning dials.
+const (
+	reconnectBase = 200 * time.Millisecond
+	reconnectMax  = 5 * time.Second
+)
 
-// Run streams from the primary until ctx is cancelled, reconnecting on
-// any error. It blocks; bloomrfd runs it on its own goroutine.
+// jitterBackoff returns a uniform duration in [d/2, d].
+func jitterBackoff(d time.Duration) time.Duration {
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// errEpochSuperseded marks a stream rejected because the primary serves a
+// higher epoch than this follower and step-down is disabled.
+var errEpochSuperseded = errors.New("superseded by a higher epoch")
+
+// errEpochResync marks a stream ended on purpose to re-dial from position
+// 0 after adopting a higher epoch.
+var errEpochResync = errors.New("resyncing into the new epoch")
+
+// Run streams from the primary until ctx is cancelled, Stop is called, or
+// a terminal condition (higher epoch with step-down disabled) is hit,
+// reconnecting with jittered exponential backoff on any other error. It
+// blocks; bloomrfd runs it on its own goroutine.
 func (fo *Follower) Run(ctx context.Context) {
+	fo.running.Store(true)
+	defer close(fo.done)
+	backoff := reconnectBase
 	for {
-		err := fo.stream(ctx)
-		fo.connected.Store(false)
-		if ctx.Err() != nil {
+		if fo.stopped() {
 			return
 		}
+		err := fo.stream(ctx)
+		wasConnected := fo.connected.Swap(false)
+		if ctx.Err() != nil || fo.stopped() {
+			return
+		}
+		if errors.Is(err, errEpochSuperseded) {
+			fo.logf("bloomrfd: replication: %v; stopping (step-down disabled)", err)
+			return
+		}
+		if wasConnected {
+			// A held connection counts as recovery: reset the backoff so a
+			// primary that crashes after a long stable stream is re-dialed
+			// promptly, and clear the failure streak.
+			backoff = reconnectBase
+			fo.failStreak.Store(0)
+		}
+		fo.failStreak.Add(1)
 		fo.reconnects.Add(1)
-		fo.logf("bloomrfd: replication stream ended: %v; reconnecting in %s", err, reconnectDelay)
+		delay := backoff
+		if !errors.Is(err, errEpochResync) { // resync re-dials immediately-ish
+			delay = jitterBackoff(backoff)
+		} else {
+			delay = reconnectBase / 2
+		}
+		fo.backoffNanos.Store(int64(delay))
+		fo.logf("bloomrfd: replication stream ended: %v; reconnecting in %s", err, delay)
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(reconnectDelay):
+		case <-fo.stop:
+			return
+		case <-time.After(delay):
+		}
+		fo.backoffNanos.Store(0)
+		if backoff *= 2; backoff > reconnectMax {
+			backoff = reconnectMax
 		}
 	}
 }
@@ -405,13 +648,28 @@ type pendingRestore struct {
 
 // stream opens one connection and applies frames until it breaks.
 func (fo *Follower) stream(ctx context.Context) error {
-	u := fmt.Sprintf("%s/v1/replication/stream?from=%d", fo.primary, fo.applied.Load())
+	// Derive a cancel that also watches Stop: the blocking read inside the
+	// frame loop only unblocks via context cancellation.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-fo.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	u := fmt.Sprintf("%s/v1/replication/stream?from=%d&epoch=%d",
+		fo.primary, fo.applied.Load(), fo.epoch.Load())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
 	}
 	if fo.token != "" {
 		req.Header.Set("Authorization", "Bearer "+fo.token)
+	}
+	if err := faults.Do("replication.follower.dial"); err != nil {
+		return err
 	}
 	resp, err := fo.client.Do(req)
 	if err != nil {
@@ -470,8 +728,41 @@ func (fo *Follower) stream(ctx context.Context) error {
 			pending, order, cur = make(map[string]*pendingRestore), nil, nil
 		case frameHeartbeat:
 			fo.primaryPos.Store(pos)
-		case recCreate, recInsert, recDelete, recSplit:
+		case frameEpoch:
+			known := fo.epoch.Load()
+			switch {
+			case known == 0 || pos == known:
+				fo.epoch.Store(pos)
+			case pos > known:
+				// A failover completed while we were away: the stream's
+				// positions belong to a new log. Step down into it — reset
+				// to a snapshot bootstrap — or stop, per configuration.
+				if !fo.stepDown {
+					return fo.setTerminal(fmt.Errorf(
+						"%w: primary at %s serves epoch %d, ours is %d (step-down disabled)",
+						errEpochSuperseded, fo.primary, pos, known))
+				}
+				fo.logf("bloomrfd: replication: primary moved to epoch %d (ours was %d); resyncing from scratch", pos, known)
+				fo.epoch.Store(pos)
+				fo.applied.Store(0) // positions are incomparable across epochs
+				fo.primaryPos.Store(0)
+				return errEpochResync
+			default: // pos < known
+				return fmt.Errorf(
+					"primary at %s reports stale epoch %d (ours is %d); refusing to follow a demoted primary",
+					fo.primary, pos, known)
+			}
+		case recCreate, recInsert, recDelete, recSplit, recEpoch:
 			rec := wal.Record{Type: typ, Data: payload}
+			if typ == recEpoch {
+				// The epoch record in the new primary's WAL confirms what
+				// frameEpoch announced; adopt it without touching the
+				// registry (applyRecord folds it into stats for parity with
+				// boot replay).
+				if e, derr := decodeEpoch(payload); derr == nil && e > fo.epoch.Load() {
+					fo.epoch.Store(e)
+				}
+			}
 			if err := applyRecord(fo.reg, pos, rec, fo.restoredPos, &stats); err != nil {
 				return fmt.Errorf("applying record at %d: %w", pos, err)
 			}

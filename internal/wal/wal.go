@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -471,6 +472,22 @@ func (l *Log) commit(batch []*appendReq, buf []byte) {
 		buf = appendRecord(buf, req.rec)
 		pos += uint64(req.rec.EncodedLen())
 	}
+	// Failpoints for fault-injection tests: "wal.append" fails the batch
+	// before any bytes hit the file; "wal.append.torn" writes half the
+	// batch then fails, simulating a crash mid-append (the torn tail is
+	// garbage past tail.size, overwritten by the next successful commit,
+	// exactly as a real partial write would be).
+	if ferr := faults.Do("wal.append"); ferr != nil {
+		l.mu.Unlock()
+		l.fail(batch, fmt.Errorf("wal: append: %w", ferr))
+		return
+	}
+	if ferr := faults.Do("wal.append.torn"); ferr != nil {
+		_, _ = l.active.WriteAt(buf[:len(buf)/2], tail.size)
+		l.mu.Unlock()
+		l.fail(batch, fmt.Errorf("wal: append: %w", ferr))
+		return
+	}
 	// WriteAt at the tracked valid size, not sequential Write: a failed
 	// partial write leaves garbage past tail.size, and the next commit
 	// must overwrite it at the same offset or logical positions would
@@ -482,7 +499,10 @@ func (l *Log) commit(batch []*appendReq, buf []byte) {
 	}
 	if l.opt.Policy == SyncAlways {
 		t0 := time.Now()
-		err := l.active.Sync()
+		err := faults.Do("wal.fsync") // injected fsync failure/stall
+		if err == nil {
+			err = l.active.Sync()
+		}
 		d := time.Since(t0)
 		l.noteFsync(d)
 		if err != nil {
@@ -584,6 +604,9 @@ func (l *Log) Sync() error {
 	defer l.mu.Unlock()
 	if l.closed || l.active == nil {
 		return ErrClosed
+	}
+	if err := faults.Do("wal.fsync"); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	c := l.committed.Load()
 	if err := l.timedSync(); err != nil {

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Failover end-to-end check for bloomrfd's follower promotion with epoch
+# fencing: start a primary and a promotable warm standby (-follow AND
+# -data-dir), load acked writes, SIGKILL the primary, detect the loss via
+# -replication-heartbeat-timeout, promote the standby to a writable primary
+# at epoch 2, and verify ZERO acked-write loss — every key the dead primary
+# ever acknowledged must answer true on the new primary. Then restart the
+# old primary and prove both fencing outcomes: its own endpoints answer 409
+# the moment they hear about epoch 2, and re-pointed at the new primary with
+# -follow it steps down and resyncs bit-identically.
+# Run from the repository root: ./scripts/failover_e2e.sh
+set -euo pipefail
+
+P_ADDR="127.0.0.1:18187"
+S_ADDR="127.0.0.1:18188"
+P="http://$P_ADDR"
+S="http://$S_ADDR"
+TOKEN="e2e-failover-secret"
+
+# mpost is an authenticated mutating POST.
+mpost() {
+  curl -sf -H "Authorization: Bearer $TOKEN" -XPOST "$@"
+}
+WORK="$(mktemp -d)"
+trap 'kill -9 $P_PID $S_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/bloomrfd" ./cmd/bloomrfd
+
+wait_healthy() { # url
+  for _ in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server at $1 did not become healthy" >&2
+  cat "$WORK"/*.log >&2
+  exit 1
+}
+
+# wait_synced blocks until the standby's applied position reaches the
+# primary's current WAL end.
+wait_synced() { # primary-url standby-url
+  want=$(curl -sf "$1/v1/replication/status" | sed -n 's/.*"end_pos":\([0-9]*\).*/\1/p')
+  for _ in $(seq 1 200); do
+    got=$(curl -sf "$2/v1/replication/status" | sed -n 's/.*"applied_pos":\([0-9]*\).*/\1/p')
+    if [ -n "$got" ] && [ "$got" -ge "$want" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "standby never caught up (want $want, got ${got:-none}); logs:" >&2
+  tail -20 "$WORK"/*.log >&2
+  exit 1
+}
+
+# assert_all_true queries a key range on a server and fails on any miss:
+# the filter has no false negatives, so an acked key answering false is a
+# lost write.
+assert_all_true() { # base-url lo hi label
+  local out
+  out=$(curl -sf -XPOST "$1/v1/filters/ledger/query" -d "{\"keys\":[$(seq -s, "$2" "$3")]}")
+  if echo "$out" | grep -q 'false'; then
+    echo "LOST ACKED WRITES in $4 (keys $2..$3): $out" >&2
+    exit 1
+  fi
+}
+
+echo "== primary + promotable standby up, 20k acked writes =="
+"$WORK/bloomrfd" -addr "$P_ADDR" -data-dir "$WORK/primary" -snapshot-interval 0 \
+    -wal-sync always -auth-token "$TOKEN" >>"$WORK/primary.log" 2>&1 &
+P_PID=$!
+wait_healthy "$P"
+"$WORK/bloomrfd" -addr "$S_ADDR" -follow "$P" -data-dir "$WORK/standby" \
+    -wal-sync always -auth-token "$TOKEN" \
+    -replication-heartbeat-timeout 2s >>"$WORK/standby.log" 2>&1 &
+S_PID=$!
+wait_healthy "$S"
+
+mpost "$P/v1/filters" \
+    -d '{"name":"ledger","expected_keys":100000,"shards":4,"partitioning":"range"}' >/dev/null
+# Every one of these inserts returns 200 (curl -sf aborts otherwise): all
+# 20k keys are ACKED writes and none may be lost across the failover.
+for off in 0 4000 8000 12000 16000; do
+  mpost "$P/v1/filters/ledger/insert" \
+      -d "{\"keys\":[$(seq -s, $((1000 + off)) $((1000 + off + 3999)))]}" >/dev/null
+done
+
+echo "== replication barrier, then SIGKILL the primary =="
+wait_synced "$P" "$S"
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+
+echo "== heartbeat loss surfaces as primary_unreachable =="
+for _ in $(seq 1 100); do
+  if curl -sf "$S/v1/replication/status" | grep -q '"primary_unreachable":true'; then break; fi
+  sleep 0.1
+done
+curl -sf "$S/v1/replication/status" | grep -q '"primary_unreachable":true' \
+  || { echo "standby never noticed the dead primary"; exit 1; }
+
+echo "== promote the standby: epoch 2, writable =="
+out=$(mpost "$S/v1/replication/promote" -d '')
+echo "$out" | grep -q '"promoted":true' || { echo "promote failed: $out"; exit 1; }
+echo "$out" | grep -q '"epoch":2' || { echo "promote at wrong epoch: $out"; exit 1; }
+# Promotion is idempotent: a repeat is a no-op 200.
+out=$(mpost "$S/v1/replication/promote" -d '')
+echo "$out" | grep -q '"promoted":false' || { echo "repeat promote not idempotent: $out"; exit 1; }
+curl -sf "$S/v1/replication/status" | grep -q '"role":"primary"' \
+  || { echo "promoted standby does not report primary"; exit 1; }
+curl -sf "$S/metrics" | grep -q 'bloomrfd_epoch 2' \
+  || { echo "promoted standby metrics missing epoch 2"; exit 1; }
+
+echo "== zero acked-write loss on the new primary =="
+for off in 0 4000 8000 12000 16000; do
+  assert_all_true "$S" $((1000 + off)) $((1000 + off + 3999)) "new primary"
+done
+
+echo "== the new primary serves fresh writes =="
+mpost "$S/v1/filters/ledger/insert" \
+    -d "{\"keys\":[$(seq -s, 900000 900100)]}" >/dev/null
+assert_all_true "$S" 900000 900100 "post-failover writes"
+
+echo "== restarted old primary is fenced by the epoch handshake =="
+"$WORK/bloomrfd" -addr "$P_ADDR" -data-dir "$WORK/primary" -snapshot-interval 0 \
+    -wal-sync always -auth-token "$TOKEN" >>"$WORK/primary.log" 2>&1 &
+P_PID=$!
+wait_healthy "$P"
+# The handshake a follower of the new world performs against it: epoch 2
+# supersedes its epoch 1, so it must fence, and every mutation after that
+# answers 409 too.
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer $TOKEN" \
+    "$P/v1/replication/stream?from=0&epoch=2")
+[ "$code" = "409" ] || { echo "old primary stream at epoch 2 answered $code, want 409"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer $TOKEN" \
+    -XPOST "$P/v1/filters/ledger/insert" -d '{"keys":[31337]}')
+[ "$code" = "409" ] || { echo "fenced old primary accepted a write ($code)"; exit 1; }
+curl -sf "$P/v1/replication/status" | grep -q '"fenced":true' \
+  || { echo "old primary does not report fenced"; exit 1; }
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+
+echo "== old primary rejoins as a follower of the new primary =="
+"$WORK/bloomrfd" -addr "$P_ADDR" -follow "$S" -data-dir "$WORK/primary-rejoin" \
+    -wal-sync always -auth-token "$TOKEN" >>"$WORK/rejoin.log" 2>&1 &
+P_PID=$!
+wait_healthy "$P"
+wait_synced "$S" "$P"
+curl -sf "$P/v1/replication/status" | grep -q '"epoch":2' \
+  || { echo "rejoined follower did not adopt epoch 2"; exit 1; }
+# Bit-identical serving across the whole history: pre-failover acked keys
+# AND post-failover writes, from the ex-primary now following.
+for range_start in 1000 17000 900000; do
+  range_end=$((range_start + 100))
+  p=$(curl -sf -XPOST "$P/v1/filters/ledger/query" -d "{\"keys\":[$(seq -s, $range_start $range_end)]}")
+  s=$(curl -sf -XPOST "$S/v1/filters/ledger/query" -d "{\"keys\":[$(seq -s, $range_start $range_end)]}")
+  [ "$p" = "$s" ] || { echo "rejoined follower diverged on $range_start..$range_end"; exit 1; }
+done
+
+kill "$P_PID" "$S_PID"
+wait "$P_PID" "$S_PID" 2>/dev/null || true
+echo "failover e2e: OK (zero acked-write loss, promotion at epoch 2, old primary fenced then rejoined)"
